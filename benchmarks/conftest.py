@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one paper table or figure with the experiment
+runners from :mod:`repro.evaluation.experiments`, prints the same rows/series
+the paper reports, and asserts the qualitative shape (who wins, roughly by how
+much).  Runs use reduced "bench" presets so the whole harness finishes on a
+laptop; pass ``--preset=fast`` or ``--preset=full`` for larger runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import Preset
+
+#: Benchmark-sized preset: small enough that the full harness runs in minutes.
+BENCH_PRESET = Preset(
+    name="fast",  # reuses the "fast" code paths (scaled suites, inferred bars)
+    num_tasks=4,
+    max_rounds=70,
+    baseline_iterations=70,
+    chemistry_qubits_cap=8,
+    spin_sites=4,
+    warmup_iterations=10,
+    window_size=6,
+)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--preset",
+        action="store",
+        default="bench",
+        help="experiment size: 'bench' (default), 'fast', or 'full'",
+    )
+
+
+@pytest.fixture(scope="session")
+def preset(request) -> Preset:
+    name = request.config.getoption("--preset")
+    if name == "bench":
+        return BENCH_PRESET
+    from repro.evaluation.experiments import get_preset
+
+    return get_preset(name)

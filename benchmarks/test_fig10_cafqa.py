@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 10 (TreeVQA combined with CAFQA initialisation)."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import format_figure10, run_figure10
+
+
+def test_fig10_cafqa(benchmark, preset):
+    result = benchmark.pedantic(
+        run_figure10,
+        kwargs={"preset": preset, "num_tasks": 4, "gap_percentages": (5.0, 10.0, 20.0, 30.0), "seed": 7},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure10(result))
+    # CAFQA provides a high-accuracy classical initialisation (paper: 0.955 for LiH).
+    assert result.cafqa_fidelity > 0.8
+    assert len(result.points) == 4
+    # Both methods recover at least the smallest gap fraction, and TreeVQA does
+    # so with fewer shots.
+    first = result.points[0]
+    assert first.treevqa_shots is not None and first.baseline_shots is not None
+    usable = [p.savings_ratio for p in result.points if p.savings_ratio is not None]
+    assert usable and max(usable) > 1.0

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig. 11 (untuned TreeVQA with the COBYLA optimizer)."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import format_figure11, run_figure11
+
+PANELS = ("LiH", "TFIM")
+
+
+def test_fig11_cobyla(benchmark, preset):
+    result = benchmark.pedantic(
+        run_figure11, kwargs={"preset": preset, "benchmarks": PANELS, "seed": 7},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure11(result))
+    assert len(result.bars) == len(PANELS)
+    savings = [bar.savings_ratio for bar in result.bars if bar.savings_ratio is not None]
+    assert savings, "COBYLA comparison must produce at least one savings ratio"
+    # Plug-and-play claim: TreeVQA still saves shots with an untuned alternate optimizer.
+    assert max(savings) > 1.0

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Fig. 12 (QAOA / MaxCut on the IEEE 14-bus system)."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import Preset, format_figure12, run_figure12
+
+# ma-QAOA on 14 qubits is the most expensive statevector benchmark; keep the
+# bench run small (the runner accepts the larger presets unchanged).
+QAOA_PRESET = Preset(
+    name="fast", num_tasks=4, max_rounds=50, baseline_iterations=50,
+    chemistry_qubits_cap=8, spin_sites=4, warmup_iterations=8, window_size=5,
+)
+
+
+def test_fig12_qaoa(benchmark):
+    result = benchmark.pedantic(
+        run_figure12,
+        kwargs={"preset": QAOA_PRESET, "scenarios": ("0.5:1.5", "0.9:1.1"), "seed": 7},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure12(result))
+    assert len(result.bars) == 2
+    by_name = {bar.scenario: bar for bar in result.bars}
+    # Narrower load ranges produce more similar instances (lower edge-weight variance).
+    assert by_name["0.9:1.1"].edge_weight_variance < by_name["0.5:1.5"].edge_weight_variance
+    savings = [bar.savings_ratio for bar in result.bars if bar.savings_ratio is not None]
+    assert savings, "QAOA comparison must produce savings ratios"
+    # TreeVQA's benefit extends to combinatorial optimisation (Fig. 12 claim).
+    assert max(savings) > 1.0

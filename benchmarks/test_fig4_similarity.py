@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 4 (task-similarity motivation heatmaps)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.experiments import format_figure4, run_figure4
+
+
+def test_fig4_similarity(benchmark):
+    result = benchmark.pedantic(
+        run_figure4, kwargs={"bond_lengths": (1.4, 1.5, 1.6, 1.8, 2.0, 2.2, 2.4)},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure4(result))
+    overlap = result.overlap_matrix
+    similarity = result.hamiltonian_similarity
+    # Neighbouring bond lengths overlap more than distant ones (Fig. 4b shape).
+    assert overlap[0, 1] > overlap[0, -1]
+    assert similarity[0, 1] > similarity[0, -1]
+    # The coefficient-space metric tracks the ground-state overlap structure (Fig. 4c claim).
+    assert result.correlation() > 0.3
+    np.testing.assert_allclose(np.diag(overlap), 1.0)

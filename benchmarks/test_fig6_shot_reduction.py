@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Fig. 6 (shot reduction at a fixed fidelity target).
+
+The paper's headline: TreeVQA reaches the same application fidelity with
+substantially fewer shots than independent per-task VQE, on every benchmark.
+The bench preset runs three representative panels (one molecule, one spin
+model, the H2/UCCSD case); the underlying runner covers all six.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.experiments import format_figure6, run_figure6
+
+PANELS = ("HF", "TFIM", "H2")
+
+
+def test_fig6_shot_reduction(benchmark, preset):
+    result = benchmark.pedantic(
+        run_figure6, kwargs={"preset": preset, "benchmarks": PANELS, "seed": 7},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure6(result))
+    assert len(result.panels) == len(PANELS)
+    savings = {panel.benchmark: panel.headline_savings for panel in result.panels}
+    # Every panel must produce a headline comparison, and TreeVQA must win on
+    # the chemistry panel (the most similar task family).
+    assert all(value is not None for value in savings.values())
+    assert savings["HF"] > 1.5
+    average = result.average_savings()
+    assert average is not None and average > 1.0

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 7 (fidelity gain at a fixed shot budget)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.experiments import format_figure7, run_figure7
+
+PANELS = ("LiH", "TFIM")
+
+
+def test_fig7_fidelity_budget(benchmark, preset):
+    result = benchmark.pedantic(
+        run_figure7, kwargs={"preset": preset, "benchmarks": PANELS, "seed": 7},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure7(result))
+    assert len(result.panels) == len(PANELS)
+    for panel in result.panels:
+        # TreeVQA achieves at least the baseline's fidelity on average across budgets.
+        assert panel.advantage() > -0.02
+        # Fidelity is non-decreasing in the budget for both methods.
+        assert np.all(np.diff(panel.treevqa_fidelities) >= -1e-9)
+        assert np.all(np.diff(panel.baseline_fidelities) >= -1e-9)
+    # At least one panel shows a clear TreeVQA advantage under a fixed budget.
+    assert max(panel.advantage() for panel in result.panels) > 0.0

@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Fig. 8 (shot savings versus task precision)."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import format_figure8, run_figure8
+
+
+def test_fig8_precision(benchmark, preset):
+    result = benchmark.pedantic(
+        run_figure8,
+        kwargs={
+            "preset": preset,
+            "molecules": ("HF",),
+            "precisions": (0.1, 0.05, 0.03),
+            "seed": 7,
+            "max_tasks": 10,
+        },
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure8(result))
+    measured = [p for p in result.for_molecule("HF") if not p.inferred]
+    assert len(measured) == 3
+    # Finer precision means more tasks over the same bond range.
+    counts = [p.num_tasks for p in sorted(measured, key=lambda p: -p.precision)]
+    assert counts == sorted(counts)
+    # Savings at the finest measured precision are at least those at the coarsest (Fig. 8 trend).
+    ordered = sorted(measured, key=lambda p: -p.precision)
+    assert ordered[0].savings_ratio is not None and ordered[-1].savings_ratio is not None
+    assert ordered[-1].savings_ratio >= 0.8 * ordered[0].savings_ratio
+    # The paper's finest setting is inferred from the measured trend (shaded bar).
+    inferred = [p for p in result.for_molecule("HF") if p.inferred]
+    assert len(inferred) == 1 and inferred[0].precision == 0.001

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 9 (large-scale problems via Pauli propagation)."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import format_figure9, run_figure9
+
+
+def test_fig9_large_scale(benchmark):
+    result = benchmark.pedantic(
+        run_figure9,
+        kwargs={"preset": "fast", "benchmarks": ("Ising25", "C2H2"), "include_noisy": True, "seed": 11},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_figure9(result))
+    # Four bar groups: {Ising, C2H2} × {noiseless, noisy}.
+    assert len(result.benchmarks) == 4
+    by_key = {(b.benchmark, b.noisy): b for b in result.benchmarks}
+    for (_, _), group in by_key.items():
+        assert group.tasks, "every benchmark must produce per-task bars"
+        assert all(task.savings_ratio > 0 for task in group.tasks)
+    # TreeVQA shows shot savings on the large-scale Ising benchmark (noiseless).
+    assert by_key[("Ising25", False)].mean_savings() > 1.0
+    # Noise reduces but does not eliminate the savings (Fig. 9 observation).
+    assert by_key[("Ising25", True)].mean_savings() > 0.5

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 1 (chemistry benchmark characteristics)."""
+
+from __future__ import annotations
+
+from repro.evaluation.experiments import format_table1, run_table1
+
+
+def test_table1_benchmarks(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    print(format_table1(rows))
+    names = [row.molecule for row in rows]
+    assert names == ["H2", "LiH", "BeH2", "HF", "C2H2"]
+    # Relative ordering of problem sizes matches the paper.
+    sizes = {row.molecule: row.repro_num_terms for row in rows}
+    assert sizes["H2"] < sizes["LiH"] < sizes["BeH2"] < sizes["C2H2"]
+    paper_sizes = {row.molecule: row.paper_num_terms for row in rows}
+    assert paper_sizes == {"H2": 15, "LiH": 496, "BeH2": 810, "HF": 631, "C2H2": 5945}

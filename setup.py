@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment used for development has no ``wheel`` package, so
+PEP 517 editable installs fail; ``pip install -e . --no-use-pep517
+--no-build-isolation`` falls back to this file.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

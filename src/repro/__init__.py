@@ -1,0 +1,47 @@
+"""TreeVQA: a tree-structured execution framework for shot reduction in VQAs.
+
+Reproduction of Hou, Bharadwaj & Ravi (ASPLOS 2026).  Typical entry points:
+
+* :class:`repro.core.TreeVQAController` — run a family of VQA tasks with
+  tree-structured shared execution (the paper's contribution).
+* :class:`repro.core.IndependentVQABaseline` — the conventional one-task-at-a-
+  time baseline used for every comparison.
+* :mod:`repro.hamiltonians` — benchmark Hamiltonian families (molecules, spin
+  chains, MaxCut on the IEEE 14-bus system).
+* :mod:`repro.evaluation.experiments` — runners that regenerate every table
+  and figure of the paper's evaluation section.
+
+Subpackages are imported lazily so that ``import repro`` stays cheap.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+__version__ = "1.0.0"
+
+_SUBPACKAGES = (
+    "ansatz",
+    "applications",
+    "clustering",
+    "core",
+    "evaluation",
+    "hamiltonians",
+    "initialization",
+    "optimizers",
+    "quantum",
+)
+
+__all__ = ["__version__", *_SUBPACKAGES]
+
+
+def __getattr__(name: str):
+    if name in _SUBPACKAGES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_SUBPACKAGES))

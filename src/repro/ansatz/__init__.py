@@ -1,0 +1,19 @@
+"""Ansatz families: hardware-efficient, UCCSD, QAOA / ma-QAOA."""
+
+from .base import Ansatz
+from .evolution import append_pauli_rotation, pauli_rotation_circuit
+from .hardware_efficient import HardwareEfficientAnsatz
+from .qaoa import MultiAngleQAOAAnsatz, QAOAAnsatz
+from .ucc import UCCSDAnsatz, double_excitation_paulis, single_excitation_paulis
+
+__all__ = [
+    "Ansatz",
+    "append_pauli_rotation",
+    "pauli_rotation_circuit",
+    "HardwareEfficientAnsatz",
+    "MultiAngleQAOAAnsatz",
+    "QAOAAnsatz",
+    "UCCSDAnsatz",
+    "double_excitation_paulis",
+    "single_excitation_paulis",
+]

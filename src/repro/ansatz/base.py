@@ -1,0 +1,81 @@
+"""Common ansatz interface.
+
+An ansatz owns a parameterised :class:`~repro.quantum.circuit.QuantumCircuit`
+and knows how to bind a parameter vector and prepare the resulting state.
+TreeVQA clusters treat the ansatz as a black box (paper §5.2): all they need
+is the number of parameters and a way to evaluate expectation values at a
+parameter point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quantum.circuit import QuantumCircuit
+from ..quantum.statevector import Statevector
+
+__all__ = ["Ansatz"]
+
+
+class Ansatz:
+    """Base class for parameterised circuits used by VQE / QAOA."""
+
+    def __init__(self, num_qubits: int, name: str = "ansatz") -> None:
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be >= 1")
+        self.num_qubits = num_qubits
+        self.name = name
+        self._circuit: QuantumCircuit | None = None
+
+    # -- to be provided by subclasses ------------------------------------------
+
+    def build_circuit(self) -> QuantumCircuit:
+        """Construct the parameterised circuit (subclasses implement this)."""
+        raise NotImplementedError
+
+    # -- shared behaviour ----------------------------------------------------------
+
+    @property
+    def circuit(self) -> QuantumCircuit:
+        """The parameterised circuit (built lazily and cached)."""
+        if self._circuit is None:
+            self._circuit = self.build_circuit()
+        return self._circuit
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of free parameters."""
+        return self.circuit.num_parameters
+
+    def bound_circuit(self, parameters: np.ndarray) -> QuantumCircuit:
+        """Bind a parameter vector (ordered like ``circuit.parameters``)."""
+        values = np.asarray(parameters, dtype=float).ravel()
+        if values.size != self.num_parameters:
+            raise ValueError(
+                f"{self.name} expects {self.num_parameters} parameters, got {values.size}"
+            )
+        return self.circuit.bind(values)
+
+    def prepare_state(
+        self, parameters: np.ndarray, initial_state: Statevector | None = None
+    ) -> Statevector:
+        """Prepare |psi(theta)> from ``initial_state`` (default |0...0>)."""
+        state = initial_state or Statevector.zero_state(self.num_qubits)
+        return state.evolve(self.bound_circuit(parameters))
+
+    def initial_parameters(
+        self, rng: np.random.Generator | None = None, scale: float = 0.1
+    ) -> np.ndarray:
+        """Small random initial parameters (near the reference state)."""
+        rng = rng or np.random.default_rng()
+        return rng.normal(0.0, scale, size=self.num_parameters)
+
+    def zero_parameters(self) -> np.ndarray:
+        """The all-zero parameter vector (identity circuit for most ansatz)."""
+        return np.zeros(self.num_parameters)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(num_qubits={self.num_qubits}, "
+            f"num_parameters={self.num_parameters})"
+        )

@@ -1,0 +1,62 @@
+"""Pauli-exponential circuit construction.
+
+``exp(-i θ/2 P)`` for a Pauli string P is the building block of the UCCSD
+ansatz and the QAOA phasing layer: rotate every non-identity factor to the Z
+basis, entangle the support with a CX ladder, apply a single RZ carrying the
+parameter, then undo the ladder and the basis changes.
+"""
+
+from __future__ import annotations
+
+from ..quantum.circuit import ParamValue, QuantumCircuit
+from ..quantum.pauli import PauliString
+
+__all__ = ["append_pauli_rotation", "pauli_rotation_circuit"]
+
+
+def append_pauli_rotation(
+    circuit: QuantumCircuit, pauli: PauliString | str, angle: ParamValue
+) -> QuantumCircuit:
+    """Append exp(-i angle/2 · P) to ``circuit`` in place; returns the circuit."""
+    label = pauli.label if isinstance(pauli, PauliString) else pauli
+    if len(label) != circuit.num_qubits:
+        raise ValueError("Pauli length must equal the circuit qubit count")
+    support = [q for q, op in enumerate(label) if op != "I"]
+    if not support:
+        # exp(-i angle/2 · I) is a global phase: nothing to append.
+        return circuit
+
+    # Basis change: X -> H, Y -> Sdg;H so that the factor becomes Z.
+    for qubit in support:
+        op = label[qubit]
+        if op == "X":
+            circuit.h(qubit)
+        elif op == "Y":
+            circuit.sdg(qubit)
+            circuit.h(qubit)
+
+    if len(support) == 1:
+        circuit.rz(angle, support[0])
+    else:
+        for left, right in zip(support[:-1], support[1:]):
+            circuit.cx(left, right)
+        circuit.rz(angle, support[-1])
+        for left, right in reversed(list(zip(support[:-1], support[1:]))):
+            circuit.cx(left, right)
+
+    for qubit in support:
+        op = label[qubit]
+        if op == "X":
+            circuit.h(qubit)
+        elif op == "Y":
+            circuit.h(qubit)
+            circuit.s(qubit)
+    return circuit
+
+
+def pauli_rotation_circuit(
+    num_qubits: int, pauli: PauliString | str, angle: ParamValue
+) -> QuantumCircuit:
+    """A fresh circuit containing only exp(-i angle/2 · P)."""
+    circuit = QuantumCircuit(num_qubits, name="pauli-rotation")
+    return append_pauli_rotation(circuit, pauli, angle)

@@ -1,0 +1,83 @@
+"""Hardware-efficient ansatz (EfficientSU2 analogue).
+
+The paper's default ansatz (§7.4): per layer, RY and RZ rotations on every
+qubit followed by a ring ("circular") of CX entanglers; two layers for
+noiseless studies, five for the noisy studies of §8.7.  An optional initial
+bitstring (e.g. the Hartree–Fock occupation) is prepared with X gates before
+the variational layers.
+"""
+
+from __future__ import annotations
+
+from ..quantum.circuit import Parameter, QuantumCircuit
+from .base import Ansatz
+
+__all__ = ["HardwareEfficientAnsatz"]
+
+_ENTANGLEMENTS = ("circular", "linear", "full")
+
+
+class HardwareEfficientAnsatz(Ansatz):
+    """RY/RZ rotation layers with a configurable CX entanglement pattern."""
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_layers: int = 2,
+        *,
+        entanglement: str = "circular",
+        initial_bitstring: str | None = None,
+        final_rotation_layer: bool = True,
+    ) -> None:
+        super().__init__(num_qubits, name="hardware-efficient")
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        if entanglement not in _ENTANGLEMENTS:
+            raise ValueError(f"entanglement must be one of {_ENTANGLEMENTS}")
+        if initial_bitstring is not None and len(initial_bitstring) != num_qubits:
+            raise ValueError("initial_bitstring length must equal num_qubits")
+        self.num_layers = num_layers
+        self.entanglement = entanglement
+        self.initial_bitstring = initial_bitstring
+        self.final_rotation_layer = final_rotation_layer
+
+    def build_circuit(self) -> QuantumCircuit:
+        circuit = QuantumCircuit(self.num_qubits, name=self.name)
+        if self.initial_bitstring:
+            for qubit, bit in enumerate(self.initial_bitstring):
+                if bit == "1":
+                    circuit.x(qubit)
+        index = 0
+        for layer in range(self.num_layers):
+            index = self._rotation_layer(circuit, layer, index)
+            self._entanglement_layer(circuit)
+        if self.final_rotation_layer:
+            self._rotation_layer(circuit, self.num_layers, index)
+        return circuit
+
+    def _rotation_layer(self, circuit: QuantumCircuit, layer: int, index: int) -> int:
+        for qubit in range(self.num_qubits):
+            circuit.ry(Parameter(f"theta[{index}]"), qubit)
+            index += 1
+        for qubit in range(self.num_qubits):
+            circuit.rz(Parameter(f"theta[{index}]"), qubit)
+            index += 1
+        return index
+
+    def _entanglement_layer(self, circuit: QuantumCircuit) -> None:
+        if self.num_qubits == 1:
+            return
+        if self.entanglement == "linear":
+            pairs = [(q, q + 1) for q in range(self.num_qubits - 1)]
+        elif self.entanglement == "circular":
+            pairs = [(q, (q + 1) % self.num_qubits) for q in range(self.num_qubits)]
+            if self.num_qubits == 2:
+                pairs = [(0, 1)]
+        else:  # full
+            pairs = [
+                (a, b)
+                for a in range(self.num_qubits)
+                for b in range(a + 1, self.num_qubits)
+            ]
+        for control, target in pairs:
+            circuit.cx(control, target)

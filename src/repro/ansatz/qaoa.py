@@ -1,0 +1,115 @@
+"""QAOA and multi-angle QAOA (ma-QAOA) ansatz (paper §6).
+
+The cost Hamiltonian must be diagonal in the computational basis (I/Z Pauli
+factors only), as produced by :mod:`repro.hamiltonians.maxcut`.  Standard
+QAOA uses one γ per phasing layer and one β per mixing layer (2p parameters);
+ma-QAOA assigns an individual angle to every cost term and every mixer qubit
+((m + n)·p parameters), which is what TreeVQA uses for finer split control.
+"""
+
+from __future__ import annotations
+
+from ..quantum.circuit import Parameter, QuantumCircuit
+from ..quantum.pauli import PauliOperator, PauliString
+from .base import Ansatz
+
+__all__ = ["QAOAAnsatz", "MultiAngleQAOAAnsatz"]
+
+
+def _diagonal_terms(cost: PauliOperator) -> list[tuple[PauliString, float]]:
+    """Non-identity diagonal terms of the cost Hamiltonian, validated."""
+    terms = []
+    for pauli, coeff in cost.items():
+        if any(op in ("X", "Y") for op in pauli.label):
+            raise ValueError("QAOA cost Hamiltonian must be diagonal (I/Z terms only)")
+        if pauli.is_identity or coeff == 0:
+            continue
+        terms.append((pauli, float(coeff.real)))
+    return terms
+
+
+class QAOAAnsatz(Ansatz):
+    """Standard QAOA: alternating cost-phasing and X-mixer layers."""
+
+    def __init__(
+        self,
+        cost_hamiltonian: PauliOperator,
+        num_layers: int = 1,
+        *,
+        initial_state_plus: bool = True,
+    ) -> None:
+        super().__init__(cost_hamiltonian.num_qubits, name="qaoa")
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.cost_hamiltonian = cost_hamiltonian
+        self.num_layers = num_layers
+        self.initial_state_plus = initial_state_plus
+        self._diagonal = _diagonal_terms(cost_hamiltonian)
+
+    def build_circuit(self) -> QuantumCircuit:
+        circuit = QuantumCircuit(self.num_qubits, name=self.name)
+        if self.initial_state_plus:
+            for qubit in range(self.num_qubits):
+                circuit.h(qubit)
+        for layer in range(self.num_layers):
+            gamma = Parameter(f"gamma[{layer}]")
+            beta = Parameter(f"beta[{layer}]")
+            self._phasing_layer(circuit, gamma)
+            for qubit in range(self.num_qubits):
+                circuit.rx(beta * 2.0, qubit)
+        return circuit
+
+    def _phasing_layer(self, circuit: QuantumCircuit, gamma: Parameter) -> None:
+        for pauli, coeff in self._diagonal:
+            support = pauli.support()
+            angle = gamma * (2.0 * coeff)
+            self._append_phase(circuit, support, angle)
+
+    @staticmethod
+    def _append_phase(circuit: QuantumCircuit, support: tuple[int, ...], angle) -> None:
+        if len(support) == 1:
+            circuit.rz(angle, support[0])
+        elif len(support) == 2:
+            circuit.rzz(angle, support[0], support[1])
+        else:
+            # Z^{⊗k} phase via a CX ladder around a single RZ.
+            for left, right in zip(support[:-1], support[1:]):
+                circuit.cx(left, right)
+            circuit.rz(angle, support[-1])
+            for left, right in reversed(list(zip(support[:-1], support[1:]))):
+                circuit.cx(left, right)
+
+
+class MultiAngleQAOAAnsatz(QAOAAnsatz):
+    """ma-QAOA: one angle per cost clause and per mixer qubit, per layer."""
+
+    def __init__(
+        self,
+        cost_hamiltonian: PauliOperator,
+        num_layers: int = 1,
+        *,
+        initial_state_plus: bool = True,
+    ) -> None:
+        super().__init__(
+            cost_hamiltonian, num_layers, initial_state_plus=initial_state_plus
+        )
+        self.name = "ma-qaoa"
+
+    def build_circuit(self) -> QuantumCircuit:
+        circuit = QuantumCircuit(self.num_qubits, name=self.name)
+        if self.initial_state_plus:
+            for qubit in range(self.num_qubits):
+                circuit.h(qubit)
+        for layer in range(self.num_layers):
+            for clause_index, (pauli, coeff) in enumerate(self._diagonal):
+                gamma = Parameter(f"gamma[{layer}][{clause_index}]")
+                self._append_phase(circuit, pauli.support(), gamma * (2.0 * coeff))
+            for qubit in range(self.num_qubits):
+                beta = Parameter(f"beta[{layer}][{qubit}]")
+                circuit.rx(beta * 2.0, qubit)
+        return circuit
+
+    @property
+    def parameters_per_layer(self) -> int:
+        """m + n parameters per layer (clauses + mixer qubits)."""
+        return len(self._diagonal) + self.num_qubits

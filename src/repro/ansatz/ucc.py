@@ -1,0 +1,130 @@
+"""Unitary coupled-cluster singles-and-doubles (UCCSD) ansatz.
+
+Used by the paper for the small H2 benchmark (§7.1).  Excitation operators
+are mapped to Pauli strings via the Jordan–Wigner convention and implemented
+as Pauli-exponential rotations, with one parameter shared by all the Pauli
+terms of a given excitation (the standard Trotterised UCCSD form).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..quantum.circuit import Parameter, QuantumCircuit
+from ..quantum.pauli import PauliString
+from .base import Ansatz
+from .evolution import append_pauli_rotation
+
+__all__ = ["UCCSDAnsatz", "single_excitation_paulis", "double_excitation_paulis"]
+
+
+def _z_chain(num_qubits: int, start: int, stop: int) -> dict[int, str]:
+    """Jordan–Wigner Z string on qubits strictly between ``start`` and ``stop``."""
+    return {q: "Z" for q in range(start + 1, stop)}
+
+
+def single_excitation_paulis(num_qubits: int, occupied: int, virtual: int) -> list[tuple[str, float]]:
+    """Pauli decomposition of the anti-Hermitian single excitation a†_v a_o - h.c.
+
+    Returns ``(label, sign)`` pairs; the excitation generator is
+    ``(i/2) Σ sign · P`` so each pair becomes one parameterised Pauli rotation.
+    """
+    if occupied == virtual:
+        raise ValueError("occupied and virtual indices must differ")
+    low, high = sorted((occupied, virtual))
+    chain = _z_chain(num_qubits, low, high)
+    yx = PauliString.from_sparse(num_qubits, {low: "Y", high: "X", **chain})
+    xy = PauliString.from_sparse(num_qubits, {low: "X", high: "Y", **chain})
+    return [(yx.label, 0.5), (xy.label, -0.5)]
+
+
+def double_excitation_paulis(
+    num_qubits: int, occupied: tuple[int, int], virtual: tuple[int, int]
+) -> list[tuple[str, float]]:
+    """Pauli decomposition of the double excitation a†_v1 a†_v2 a_o2 a_o1 - h.c."""
+    o1, o2 = sorted(occupied)
+    v1, v2 = sorted(virtual)
+    indices = (o1, o2, v1, v2)
+    if len(set(indices)) != 4:
+        raise ValueError("double excitation requires four distinct orbitals")
+    chain = {**_z_chain(num_qubits, o1, o2), **_z_chain(num_qubits, v1, v2)}
+    # The eight standard JW terms of the double-excitation generator.
+    patterns = [
+        ("X", "X", "Y", "X", 0.125),
+        ("Y", "X", "Y", "Y", 0.125),
+        ("X", "Y", "Y", "Y", 0.125),
+        ("X", "X", "X", "Y", 0.125),
+        ("Y", "X", "X", "X", -0.125),
+        ("X", "Y", "X", "X", -0.125),
+        ("Y", "Y", "Y", "X", -0.125),
+        ("Y", "Y", "X", "Y", -0.125),
+    ]
+    terms = []
+    for p1, p2, p3, p4, sign in patterns:
+        factors = {o1: p1, o2: p2, v1: p3, v2: p4, **chain}
+        terms.append((PauliString.from_sparse(num_qubits, factors).label, sign))
+    return terms
+
+
+class UCCSDAnsatz(Ansatz):
+    """Trotterised UCCSD on a Hartree–Fock reference state.
+
+    ``num_particles`` spin-orbitals are considered occupied (qubits 0 .. n_p-1,
+    the Jordan–Wigner occupation-number convention with the HF determinant as
+    the lowest orbitals).
+    """
+
+    def __init__(
+        self,
+        num_qubits: int,
+        num_particles: int,
+        *,
+        include_doubles: bool = True,
+        reference_bitstring: str | None = None,
+    ) -> None:
+        super().__init__(num_qubits, name="uccsd")
+        if not 0 < num_particles < num_qubits:
+            raise ValueError("num_particles must be in (0, num_qubits)")
+        self.num_particles = num_particles
+        self.include_doubles = include_doubles
+        self.reference_bitstring = reference_bitstring or (
+            "1" * num_particles + "0" * (num_qubits - num_particles)
+        )
+        if len(self.reference_bitstring) != num_qubits:
+            raise ValueError("reference_bitstring length must equal num_qubits")
+        self._excitations = self._enumerate_excitations()
+
+    @property
+    def excitations(self) -> list[tuple[str, list[tuple[str, float]]]]:
+        """The (name, pauli-terms) list, one entry per variational parameter."""
+        return list(self._excitations)
+
+    def _enumerate_excitations(self) -> list[tuple[str, list[tuple[str, float]]]]:
+        occupied = list(range(self.num_particles))
+        virtual = list(range(self.num_particles, self.num_qubits))
+        excitations: list[tuple[str, list[tuple[str, float]]]] = []
+        for o in occupied:
+            for v in virtual:
+                excitations.append((f"s_{o}->{v}", single_excitation_paulis(self.num_qubits, o, v)))
+        if self.include_doubles:
+            for o1, o2 in combinations(occupied, 2):
+                for v1, v2 in combinations(virtual, 2):
+                    excitations.append(
+                        (
+                            f"d_{o1},{o2}->{v1},{v2}",
+                            double_excitation_paulis(self.num_qubits, (o1, o2), (v1, v2)),
+                        )
+                    )
+        return excitations
+
+    def build_circuit(self) -> QuantumCircuit:
+        circuit = QuantumCircuit(self.num_qubits, name=self.name)
+        for qubit, bit in enumerate(self.reference_bitstring):
+            if bit == "1":
+                circuit.x(qubit)
+        for name, terms in self._excitations:
+            parameter = Parameter(name)
+            for label, sign in terms:
+                # exp(-i (sign * theta) P): fold the sign into the angle expression.
+                append_pauli_rotation(circuit, label, parameter * (2.0 * sign))
+        return circuit

@@ -1,0 +1,14 @@
+"""Application-level wrappers: PES scans and generic energy landscapes."""
+
+from .landscape import EnergyLandscape, LandscapePoint, run_landscape
+from .pes import PESCurve, PESPoint, build_pes_tasks, run_pes_scan
+
+__all__ = [
+    "EnergyLandscape",
+    "LandscapePoint",
+    "run_landscape",
+    "PESCurve",
+    "PESPoint",
+    "build_pes_tasks",
+    "run_pes_scan",
+]

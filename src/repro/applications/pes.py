@@ -1,0 +1,124 @@
+"""Potential-energy-surface (PES) scan applications (paper §2.3).
+
+A PES scan is the canonical multi-task VQA application: one VQA task per
+molecular geometry, whose ground-state energies trace the dissociation curve.
+These helpers build task families at a chosen precision (bond-length step
+size), run TreeVQA and/or the baseline, and assemble the resulting curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ansatz import HardwareEfficientAnsatz
+from ..core import IndependentVQABaseline, RunResult, TreeVQAConfig, TreeVQAController, VQATask
+from ..hamiltonians.molecular import MolecularFamily, get_molecule
+from ..quantum.exact import ground_state_energy
+
+__all__ = ["PESPoint", "PESCurve", "build_pes_tasks", "run_pes_scan"]
+
+
+@dataclass(frozen=True)
+class PESPoint:
+    """One point of the potential energy surface."""
+
+    bond_length: float
+    energy: float
+    exact_energy: float
+
+    @property
+    def error(self) -> float:
+        return abs(self.energy - self.exact_energy)
+
+
+@dataclass
+class PESCurve:
+    """A computed potential energy surface."""
+
+    molecule: str
+    points: list[PESPoint]
+    total_shots: int
+    method: str
+
+    def equilibrium(self) -> PESPoint:
+        """The scan point with the lowest computed energy."""
+        return min(self.points, key=lambda point: point.energy)
+
+    def max_error(self) -> float:
+        return max(point.error for point in self.points)
+
+    def energies(self) -> np.ndarray:
+        return np.array([point.energy for point in self.points])
+
+
+def build_pes_tasks(
+    molecule: str,
+    *,
+    precision: float = 0.03,
+    bond_range: tuple[float, float] | None = None,
+) -> tuple[list[VQATask], MolecularFamily]:
+    """Tasks for a PES scan at the requested precision (bond-length step, Å).
+
+    Smaller ``precision`` means more tasks over the same range — the Fig. 8
+    knob.
+    """
+    if precision <= 0:
+        raise ValueError("precision must be positive")
+    spec = get_molecule(molecule)
+    family = MolecularFamily(spec)
+    low, high = bond_range if bond_range is not None else spec.bond_range
+    if high < low:
+        raise ValueError("bond_range must be increasing")
+    num_points = max(2, int(round((high - low) / precision)) + 1)
+    lengths = np.linspace(low, high, num_points)
+    bitstring = family.hartree_fock_bitstring()
+    tasks = [
+        VQATask(
+            name=f"{spec.name}@{length:.4f}",
+            hamiltonian=family.hamiltonian(float(length)),
+            scan_parameter=float(length),
+            initial_bitstring=bitstring,
+            metadata={"molecule": spec.name, "bond_length": float(length), "precision": precision},
+        )
+        for length in lengths
+    ]
+    return tasks, family
+
+
+def run_pes_scan(
+    molecule: str,
+    *,
+    precision: float = 0.03,
+    bond_range: tuple[float, float] | None = None,
+    config: TreeVQAConfig | None = None,
+    method: str = "treevqa",
+    ansatz_layers: int = 2,
+) -> PESCurve:
+    """Compute a PES with TreeVQA (default) or the independent baseline."""
+    tasks, family = build_pes_tasks(molecule, precision=precision, bond_range=bond_range)
+    config = config or TreeVQAConfig(max_rounds=150)
+    ansatz = HardwareEfficientAnsatz(
+        family.num_qubits, num_layers=ansatz_layers, initial_bitstring=family.hartree_fock_bitstring()
+    )
+    if method == "treevqa":
+        result: RunResult = TreeVQAController(tasks, ansatz, config).run()
+    elif method == "baseline":
+        result = IndependentVQABaseline(tasks, ansatz, config).run()
+    else:
+        raise ValueError("method must be 'treevqa' or 'baseline'")
+    points = []
+    for outcome in result.outcomes:
+        exact = ground_state_energy(outcome.task.hamiltonian)
+        points.append(
+            PESPoint(
+                bond_length=float(outcome.task.scan_parameter or 0.0),
+                energy=outcome.energy,
+                exact_energy=exact,
+            )
+        )
+    points.sort(key=lambda point: point.bond_length)
+    return PESCurve(
+        molecule=molecule, points=points, total_shots=result.total_shots, method=method
+    )

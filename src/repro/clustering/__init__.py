@@ -1,0 +1,6 @@
+"""Spectral clustering and k-means used for TreeVQA cluster splitting."""
+
+from .kmeans import kmeans
+from .spectral import normalized_laplacian, spectral_clustering, spectral_embedding
+
+__all__ = ["kmeans", "normalized_laplacian", "spectral_clustering", "spectral_embedding"]

@@ -1,0 +1,83 @@
+"""Minimal k-means used by spectral clustering (von Luxburg 2007, §4)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kmeans"]
+
+
+def kmeans(
+    points: np.ndarray,
+    num_clusters: int,
+    *,
+    num_restarts: int = 8,
+    max_iterations: int = 100,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Cluster rows of ``points`` into ``num_clusters`` groups; returns labels.
+
+    Lloyd's algorithm with k-means++ seeding and multiple restarts; the run
+    with the lowest within-cluster sum of squares wins.  Deterministic for a
+    fixed ``seed``.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    num_points = points.shape[0]
+    if not 1 <= num_clusters <= num_points:
+        raise ValueError("num_clusters must be in [1, number of points]")
+    if num_clusters == 1:
+        return np.zeros(num_points, dtype=int)
+    if num_clusters == num_points:
+        return np.arange(num_points)
+
+    rng = np.random.default_rng(seed)
+    best_labels = np.zeros(num_points, dtype=int)
+    best_inertia = np.inf
+    for _ in range(num_restarts):
+        centers = _kmeans_plus_plus(points, num_clusters, rng)
+        labels = np.zeros(num_points, dtype=int)
+        for _ in range(max_iterations):
+            distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+            new_labels = distances.argmin(axis=1)
+            if np.array_equal(new_labels, labels) and _ > 0:
+                break
+            labels = new_labels
+            for cluster in range(num_clusters):
+                members = points[labels == cluster]
+                if len(members):
+                    centers[cluster] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the point farthest from its center.
+                    farthest = distances.min(axis=1).argmax()
+                    centers[cluster] = points[farthest]
+        inertia = float(
+            sum(
+                np.linalg.norm(points[labels == cluster] - centers[cluster]) ** 2
+                for cluster in range(num_clusters)
+            )
+        )
+        if inertia < best_inertia:
+            best_inertia = inertia
+            best_labels = labels.copy()
+    return best_labels
+
+
+def _kmeans_plus_plus(
+    points: np.ndarray, num_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ center initialisation."""
+    num_points = points.shape[0]
+    centers = [points[rng.integers(num_points)]]
+    for _ in range(1, num_clusters):
+        distances = np.min(
+            [np.linalg.norm(points - center, axis=1) ** 2 for center in centers], axis=0
+        )
+        total = distances.sum()
+        if total == 0:
+            centers.append(points[rng.integers(num_points)])
+            continue
+        probabilities = distances / total
+        centers.append(points[rng.choice(num_points, p=probabilities)])
+    return np.array(centers, dtype=float)

@@ -1,0 +1,82 @@
+"""Normalised spectral clustering (von Luxburg 2007), used for cluster splits.
+
+TreeVQA partitions a cluster's Hamiltonians by building the symmetric
+normalised Laplacian of the similarity matrix, taking its lowest
+eigenvectors, and running k-means in that embedding (paper §5.2.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kmeans import kmeans
+
+__all__ = ["spectral_clustering", "normalized_laplacian", "spectral_embedding"]
+
+
+def normalized_laplacian(similarity: np.ndarray) -> np.ndarray:
+    """Symmetric normalised Laplacian L_sym = I − D^{-1/2} S D^{-1/2}."""
+    similarity = _validated_similarity(similarity)
+    degrees = similarity.sum(axis=1)
+    inverse_sqrt = np.where(degrees > 0, 1.0 / np.sqrt(degrees), 0.0)
+    normalized = similarity * inverse_sqrt[:, None] * inverse_sqrt[None, :]
+    return np.eye(similarity.shape[0]) - normalized
+
+
+def spectral_embedding(similarity: np.ndarray, num_components: int) -> np.ndarray:
+    """Rows are points embedded by the lowest Laplacian eigenvectors (row-normalised)."""
+    laplacian = normalized_laplacian(similarity)
+    eigenvalues, eigenvectors = np.linalg.eigh(laplacian)
+    order = np.argsort(eigenvalues)
+    embedding = eigenvectors[:, order[:num_components]]
+    norms = np.linalg.norm(embedding, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    return embedding / norms
+
+
+def spectral_clustering(
+    similarity: np.ndarray, num_clusters: int = 2, *, seed: int | None = None
+) -> np.ndarray:
+    """Partition items into ``num_clusters`` groups from a similarity matrix.
+
+    Returns an integer label per item.  Guarantees every label is non-empty
+    (falls back to splitting off the least-similar item when k-means collapses
+    to a single group).
+    """
+    similarity = _validated_similarity(similarity)
+    num_items = similarity.shape[0]
+    if not 1 <= num_clusters <= num_items:
+        raise ValueError("num_clusters must be in [1, number of items]")
+    if num_clusters == 1:
+        return np.zeros(num_items, dtype=int)
+    embedding = spectral_embedding(similarity, num_clusters)
+    labels = kmeans(embedding, num_clusters, seed=seed)
+    labels = _ensure_all_labels_used(labels, similarity, num_clusters)
+    return labels
+
+
+def _ensure_all_labels_used(
+    labels: np.ndarray, similarity: np.ndarray, num_clusters: int
+) -> np.ndarray:
+    labels = labels.copy()
+    used = set(labels.tolist())
+    missing = [label for label in range(num_clusters) if label not in used]
+    if not missing:
+        return labels
+    # Move the items with the lowest average similarity into the empty labels.
+    average_similarity = similarity.mean(axis=1)
+    candidates = np.argsort(average_similarity)
+    for label, candidate in zip(missing, candidates):
+        labels[candidate] = label
+    return labels
+
+
+def _validated_similarity(similarity: np.ndarray) -> np.ndarray:
+    similarity = np.asarray(similarity, dtype=float)
+    if similarity.ndim != 2 or similarity.shape[0] != similarity.shape[1]:
+        raise ValueError("similarity must be a square matrix")
+    if not np.allclose(similarity, similarity.T, atol=1e-9):
+        raise ValueError("similarity matrix must be symmetric")
+    if np.any(similarity < -1e-12):
+        raise ValueError("similarity entries must be non-negative")
+    return np.clip(similarity, 0.0, None)

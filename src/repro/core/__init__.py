@@ -1,0 +1,66 @@
+"""TreeVQA core: clusters, controller, baseline, similarity, shot accounting."""
+
+from .baseline import IndependentBaselineResult, IndependentVQABaseline
+from .cluster import ClusterStepRecord, VQACluster
+from .config import TreeVQAConfig
+from .controller import TreeVQAController
+from .mixed_hamiltonian import MixedHamiltonian, build_mixed_hamiltonian
+from .monitor import SlopeMonitor, SlopeReport, linear_regression_slope
+from .postprocess import PostProcessSelection, select_best_states
+from .results import BaselineResult, RunResult, TaskOutcome, TaskTrajectory, TreeVQAResult
+from .shots import (
+    DEFAULT_SHOTS_PER_PAULI_TERM,
+    ShotLedger,
+    ShotRecord,
+    shots_for_run,
+    shots_per_evaluation,
+)
+from .similarity import (
+    coefficient_l1_distance,
+    distance_matrix,
+    gaussian_similarity,
+    ground_state_overlap_matrix,
+    normalize_matrix,
+    similarity_matrix,
+)
+from .splitting import SplitDecision, assign_split_groups, evaluate_split_condition
+from .task import VQATask
+from .tree import ExecutionTree, TreeNode
+
+__all__ = [
+    "IndependentBaselineResult",
+    "IndependentVQABaseline",
+    "ClusterStepRecord",
+    "VQACluster",
+    "TreeVQAConfig",
+    "TreeVQAController",
+    "MixedHamiltonian",
+    "build_mixed_hamiltonian",
+    "SlopeMonitor",
+    "SlopeReport",
+    "linear_regression_slope",
+    "PostProcessSelection",
+    "select_best_states",
+    "BaselineResult",
+    "RunResult",
+    "TaskOutcome",
+    "TaskTrajectory",
+    "TreeVQAResult",
+    "DEFAULT_SHOTS_PER_PAULI_TERM",
+    "ShotLedger",
+    "ShotRecord",
+    "shots_for_run",
+    "shots_per_evaluation",
+    "coefficient_l1_distance",
+    "distance_matrix",
+    "gaussian_similarity",
+    "ground_state_overlap_matrix",
+    "normalize_matrix",
+    "similarity_matrix",
+    "SplitDecision",
+    "assign_split_groups",
+    "evaluate_split_condition",
+    "VQATask",
+    "ExecutionTree",
+    "TreeNode",
+]

@@ -1,0 +1,249 @@
+"""The VQA cluster: joint optimisation of a set of similar tasks (paper §5.2).
+
+A cluster owns a subset of the application's tasks, their mixed Hamiltonian,
+one optimizer instance, and a slope monitor.  Each :meth:`VQACluster.step`
+performs one VQA iteration on the mixed Hamiltonian (Algorithm 2 line 5),
+recombines the measured Pauli-term expectation values into every member
+task's loss at zero extra quantum cost (line 6), feeds the slope monitor, and
+reports the shot charge.  :meth:`VQACluster.split` performs the spectral-
+clustering split of §5.2.5 with parameter inheritance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ansatz.base import Ansatz
+from ..optimizers.base import IterativeOptimizer
+from ..quantum.sampling import BaseEstimator
+from ..quantum.statevector import Statevector
+from .config import TreeVQAConfig
+from .mixed_hamiltonian import MixedHamiltonian, build_mixed_hamiltonian
+from .monitor import SlopeMonitor, SlopeReport
+from .shots import shots_per_evaluation
+from .similarity import similarity_matrix
+from .splitting import SplitDecision, assign_split_groups, evaluate_split_condition
+from .task import VQATask
+
+__all__ = ["ClusterStepRecord", "VQACluster"]
+
+
+@dataclass(frozen=True)
+class ClusterStepRecord:
+    """Outcome of one cluster iteration.
+
+    ``individual_losses`` are the member-task energies at the *updated*
+    parameters θ_t, obtained by classically recombining the per-term
+    expectation values of the shared state (paper §5.2.2/§5.3 — no additional
+    quantum cost); ``mixed_loss`` is their cluster average.
+    ``optimizer_loss`` is the optimizer's own loss estimate for the step
+    (e.g. the mean of SPSA's two perturbed evaluations).
+    """
+
+    cluster_id: str
+    iteration: int
+    mixed_loss: float
+    individual_losses: dict[str, float]
+    shots: int
+    num_evaluations: int
+    optimizer_loss: float = 0.0
+    parameters: np.ndarray = field(repr=False, default=None)
+
+
+class VQACluster:
+    """Jointly optimise a shared ansatz state over a set of task Hamiltonians."""
+
+    def __init__(
+        self,
+        cluster_id: str,
+        tasks: list[VQATask],
+        ansatz: Ansatz,
+        optimizer: IterativeOptimizer,
+        estimator: BaseEstimator,
+        config: TreeVQAConfig,
+        initial_parameters: np.ndarray,
+        *,
+        level: int = 1,
+    ) -> None:
+        if not tasks:
+            raise ValueError("a cluster needs at least one task")
+        qubit_counts = {task.num_qubits for task in tasks}
+        if len(qubit_counts) != 1:
+            raise ValueError("all tasks in a cluster must share the qubit count")
+        if ansatz.num_qubits != tasks[0].num_qubits:
+            raise ValueError("ansatz qubit count must match the tasks")
+        bitstrings = {task.initial_bitstring for task in tasks}
+        if len(bitstrings) != 1:
+            raise ValueError("all tasks in a cluster must share the initial state")
+
+        self.cluster_id = cluster_id
+        self.tasks = list(tasks)
+        self.ansatz = ansatz
+        self.optimizer = optimizer
+        self.estimator = estimator
+        self.config = config
+        self.level = level
+        self.retired = False
+        self.iterations = 0
+        self.shots_used = 0
+
+        self.mixed: MixedHamiltonian = build_mixed_hamiltonian(
+            [task.hamiltonian for task in tasks]
+        )
+        self.monitor = SlopeMonitor(
+            num_tasks=len(tasks),
+            window_size=config.window_size,
+            warmup_iterations=config.warmup_iterations,
+        )
+        self._similarity = (
+            similarity_matrix([task.hamiltonian for task in tasks]) if len(tasks) > 1 else None
+        )
+        self._initial_state = tasks[0].initial_state()
+        self._parameters = np.asarray(initial_parameters, dtype=float).copy()
+        if self._parameters.size != ansatz.num_parameters:
+            raise ValueError(
+                f"expected {ansatz.num_parameters} initial parameters, got {self._parameters.size}"
+            )
+        self.optimizer.reset(self._parameters)
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def task_names(self) -> list[str]:
+        return [task.name for task in self.tasks]
+
+    @property
+    def parameters(self) -> np.ndarray:
+        """Current ansatz parameters."""
+        return self._parameters.copy()
+
+    @property
+    def similarity(self) -> np.ndarray | None:
+        """Pairwise similarity matrix of the member Hamiltonians (None for singletons)."""
+        return None if self._similarity is None else self._similarity.copy()
+
+    @property
+    def initial_state(self) -> Statevector:
+        return self._initial_state
+
+    def shots_per_evaluation(self) -> int:
+        """Shot cost of one mixed-Hamiltonian evaluation."""
+        return shots_per_evaluation(self.mixed.operator, self.config.shots_per_pauli_term)
+
+    def prepare_state(self, parameters: np.ndarray | None = None) -> Statevector:
+        """|psi(theta)> for the cluster's current (or given) parameters."""
+        values = self._parameters if parameters is None else np.asarray(parameters, dtype=float)
+        return self.ansatz.prepare_state(values, self._initial_state)
+
+    # -- optimisation --------------------------------------------------------------
+
+    def _objective(self, parameters: np.ndarray) -> float:
+        """Mixed-Hamiltonian loss charged to the quantum estimator."""
+        circuit = self.ansatz.bound_circuit(parameters)
+        result = self.estimator.estimate(circuit, self.mixed.operator, self._initial_state)
+        return result.value
+
+    def _individual_energies(self) -> np.ndarray:
+        """Member-task energies at the current parameters.
+
+        One shared state is prepared, every basis Pauli term is evaluated once,
+        and the per-task energies are classical dot products with the padded
+        coefficient vectors (the §5.3 recombination; zero shot cost).
+        """
+        state = self.prepare_state()
+        term_values = {pauli: state.pauli_expectation(pauli) for pauli in self.mixed.basis}
+        return self.mixed.individual_values(term_values)
+
+    def step(self) -> ClusterStepRecord:
+        """One VQA iteration on the mixed Hamiltonian (Algorithm 2, lines 5-10)."""
+        if self.retired:
+            raise RuntimeError(f"cluster {self.cluster_id} is retired")
+        step = self.optimizer.step(self._objective)
+        self._parameters = np.asarray(step.parameters, dtype=float)
+        individual = self._individual_energies()
+        mixed_loss = float(np.mean(individual))
+        self.monitor.record(mixed_loss, individual)
+        shots = step.num_evaluations * self.shots_per_evaluation()
+        self.iterations += 1
+        self.shots_used += shots
+        return ClusterStepRecord(
+            cluster_id=self.cluster_id,
+            iteration=self.iterations,
+            mixed_loss=mixed_loss,
+            individual_losses=dict(zip(self.task_names, individual.tolist())),
+            shots=shots,
+            num_evaluations=step.num_evaluations,
+            optimizer_loss=step.loss,
+            parameters=self._parameters.copy(),
+        )
+
+    # -- splitting -----------------------------------------------------------------
+
+    def slope_report(self) -> SlopeReport:
+        """Current sliding-window slope report."""
+        return self.monitor.report()
+
+    def split_decision(self) -> SplitDecision:
+        """Evaluate the §5.2.3 split conditions for this cluster."""
+        if self.num_tasks <= self.config.min_cluster_size:
+            return SplitDecision.no_split("cluster at minimum size")
+        if self.config.forced_split_iteration is not None:
+            # Forced splits (the §9.1 split-timing study) apply to root-level
+            # clusters only, so exactly one split happens per root.
+            if self.level > 1:
+                return SplitDecision.no_split("forced splits apply to root clusters only")
+            if self.iterations >= self.config.forced_split_iteration:
+                return SplitDecision(True, f"forced split at iteration {self.iterations}")
+            return SplitDecision.no_split("before forced split point")
+        if self.config.disable_automatic_splits:
+            return SplitDecision.no_split("automatic splits disabled")
+        if self.iterations % self.config.split_check_every != 0:
+            return SplitDecision.no_split("not a split-check iteration")
+        return evaluate_split_condition(
+            self.monitor.report(),
+            self.config.epsilon_split,
+            individual_slope_threshold=self.config.individual_slope_threshold,
+        )
+
+    def split(self, *, seed: int | None = None) -> list["VQACluster"]:
+        """Split into child clusters via spectral clustering (§5.2.5).
+
+        Children inherit the parent's parameters (warm start) and level + 1;
+        the parent is marked retired.
+        """
+        if self.num_tasks < 2:
+            raise ValueError("cannot split a singleton cluster")
+        assert self._similarity is not None
+        groups = assign_split_groups(
+            self._similarity,
+            num_groups=min(self.config.num_split_children, self.num_tasks),
+            seed=self.config.seed if seed is None else seed,
+        )
+        children = []
+        for child_index, indices in enumerate(groups):
+            child_tasks = [self.tasks[i] for i in indices]
+            child = VQACluster(
+                cluster_id=f"{self.cluster_id}.{child_index}",
+                tasks=child_tasks,
+                ansatz=self.ansatz,
+                optimizer=self.config.make_optimizer(),
+                estimator=self.estimator,
+                config=self.config,
+                initial_parameters=self._parameters,
+                level=self.level + 1,
+            )
+            children.append(child)
+        self.retired = True
+        return children
+
+    def __repr__(self) -> str:
+        return (
+            f"VQACluster(id={self.cluster_id!r}, tasks={self.num_tasks}, "
+            f"level={self.level}, iterations={self.iterations}, retired={self.retired})"
+        )

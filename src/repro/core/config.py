@@ -1,0 +1,122 @@
+"""TreeVQA configuration (paper §5, §7.3, §9.1).
+
+All tunables of the framework live here: the shot ledger rate (4096 per Pauli
+term per evaluation), the slope monitor's warm-up and window size, the split
+threshold ε_split, the optimizer and estimator choices, and the knobs used by
+the hyper-parameter studies of §9.1 (forced split timing, disabled automatic
+splits).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from ..optimizers import COBYLA, SPSA, IterativeOptimizer
+from ..quantum.sampling import BaseEstimator, ExactEstimator, SamplingEstimator, ShotNoiseEstimator
+from .shots import DEFAULT_SHOTS_PER_PAULI_TERM
+
+__all__ = ["TreeVQAConfig"]
+
+_OPTIMIZERS: dict[str, type[IterativeOptimizer]] = {"spsa": SPSA, "cobyla": COBYLA}
+_ESTIMATORS: dict[str, type[BaseEstimator]] = {
+    "exact": ExactEstimator,
+    "shot_noise": ShotNoiseEstimator,
+    "sampling": SamplingEstimator,
+}
+
+
+@dataclass
+class TreeVQAConfig:
+    """Execution configuration shared by TreeVQA and the baseline.
+
+    Attributes:
+        max_total_shots: Global shot budget S_max (Algorithm 1).  ``None``
+            means "until max_rounds".
+        max_rounds: Maximum number of controller rounds (each active cluster
+            performs one VQA iteration per round).
+        shots_per_pauli_term: Shots charged per Pauli term per evaluation
+            (§7.3; 4096 by default).
+        warmup_iterations: Iterations before the slope monitor may trigger a
+            split (§5.2.2).
+        window_size: Sliding-window length W for the slope regressions.
+        epsilon_split: Stall threshold ε_split on the mixed-loss slope.
+        individual_slope_threshold: Threshold on per-task slopes (0.0
+            reproduces the paper's "any slope_i > 0" condition).
+        split_check_every: Check the split condition every k iterations.
+        num_split_children: Number of children per split (2 in the paper).
+        min_cluster_size: Clusters at or below this size never split.
+        optimizer: ``"spsa"`` or ``"cobyla"`` (or supply ``optimizer_factory``).
+        optimizer_kwargs: Keyword arguments forwarded to the optimizer.
+        optimizer_factory: Optional callable overriding optimizer creation.
+        estimator: ``"exact"``, ``"shot_noise"`` or ``"sampling"``.
+        forced_split_iteration: §9.1 study — force exactly one split at this
+            cluster iteration.
+        disable_automatic_splits: §9.1 study — suppress condition-based splits.
+        record_trajectory: Record per-task energy/shots trajectories (needed
+            by every figure; disable only for micro-benchmarks).
+        seed: Seed for optimizers, estimators and spectral clustering.
+    """
+
+    max_total_shots: int | None = None
+    max_rounds: int = 200
+    shots_per_pauli_term: int = DEFAULT_SHOTS_PER_PAULI_TERM
+    warmup_iterations: int = 20
+    window_size: int = 10
+    epsilon_split: float = 1e-3
+    individual_slope_threshold: float = 0.0
+    split_check_every: int = 1
+    num_split_children: int = 2
+    min_cluster_size: int = 1
+    optimizer: str = "spsa"
+    optimizer_kwargs: dict = field(default_factory=dict)
+    optimizer_factory: Callable[[], IterativeOptimizer] | None = None
+    estimator: str = "exact"
+    estimator_factory: Callable[[], BaseEstimator] | None = None
+    forced_split_iteration: int | None = None
+    disable_automatic_splits: bool = False
+    record_trajectory: bool = True
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if self.max_total_shots is not None and self.max_total_shots < 1:
+            raise ValueError("max_total_shots must be positive when set")
+        if self.shots_per_pauli_term < 1:
+            raise ValueError("shots_per_pauli_term must be >= 1")
+        if self.window_size < 2:
+            raise ValueError("window_size must be >= 2")
+        if self.warmup_iterations < 0:
+            raise ValueError("warmup_iterations must be >= 0")
+        if self.epsilon_split < 0:
+            raise ValueError("epsilon_split must be >= 0")
+        if self.num_split_children < 2:
+            raise ValueError("num_split_children must be >= 2")
+        if self.min_cluster_size < 1:
+            raise ValueError("min_cluster_size must be >= 1")
+        if self.split_check_every < 1:
+            raise ValueError("split_check_every must be >= 1")
+        if self.optimizer_factory is None and self.optimizer not in _OPTIMIZERS:
+            raise ValueError(f"unknown optimizer {self.optimizer!r}; choose from {sorted(_OPTIMIZERS)}")
+        if self.estimator not in _ESTIMATORS:
+            raise ValueError(f"unknown estimator {self.estimator!r}; choose from {sorted(_ESTIMATORS)}")
+
+    # -- factories -------------------------------------------------------------
+
+    def make_optimizer(self) -> IterativeOptimizer:
+        """Construct a fresh optimizer instance (one per cluster / baseline task)."""
+        if self.optimizer_factory is not None:
+            return self.optimizer_factory()
+        kwargs = dict(self.optimizer_kwargs)
+        if self.optimizer == "spsa" and "seed" not in kwargs:
+            kwargs["seed"] = self.seed
+        return _OPTIMIZERS[self.optimizer](**kwargs)
+
+    def make_estimator(self) -> BaseEstimator:
+        """Construct the expectation-value estimator."""
+        if self.estimator_factory is not None:
+            return self.estimator_factory()
+        return _ESTIMATORS[self.estimator](
+            shots_per_term=self.shots_per_pauli_term, seed=self.seed
+        )

@@ -1,0 +1,174 @@
+"""The TreeVQA central controller (paper §5.1, Algorithm 1).
+
+The controller receives the application's tasks, groups them into root
+clusters by shared initial state, and then repeatedly steps every active
+cluster (one VQA iteration per cluster per round), splitting clusters when
+their split condition fires, until the global shot budget S_max is exhausted
+or the round limit is reached.  A final post-processing pass evaluates every
+task on every final cluster state and keeps the best answer (§5.3).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..ansatz.base import Ansatz
+from .cluster import VQACluster
+from .config import TreeVQAConfig
+from .postprocess import select_best_states
+from .results import TaskOutcome, TaskTrajectory, TreeVQAResult
+from .shots import ShotLedger
+from .task import VQATask
+from .tree import ExecutionTree
+
+__all__ = ["TreeVQAController"]
+
+
+class TreeVQAController:
+    """Orchestrate tree-structured execution of a family of VQA tasks."""
+
+    def __init__(
+        self,
+        tasks: list[VQATask],
+        ansatz: Ansatz,
+        config: TreeVQAConfig | None = None,
+        *,
+        initial_parameters: np.ndarray | dict[str, np.ndarray] | None = None,
+    ) -> None:
+        if not tasks:
+            raise ValueError("tasks must be non-empty")
+        names = [task.name for task in tasks]
+        if len(set(names)) != len(names):
+            raise ValueError("task names must be unique")
+        qubit_counts = {task.num_qubits for task in tasks}
+        if len(qubit_counts) != 1:
+            raise ValueError("all tasks of an application must share the qubit count")
+        if ansatz.num_qubits != tasks[0].num_qubits:
+            raise ValueError("ansatz qubit count must match the tasks")
+
+        self.tasks = list(tasks)
+        self.ansatz = ansatz
+        self.config = config or TreeVQAConfig()
+        self._initial_parameters = initial_parameters
+        self.estimator = self.config.make_estimator()
+        self.ledger = ShotLedger(shots_per_term=self.config.shots_per_pauli_term)
+        self.tree = ExecutionTree()
+        self.trajectories: dict[str, TaskTrajectory] = {
+            task.name: TaskTrajectory(task.name) for task in tasks
+        }
+        self._clusters = self._build_root_clusters()
+        self._rounds_completed = 0
+        self._has_run = False
+
+    # -- setup -------------------------------------------------------------------
+
+    def _resolve_initial_parameters(self, bitstring_key: str) -> np.ndarray:
+        """Initial ansatz parameters for a root cluster."""
+        provided = self._initial_parameters
+        if provided is None:
+            return self.ansatz.zero_parameters()
+        if isinstance(provided, dict):
+            if bitstring_key in provided:
+                return np.asarray(provided[bitstring_key], dtype=float)
+            return self.ansatz.zero_parameters()
+        return np.asarray(provided, dtype=float)
+
+    def _build_root_clusters(self) -> list[VQACluster]:
+        """Group tasks by initial state into the level-1 clusters (§5.1)."""
+        grouped: dict[str, list[VQATask]] = defaultdict(list)
+        for task in self.tasks:
+            key = task.initial_bitstring or "0" * task.num_qubits
+            grouped[key].append(task)
+        clusters = []
+        for root_index, (bitstring, group_tasks) in enumerate(sorted(grouped.items())):
+            cluster = VQACluster(
+                cluster_id=f"L1B{root_index + 1}",
+                tasks=group_tasks,
+                ansatz=self.ansatz,
+                optimizer=self.config.make_optimizer(),
+                estimator=self.estimator,
+                config=self.config,
+                initial_parameters=self._resolve_initial_parameters(bitstring),
+            )
+            clusters.append(cluster)
+            self.tree.add_root(cluster.cluster_id, cluster.task_names)
+        return clusters
+
+    # -- execution ----------------------------------------------------------------
+
+    @property
+    def active_clusters(self) -> list[VQACluster]:
+        """Clusters that are still optimising (not retired)."""
+        return [cluster for cluster in self._clusters if not cluster.retired]
+
+    def _budget_exhausted(self) -> bool:
+        budget = self.config.max_total_shots
+        return budget is not None and self.ledger.total >= budget
+
+    def run(self) -> TreeVQAResult:
+        """Execute Algorithm 1 and return the per-task results."""
+        if self._has_run:
+            raise RuntimeError("controller.run() may only be called once per instance")
+        self._has_run = True
+        config = self.config
+        while self._rounds_completed < config.max_rounds and not self._budget_exhausted():
+            self._rounds_completed += 1
+            self._run_round()
+        return self._finalize()
+
+    def _run_round(self) -> None:
+        """Step every active cluster once, applying splits as they trigger."""
+        next_clusters: list[VQACluster] = []
+        pending = list(self.active_clusters)
+        for position, cluster in enumerate(pending):
+            record = cluster.step()
+            self.ledger.charge(cluster.cluster_id, self._rounds_completed, record.shots)
+            self.tree.record_iteration(cluster.cluster_id, record.shots)
+            if self.config.record_trajectory:
+                total = self.ledger.total
+                for task_name, energy in record.individual_losses.items():
+                    self.trajectories[task_name].record(total, energy)
+            decision = cluster.split_decision()
+            if decision.should_split and cluster.num_tasks > 1:
+                children = cluster.split()
+                self.tree.mark_split(cluster.cluster_id, decision.reason)
+                for child in children:
+                    self.tree.add_child(cluster.cluster_id, child.cluster_id, child.task_names)
+                next_clusters.extend(children)
+            else:
+                next_clusters.append(cluster)
+            if self._budget_exhausted():
+                # Keep the not-yet-stepped clusters for the final cluster set.
+                next_clusters.extend(pending[position + 1 :])
+                break
+        self._clusters = next_clusters
+
+    def _finalize(self) -> TreeVQAResult:
+        """Post-processing (§5.3) and result assembly."""
+        final_clusters = self.active_clusters or self._clusters
+        selections = select_best_states(self.tasks, final_clusters)
+        outcomes = []
+        for task, selection in zip(self.tasks, selections):
+            outcomes.append(
+                TaskOutcome(
+                    task=task,
+                    energy=selection.energy,
+                    source=selection.cluster_id,
+                    fidelity=task.fidelity(selection.energy),
+                    error=task.error(selection.energy),
+                )
+            )
+        return TreeVQAResult(
+            outcomes=outcomes,
+            trajectories=self.trajectories,
+            ledger=self.ledger,
+            total_rounds=self._rounds_completed,
+            metadata={
+                "num_final_clusters": len(final_clusters),
+                "num_splits": self.tree.num_splits,
+                "tree_depth_levels": self.tree.depth_levels(),
+            },
+            tree=self.tree,
+        )

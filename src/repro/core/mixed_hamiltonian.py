@@ -1,0 +1,87 @@
+"""Cluster mixed-Hamiltonian construction (paper §5.2.1).
+
+A cluster handling Hamiltonians {H_1 … H_N} first finds the superset of their
+Pauli terms, zero-pads every Hamiltonian onto it, and optimises the average
+
+    H_mixed = (1/N) Σ_i H_i^padded.
+
+The padded basis is kept alongside the mixed operator because the individual
+task losses are later recombined classically from the per-term expectation
+values measured for the mixed Hamiltonian (§5.2.2, §5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..quantum.pauli import PauliOperator, PauliString
+
+__all__ = ["MixedHamiltonian", "build_mixed_hamiltonian"]
+
+
+@dataclass(frozen=True)
+class MixedHamiltonian:
+    """The mixed operator plus the shared padded term basis."""
+
+    operator: PauliOperator
+    basis: tuple[PauliString, ...]
+    coefficient_matrix: np.ndarray  # shape (num_tasks, num_terms)
+
+    @property
+    def num_tasks(self) -> int:
+        return self.coefficient_matrix.shape[0]
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.basis)
+
+    def individual_value(self, task_index: int, term_values: dict[PauliString, float]) -> float:
+        """Recombine stored per-term expectation values into one task's energy.
+
+        This is the classical recombination of §5.3: no quantum cost.
+        Missing terms (not measured because their mixed coefficient is zero)
+        contribute their identity value when they are the identity and zero
+        otherwise.
+        """
+        if not 0 <= task_index < self.num_tasks:
+            raise IndexError("task_index out of range")
+        total = 0.0
+        coefficients = self.coefficient_matrix[task_index]
+        for coefficient, pauli in zip(coefficients, self.basis):
+            if coefficient == 0.0:
+                continue
+            if pauli in term_values:
+                total += coefficient * term_values[pauli]
+            elif pauli.is_identity:
+                total += coefficient
+        return total
+
+    def individual_values(self, term_values: dict[PauliString, float]) -> np.ndarray:
+        """Energies of every member task from one set of term values."""
+        return np.array(
+            [self.individual_value(i, term_values) for i in range(self.num_tasks)]
+        )
+
+
+def build_mixed_hamiltonian(hamiltonians: list[PauliOperator]) -> MixedHamiltonian:
+    """Pad the Hamiltonians to a shared term basis and average them."""
+    if not hamiltonians:
+        raise ValueError("hamiltonians must be non-empty")
+    num_qubits = hamiltonians[0].num_qubits
+    for hamiltonian in hamiltonians:
+        if hamiltonian.num_qubits != num_qubits:
+            raise ValueError("all Hamiltonians in a cluster must share the qubit count")
+    basis = tuple(PauliOperator.term_superset(hamiltonians))
+    coefficient_matrix = np.array(
+        [hamiltonian.coefficient_vector(list(basis)) for hamiltonian in hamiltonians]
+    )
+    mean_coefficients = coefficient_matrix.mean(axis=0)
+    operator = PauliOperator(
+        num_qubits,
+        {pauli: coefficient for pauli, coefficient in zip(basis, mean_coefficients)},
+    )
+    return MixedHamiltonian(
+        operator=operator, basis=basis, coefficient_matrix=coefficient_matrix
+    )

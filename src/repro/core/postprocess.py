@@ -1,0 +1,55 @@
+"""Post-processing: pick the best final cluster state for every task (paper §5.3).
+
+After the shot budget is exhausted, every task Hamiltonian is evaluated on
+every final cluster's optimised state and the lowest energy wins.  Because the
+clusters already logged per-Pauli-term expectation values during optimisation,
+this evaluation is a classical recombination of stored values — the paper
+charges no additional shots for it, and neither does this implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cluster import VQACluster
+from .task import VQATask
+
+__all__ = ["PostProcessSelection", "select_best_states"]
+
+
+@dataclass(frozen=True)
+class PostProcessSelection:
+    """The winning cluster state for one task."""
+
+    task_name: str
+    cluster_id: str
+    energy: float
+    candidate_energies: dict[str, float]
+
+
+def select_best_states(
+    tasks: list[VQATask], clusters: list[VQACluster]
+) -> list[PostProcessSelection]:
+    """Evaluate every task on every final cluster state and keep the best.
+
+    ``clusters`` should be the final (leaf) clusters of a run; retired parents
+    may also be included, which can only improve the result.
+    """
+    if not clusters:
+        raise ValueError("clusters must be non-empty")
+    selections = []
+    states = [(cluster.cluster_id, cluster.prepare_state()) for cluster in clusters]
+    for task in tasks:
+        candidates: dict[str, float] = {}
+        for cluster_id, state in states:
+            candidates[cluster_id] = state.expectation(task.hamiltonian)
+        best_cluster = min(candidates, key=candidates.get)
+        selections.append(
+            PostProcessSelection(
+                task_name=task.name,
+                cluster_id=best_cluster,
+                energy=candidates[best_cluster],
+                candidate_energies=candidates,
+            )
+        )
+    return selections

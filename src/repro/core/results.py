@@ -1,0 +1,207 @@
+"""Result records and fidelity/shot analyses shared by TreeVQA and the baseline.
+
+Every run — TreeVQA or conventional VQA — produces a :class:`RunResult` with
+the same shape: one :class:`TaskOutcome` per task, a per-task
+:class:`TaskTrajectory` of (cumulative shots, energy estimate) samples, and a
+shot ledger.  The figure-level analyses of §8 are all derived from these:
+
+* Fig. 6 — ``shots_to_reach_fidelity(T)`` for a sweep of thresholds;
+* Fig. 7 — ``fidelity_at_shots(budget)`` for a sweep of budgets;
+* Fig. 8/9/11/12 — savings ratios between two results at matched fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .shots import ShotLedger
+from .task import VQATask
+from .tree import ExecutionTree
+
+__all__ = ["TaskTrajectory", "TaskOutcome", "RunResult", "TreeVQAResult", "BaselineResult"]
+
+
+@dataclass
+class TaskTrajectory:
+    """Energy-estimate samples of one task over the course of a run."""
+
+    task_name: str
+    cumulative_shots: list[int] = field(default_factory=list)
+    energies: list[float] = field(default_factory=list)
+
+    def record(self, cumulative_shots: int, energy: float) -> None:
+        if self.cumulative_shots and cumulative_shots < self.cumulative_shots[-1]:
+            raise ValueError("cumulative shots must be non-decreasing")
+        self.cumulative_shots.append(int(cumulative_shots))
+        self.energies.append(float(energy))
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.energies)
+
+    def best_energy_so_far(self) -> np.ndarray:
+        """Running minimum of the energy estimates (variational best-so-far)."""
+        if not self.energies:
+            return np.array([])
+        return np.minimum.accumulate(np.asarray(self.energies))
+
+    def best_energy_within(self, shot_budget: int) -> float | None:
+        """Lowest energy estimate recorded at or below ``shot_budget`` shots."""
+        best: float | None = None
+        for shots, energy in zip(self.cumulative_shots, self.energies):
+            if shots > shot_budget:
+                break
+            if best is None or energy < best:
+                best = energy
+        return best
+
+    def shots_to_reach_energy(self, target_energy: float) -> int | None:
+        """Smallest cumulative shot count whose estimate is <= ``target_energy``."""
+        for shots, energy in zip(self.cumulative_shots, self.energies):
+            if energy <= target_energy:
+                return shots
+        return None
+
+
+@dataclass
+class TaskOutcome:
+    """Final per-task answer after post-processing."""
+
+    task: VQATask
+    energy: float
+    source: str
+    fidelity: float
+    error: float
+
+    @property
+    def task_name(self) -> str:
+        return self.task.name
+
+
+@dataclass
+class RunResult:
+    """Common result type for TreeVQA and the independent baseline."""
+
+    outcomes: list[TaskOutcome]
+    trajectories: dict[str, TaskTrajectory]
+    ledger: ShotLedger
+    total_rounds: int
+    metadata: dict = field(default_factory=dict)
+
+    # -- headline numbers ---------------------------------------------------------
+
+    @property
+    def total_shots(self) -> int:
+        return self.ledger.total
+
+    @property
+    def tasks(self) -> list[VQATask]:
+        return [outcome.task for outcome in self.outcomes]
+
+    def final_energies(self) -> dict[str, float]:
+        return {outcome.task_name: outcome.energy for outcome in self.outcomes}
+
+    def final_fidelities(self) -> dict[str, float]:
+        return {outcome.task_name: outcome.fidelity for outcome in self.outcomes}
+
+    def min_fidelity(self) -> float:
+        """The application-level fidelity (the paper's ∀ F_i ≥ T definition)."""
+        return min(outcome.fidelity for outcome in self.outcomes)
+
+    def mean_fidelity(self) -> float:
+        return float(np.mean([outcome.fidelity for outcome in self.outcomes]))
+
+    def max_reported_fidelity(self) -> float:
+        """Highest fidelity threshold every task reaches along its trajectory.
+
+        Deliberately restricted to the recorded trajectories (not the
+        post-processed final energies) so that any threshold at or below this
+        value is guaranteed to have a finite ``shots_to_reach_fidelity``.
+        """
+        per_task = []
+        for outcome in self.outcomes:
+            trajectory = self.trajectories.get(outcome.task_name)
+            if trajectory is not None and trajectory.energies:
+                best = float(np.min(trajectory.energies))
+            else:
+                best = outcome.energy
+            per_task.append(outcome.task.fidelity(best))
+        return min(per_task) if per_task else 0.0
+
+    # -- figure-level analyses -----------------------------------------------------
+
+    def shots_to_reach_fidelity(self, threshold: float) -> int | None:
+        """Shots needed until *every* task's best-so-far fidelity is ≥ ``threshold``.
+
+        Returns ``None`` if some task never reaches the threshold during the
+        recorded run (the hatched bars of Fig. 9).
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        worst = 0
+        for outcome in self.outcomes:
+            task = outcome.task
+            trajectory = self.trajectories.get(task.name)
+            if trajectory is None or not trajectory.energies:
+                return None
+            reference = task.exact_ground_energy()
+            # fidelity >= T  <=>  energy <= E_gs + (1-T)|E_gs|
+            target_energy = reference + (1.0 - threshold) * abs(reference)
+            shots = trajectory.shots_to_reach_energy(target_energy)
+            if shots is None:
+                return None
+            worst = max(worst, shots)
+        return worst
+
+    def fidelity_at_shots(self, shot_budget: int) -> float:
+        """Minimum task fidelity achievable within ``shot_budget`` shots."""
+        fidelities = []
+        for outcome in self.outcomes:
+            trajectory = self.trajectories.get(outcome.task_name)
+            if trajectory is None:
+                return 0.0
+            best = trajectory.best_energy_within(shot_budget)
+            if best is None:
+                return 0.0
+            fidelities.append(outcome.task.fidelity(best))
+        return min(fidelities) if fidelities else 0.0
+
+    def mean_fidelity_at_shots(self, shot_budget: int) -> float:
+        """Mean task fidelity achievable within ``shot_budget`` shots."""
+        fidelities = []
+        for outcome in self.outcomes:
+            trajectory = self.trajectories.get(outcome.task_name)
+            best = trajectory.best_energy_within(shot_budget) if trajectory else None
+            fidelities.append(0.0 if best is None else outcome.task.fidelity(best))
+        return float(np.mean(fidelities)) if fidelities else 0.0
+
+    def fidelity_variance(self) -> float:
+        """Variance of final task fidelities (the §8.2 variance observation)."""
+        return float(np.var([outcome.fidelity for outcome in self.outcomes]))
+
+    def summary(self) -> str:
+        """One-paragraph plain-text summary."""
+        lines = [
+            f"tasks: {len(self.outcomes)}  total shots: {self.total_shots:.3e}  "
+            f"min fidelity: {self.min_fidelity():.4f}  mean fidelity: {self.mean_fidelity():.4f}",
+        ]
+        for outcome in self.outcomes:
+            lines.append(
+                f"  {outcome.task_name:<24} E = {outcome.energy:+.6f}  "
+                f"F = {outcome.fidelity:.4f}  ({outcome.source})"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class TreeVQAResult(RunResult):
+    """TreeVQA run result: adds the execution tree."""
+
+    tree: ExecutionTree = field(default_factory=ExecutionTree)
+
+
+@dataclass
+class BaselineResult(RunResult):
+    """Conventional (independent-task) VQA run result."""

@@ -1,0 +1,110 @@
+"""Shot accounting (paper §2.2, §7.3).
+
+The paper charges ``4096 × (number of Pauli terms)`` shots per objective
+evaluation and ``N_overall = iterations × evals-per-iteration × N_per_eval``
+for a full run.  TreeVQA's savings come from charging a *cluster* of N tasks
+one mixed-Hamiltonian evaluation instead of N separate evaluations, so the
+ledger tracks shots per cluster and per iteration to let the evaluation code
+reconstruct savings curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..quantum.pauli import PauliOperator
+
+__all__ = [
+    "DEFAULT_SHOTS_PER_PAULI_TERM",
+    "shots_per_evaluation",
+    "shots_for_run",
+    "ShotRecord",
+    "ShotLedger",
+]
+
+#: §7.3: every Pauli term is sampled 4096 times per evaluation.
+DEFAULT_SHOTS_PER_PAULI_TERM = 4096
+
+
+def shots_per_evaluation(
+    operator: PauliOperator | int, shots_per_term: int = DEFAULT_SHOTS_PER_PAULI_TERM
+) -> int:
+    """N_per_eval = shots_per_term × (number of Pauli terms)."""
+    if isinstance(operator, PauliOperator):
+        num_terms = sum(1 for p, c in operator.items() if c != 0 and not p.is_identity)
+        num_terms = max(num_terms, 1)
+    else:
+        num_terms = int(operator)
+        if num_terms < 1:
+            raise ValueError("number of Pauli terms must be >= 1")
+    if shots_per_term < 1:
+        raise ValueError("shots_per_term must be >= 1")
+    return shots_per_term * num_terms
+
+
+def shots_for_run(
+    num_iterations: int,
+    evaluations_per_iteration: int,
+    operator: PauliOperator | int,
+    shots_per_term: int = DEFAULT_SHOTS_PER_PAULI_TERM,
+) -> int:
+    """N_overall = iterations × evals/iter × N_per_eval (paper §2.2)."""
+    if num_iterations < 0 or evaluations_per_iteration < 1:
+        raise ValueError("invalid iteration or evaluation count")
+    return num_iterations * evaluations_per_iteration * shots_per_evaluation(operator, shots_per_term)
+
+
+@dataclass(frozen=True)
+class ShotRecord:
+    """Shots charged by one cluster (or one baseline task) at one iteration."""
+
+    source: str
+    iteration: int
+    shots: int
+
+
+@dataclass
+class ShotLedger:
+    """Accumulates shot charges and exposes per-source / cumulative totals."""
+
+    shots_per_term: int = DEFAULT_SHOTS_PER_PAULI_TERM
+    records: list[ShotRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Total shots charged so far."""
+        return sum(record.shots for record in self.records)
+
+    def charge(self, source: str, iteration: int, shots: int) -> int:
+        """Record a charge and return the new total."""
+        if shots < 0:
+            raise ValueError("shots must be non-negative")
+        self.records.append(ShotRecord(source=source, iteration=iteration, shots=shots))
+        return self.total
+
+    def charge_evaluations(
+        self, source: str, iteration: int, operator: PauliOperator | int, num_evaluations: int
+    ) -> int:
+        """Charge ``num_evaluations`` evaluations of ``operator`` and return the new total."""
+        shots = num_evaluations * shots_per_evaluation(operator, self.shots_per_term)
+        return self.charge(source, iteration, shots)
+
+    def total_for(self, source: str) -> int:
+        """Total shots charged by one source."""
+        return sum(record.shots for record in self.records if record.source == source)
+
+    def sources(self) -> list[str]:
+        """All distinct sources, in first-charge order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            seen.setdefault(record.source, None)
+        return list(seen)
+
+    def cumulative_totals(self) -> list[int]:
+        """Running total after each recorded charge."""
+        totals = []
+        running = 0
+        for record in self.records:
+            running += record.shots
+            totals.append(running)
+        return totals

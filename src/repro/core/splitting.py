@@ -1,0 +1,92 @@
+"""Cluster split decisions and assignments (paper §5.2.3, §5.2.5).
+
+A split is triggered when the windowed mixed-loss slope stalls
+(|slope| < ε_split) or when any member Hamiltonian's loss is trending upward
+(slope_i > 0).  The member Hamiltonians are then partitioned with spectral
+clustering over the §5.2.4 similarity matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..clustering import spectral_clustering
+from .monitor import SlopeReport
+
+__all__ = ["SplitDecision", "evaluate_split_condition", "assign_split_groups"]
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """Whether a cluster should split, and why."""
+
+    should_split: bool
+    reason: str
+    mixed_slope: float = 0.0
+    worst_individual_slope: float = 0.0
+
+    @classmethod
+    def no_split(cls, reason: str = "conditions not met") -> "SplitDecision":
+        return cls(should_split=False, reason=reason)
+
+
+def evaluate_split_condition(
+    report: SlopeReport,
+    epsilon_split: float,
+    *,
+    individual_slope_threshold: float = 0.0,
+) -> SplitDecision:
+    """Apply the §5.2.3 split conditions to a slope report.
+
+    ``individual_slope_threshold`` relaxes the "any slope_i > 0" condition to
+    "any slope_i > threshold" so that shot-noise fluctuations do not trigger
+    spurious splits (the default 0.0 is the paper's condition).
+    """
+    if epsilon_split < 0:
+        raise ValueError("epsilon_split must be non-negative")
+    if not report.ready:
+        return SplitDecision.no_split("monitor not ready (warm-up or window not filled)")
+    worst = max(report.individual_slopes) if report.individual_slopes else 0.0
+    if abs(report.mixed_slope) < epsilon_split:
+        return SplitDecision(
+            should_split=True,
+            reason=f"stalled: |mixed slope| {abs(report.mixed_slope):.3e} < epsilon {epsilon_split:.3e}",
+            mixed_slope=report.mixed_slope,
+            worst_individual_slope=worst,
+        )
+    if worst > individual_slope_threshold:
+        return SplitDecision(
+            should_split=True,
+            reason=f"divergence: individual slope {worst:.3e} > {individual_slope_threshold:.3e}",
+            mixed_slope=report.mixed_slope,
+            worst_individual_slope=worst,
+        )
+    return SplitDecision(
+        should_split=False,
+        reason="optimisation progressing",
+        mixed_slope=report.mixed_slope,
+        worst_individual_slope=worst,
+    )
+
+
+def assign_split_groups(
+    similarity: np.ndarray, num_groups: int = 2, *, seed: int | None = None
+) -> list[list[int]]:
+    """Partition member indices into ``num_groups`` groups via spectral clustering.
+
+    Returns a list of index lists, each non-empty, ordered by smallest member
+    index for determinism.
+    """
+    similarity = np.asarray(similarity, dtype=float)
+    num_items = similarity.shape[0]
+    if num_items < 2:
+        raise ValueError("cannot split a cluster with fewer than two tasks")
+    num_groups = min(num_groups, num_items)
+    labels = spectral_clustering(similarity, num_groups, seed=seed)
+    groups: dict[int, list[int]] = {}
+    for index, label in enumerate(labels):
+        groups.setdefault(int(label), []).append(index)
+    ordered = sorted(groups.values(), key=lambda group: group[0])
+    return ordered

@@ -1,0 +1,89 @@
+"""VQA task definition (paper terminology, Fig. 1).
+
+A *task* is one Hamiltonian to be solved to its ground state — e.g. a
+molecule at one bond length, a spin chain at one field strength, or one
+MaxCut graph instance.  An *application* is a list of tasks whose solutions
+form the energy landscape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..quantum.exact import ground_state
+from ..quantum.pauli import PauliOperator
+from ..quantum.statevector import Statevector
+
+__all__ = ["VQATask"]
+
+
+@dataclass
+class VQATask:
+    """One VQA task: a Hamiltonian plus execution metadata.
+
+    Attributes:
+        name: Human-readable identifier (e.g. ``"LiH@1.595"``).
+        hamiltonian: The task Hamiltonian as a Pauli sum.
+        scan_parameter: The application's scan coordinate (bond length, field
+            strength, load scale); used only for reporting.
+        initial_bitstring: Reference computational-basis state (e.g. the
+            Hartree–Fock determinant).  Tasks sharing a bitstring start in
+            the same root cluster (paper §5.1).
+        reference_energy: Known exact ground-state energy.  When ``None`` it
+            is computed on demand by exact diagonalisation and cached.
+        metadata: Free-form extra information.
+    """
+
+    name: str
+    hamiltonian: PauliOperator
+    scan_parameter: float | None = None
+    initial_bitstring: str | None = None
+    reference_energy: float | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.initial_bitstring is not None:
+            if len(self.initial_bitstring) != self.hamiltonian.num_qubits:
+                raise ValueError(
+                    f"initial_bitstring length {len(self.initial_bitstring)} does not match "
+                    f"the {self.hamiltonian.num_qubits}-qubit Hamiltonian of task {self.name!r}"
+                )
+            if set(self.initial_bitstring) - {"0", "1"}:
+                raise ValueError("initial_bitstring must contain only '0' and '1'")
+
+    @property
+    def num_qubits(self) -> int:
+        return self.hamiltonian.num_qubits
+
+    @property
+    def num_pauli_terms(self) -> int:
+        return self.hamiltonian.num_terms
+
+    def exact_ground_energy(self) -> float:
+        """Exact ground-state energy (computed once and cached)."""
+        if self.reference_energy is None:
+            self.reference_energy = ground_state(self.hamiltonian).energy
+        return self.reference_energy
+
+    def initial_state(self) -> Statevector:
+        """The reference computational-basis state (|0...0> when unspecified)."""
+        if self.initial_bitstring is None:
+            return Statevector.zero_state(self.num_qubits)
+        return Statevector.computational_basis(self.num_qubits, self.initial_bitstring)
+
+    def error(self, energy: float) -> float:
+        """Relative error |E_gs − E| / |E_gs| (paper §7.2)."""
+        reference = self.exact_ground_energy()
+        if reference == 0:
+            return abs(energy - reference)
+        return abs(reference - energy) / abs(reference)
+
+    def fidelity(self, energy: float) -> float:
+        """Fidelity F = 1 − error (paper §7.2), clipped to [0, 1]."""
+        return float(max(0.0, min(1.0, 1.0 - self.error(energy))))
+
+    def __repr__(self) -> str:
+        return (
+            f"VQATask(name={self.name!r}, qubits={self.num_qubits}, "
+            f"terms={self.num_pauli_terms}, scan={self.scan_parameter})"
+        )

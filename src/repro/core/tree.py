@@ -1,0 +1,145 @@
+"""Execution-tree bookkeeping (paper Fig. 2b, §9.1).
+
+Every cluster is a node; splits create children.  The *tree critical depth*
+(§9.1) is the longest root-to-leaf path, used as a proxy for split timing in
+the window-size study of Fig. 14.  Both a level-count and an iteration-count
+version are provided (the paper reports the latter as a percentage of the
+total iteration budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TreeNode", "ExecutionTree"]
+
+
+@dataclass
+class TreeNode:
+    """One cluster in the execution tree."""
+
+    cluster_id: str
+    level: int
+    task_names: tuple[str, ...]
+    parent: str | None = None
+    children: list[str] = field(default_factory=list)
+    iterations: int = 0
+    shots: int = 0
+    split_reason: str | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.task_names)
+
+
+class ExecutionTree:
+    """The TreeVQA branching structure produced by one run."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, TreeNode] = {}
+        self._roots: list[str] = []
+
+    # -- construction -----------------------------------------------------------
+
+    def add_root(self, cluster_id: str, task_names: list[str]) -> TreeNode:
+        """Register a level-1 root cluster."""
+        node = TreeNode(cluster_id=cluster_id, level=1, task_names=tuple(task_names))
+        self._insert(node)
+        self._roots.append(cluster_id)
+        return node
+
+    def add_child(self, parent_id: str, cluster_id: str, task_names: list[str]) -> TreeNode:
+        """Register a child created by splitting ``parent_id``."""
+        parent = self.node(parent_id)
+        node = TreeNode(
+            cluster_id=cluster_id,
+            level=parent.level + 1,
+            task_names=tuple(task_names),
+            parent=parent_id,
+        )
+        self._insert(node)
+        parent.children.append(cluster_id)
+        return node
+
+    def _insert(self, node: TreeNode) -> None:
+        if node.cluster_id in self._nodes:
+            raise ValueError(f"duplicate cluster id {node.cluster_id!r}")
+        self._nodes[node.cluster_id] = node
+
+    # -- updates ---------------------------------------------------------------------
+
+    def record_iteration(self, cluster_id: str, shots: int) -> None:
+        """Account one iteration (and its shots) to a node."""
+        node = self.node(cluster_id)
+        node.iterations += 1
+        node.shots += shots
+
+    def mark_split(self, cluster_id: str, reason: str) -> None:
+        """Record why a node was split."""
+        self.node(cluster_id).split_reason = reason
+
+    # -- queries --------------------------------------------------------------------
+
+    def node(self, cluster_id: str) -> TreeNode:
+        try:
+            return self._nodes[cluster_id]
+        except KeyError:
+            raise KeyError(f"unknown cluster id {cluster_id!r}") from None
+
+    def nodes(self) -> list[TreeNode]:
+        return list(self._nodes.values())
+
+    def roots(self) -> list[TreeNode]:
+        return [self._nodes[root] for root in self._roots]
+
+    def leaves(self) -> list[TreeNode]:
+        return [node for node in self._nodes.values() if node.is_leaf]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_splits(self) -> int:
+        return sum(1 for node in self._nodes.values() if node.children)
+
+    def depth_levels(self) -> int:
+        """Maximum level over all nodes (1 for an unsplit tree)."""
+        return max((node.level for node in self._nodes.values()), default=0)
+
+    def critical_depth_iterations(self) -> int:
+        """Longest root-to-leaf path measured in cluster iterations (§9.1)."""
+        best = 0
+        for leaf in self.leaves():
+            total = 0
+            current: TreeNode | None = leaf
+            while current is not None:
+                total += current.iterations
+                current = self._nodes[current.parent] if current.parent else None
+            best = max(best, total)
+        return best
+
+    def total_shots(self) -> int:
+        """Total shots accounted across all nodes."""
+        return sum(node.shots for node in self._nodes.values())
+
+    def render(self) -> str:
+        """ASCII rendering of the tree (roots first, children indented)."""
+        lines: list[str] = []
+
+        def visit(node: TreeNode, indent: int) -> None:
+            tasks = ", ".join(node.task_names)
+            lines.append(
+                f"{'  ' * indent}{node.cluster_id} [level {node.level}, "
+                f"{node.iterations} iters, {node.shots:.3e} shots] {{{tasks}}}"
+            )
+            for child in node.children:
+                visit(self._nodes[child], indent + 1)
+
+        for root in self.roots():
+            visit(root, 0)
+        return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Evaluation: metrics (§7.2), report formatting, and per-figure experiment runners."""
+
+from . import experiments
+from .metrics import (
+    SavingsPoint,
+    common_max_fidelity,
+    fidelity,
+    fidelity_budget_curve,
+    relative_error,
+    savings_at_threshold,
+    savings_curve,
+)
+from .reporting import format_heatmap, format_series, format_table
+
+__all__ = [
+    "experiments",
+    "SavingsPoint",
+    "common_max_fidelity",
+    "fidelity",
+    "fidelity_budget_curve",
+    "relative_error",
+    "savings_at_threshold",
+    "savings_curve",
+    "format_heatmap",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,120 @@
+"""Experiment runners, one module per paper table / figure.
+
+| Paper artefact | Runner |
+|---|---|
+| Table 1  | :func:`run_table1` |
+| Fig. 4   | :func:`run_figure4` |
+| Fig. 6   | :func:`run_figure6` |
+| Fig. 7   | :func:`run_figure7` |
+| Fig. 8   | :func:`run_figure8` |
+| Fig. 9   | :func:`run_figure9` |
+| Fig. 10  | :func:`run_figure10` |
+| Fig. 11  | :func:`run_figure11` |
+| Table 2  | :func:`run_table2` |
+| Fig. 12  | :func:`run_figure12` |
+| Fig. 13  | :func:`run_figure13` |
+| Fig. 14 / §9.1 | :func:`run_figure14` |
+"""
+
+from .common import (
+    FIG6_BENCHMARKS,
+    PRESETS,
+    BenchmarkComparison,
+    Preset,
+    build_vqe_suite,
+    default_config,
+    get_preset,
+    run_comparison,
+)
+from .figure4 import Figure4Result, format_figure4, run_figure4, run_figure4a
+from .figure6 import Figure6Panel, Figure6Result, format_figure6, run_figure6, run_figure6_panel
+from .figure7 import Figure7Panel, Figure7Result, format_figure7, run_figure7, run_figure7_panel
+from .figure8 import Figure8Result, PrecisionPoint, format_figure8, run_figure8
+from .figure9 import (
+    Figure9Result,
+    LargeScaleBenchmarkResult,
+    LargeScaleTaskResult,
+    format_figure9,
+    run_figure9,
+    run_large_scale_benchmark,
+)
+from .figure10 import Figure10Result, GapRecoveryPoint, format_figure10, run_figure10
+from .figure11 import Figure11Bar, Figure11Result, format_figure11, run_figure11
+from .figure12 import Figure12Bar, Figure12Result, format_figure12, run_figure12
+from .figure13 import Figure13Result, SplitTimingPoint, format_figure13, run_figure13
+from .figure14 import (
+    Figure14Result,
+    ThresholdPoint,
+    WindowSizePoint,
+    format_figure14,
+    run_figure14,
+    run_threshold_sweep,
+    run_window_size_sweep,
+)
+from .table1 import Table1Row, format_table1, run_table1
+from .table2 import Table2Result, Table2Row, format_table2, run_table2
+
+__all__ = [
+    "FIG6_BENCHMARKS",
+    "PRESETS",
+    "BenchmarkComparison",
+    "Preset",
+    "build_vqe_suite",
+    "default_config",
+    "get_preset",
+    "run_comparison",
+    "Figure4Result",
+    "format_figure4",
+    "run_figure4",
+    "run_figure4a",
+    "Figure6Panel",
+    "Figure6Result",
+    "format_figure6",
+    "run_figure6",
+    "run_figure6_panel",
+    "Figure7Panel",
+    "Figure7Result",
+    "format_figure7",
+    "run_figure7",
+    "run_figure7_panel",
+    "Figure8Result",
+    "PrecisionPoint",
+    "format_figure8",
+    "run_figure8",
+    "Figure9Result",
+    "LargeScaleBenchmarkResult",
+    "LargeScaleTaskResult",
+    "format_figure9",
+    "run_figure9",
+    "run_large_scale_benchmark",
+    "Figure10Result",
+    "GapRecoveryPoint",
+    "format_figure10",
+    "run_figure10",
+    "Figure11Bar",
+    "Figure11Result",
+    "format_figure11",
+    "run_figure11",
+    "Figure12Bar",
+    "Figure12Result",
+    "format_figure12",
+    "run_figure12",
+    "Figure13Result",
+    "SplitTimingPoint",
+    "format_figure13",
+    "run_figure13",
+    "Figure14Result",
+    "ThresholdPoint",
+    "WindowSizePoint",
+    "format_figure14",
+    "run_figure14",
+    "run_threshold_sweep",
+    "run_window_size_sweep",
+    "Table1Row",
+    "format_table1",
+    "run_table1",
+    "Table2Result",
+    "Table2Row",
+    "format_table2",
+    "run_table2",
+]

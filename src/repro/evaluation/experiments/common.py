@@ -1,0 +1,179 @@
+"""Shared infrastructure for the figure/table experiment runners.
+
+Every evaluation experiment compares TreeVQA against the independent baseline
+on one or more benchmark suites.  This module centralises:
+
+* presets ("fast" for CI/benchmark runs, "full" for closer-to-paper runs) that
+  control task counts, controller rounds and suite sizes;
+* per-suite-kind TreeVQA configurations (SPSA settings, split thresholds);
+* :func:`run_comparison`, which runs both methods on a suite and returns a
+  :class:`BenchmarkComparison` that the figure analyses consume.
+
+The paper runs 16k–30k SPSA iterations and 10^9–10^11 shots per panel; the
+presets scale iteration counts down proportionally for *both* methods, which
+preserves the savings-ratio shape (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...core import (
+    IndependentBaselineResult,
+    IndependentVQABaseline,
+    TreeVQAConfig,
+    TreeVQAController,
+    TreeVQAResult,
+)
+from ...hamiltonians.catalog import (
+    BenchmarkSuite,
+    chemistry_suite,
+    maxcut_ieee14_suite,
+    tfim_suite,
+    xxz_suite,
+)
+
+__all__ = [
+    "Preset",
+    "PRESETS",
+    "get_preset",
+    "default_config",
+    "BenchmarkComparison",
+    "run_comparison",
+    "build_vqe_suite",
+    "FIG6_BENCHMARKS",
+]
+
+
+@dataclass(frozen=True)
+class Preset:
+    """Experiment size preset."""
+
+    name: str
+    num_tasks: int
+    max_rounds: int
+    baseline_iterations: int
+    chemistry_qubits_cap: int
+    spin_sites: int
+    warmup_iterations: int
+    window_size: int
+
+
+PRESETS: dict[str, Preset] = {
+    "fast": Preset(
+        name="fast", num_tasks=5, max_rounds=120, baseline_iterations=120,
+        chemistry_qubits_cap=8, spin_sites=5, warmup_iterations=15, window_size=8,
+    ),
+    "full": Preset(
+        name="full", num_tasks=10, max_rounds=400, baseline_iterations=400,
+        chemistry_qubits_cap=10, spin_sites=6, warmup_iterations=30, window_size=12,
+    ),
+}
+
+
+def get_preset(preset: str | Preset) -> Preset:
+    """Resolve a preset by name."""
+    if isinstance(preset, Preset):
+        return preset
+    try:
+        return PRESETS[preset]
+    except KeyError:
+        raise ValueError(f"unknown preset {preset!r}; choose from {sorted(PRESETS)}") from None
+
+
+def default_config(
+    preset: Preset,
+    *,
+    optimizer: str = "spsa",
+    seed: int = 7,
+    max_total_shots: int | None = None,
+    epsilon_split: float = 1.5e-3,
+    **overrides,
+) -> TreeVQAConfig:
+    """The TreeVQA configuration used by the evaluation experiments."""
+    optimizer_kwargs = {"learning_rate": 0.35, "perturbation": 0.15,
+                        "expected_iterations": preset.max_rounds}
+    if optimizer == "cobyla":
+        optimizer_kwargs = {"initial_trust_radius": 0.4, "evaluations_per_step": 4}
+    settings = dict(
+        max_rounds=preset.max_rounds,
+        max_total_shots=max_total_shots,
+        warmup_iterations=preset.warmup_iterations,
+        window_size=preset.window_size,
+        epsilon_split=epsilon_split,
+        individual_slope_threshold=2e-4,
+        optimizer=optimizer,
+        optimizer_kwargs=optimizer_kwargs,
+        estimator="exact",
+        seed=seed,
+    )
+    settings.update(overrides)
+    return TreeVQAConfig(**settings)
+
+
+@dataclass
+class BenchmarkComparison:
+    """TreeVQA vs baseline results on one suite."""
+
+    suite: BenchmarkSuite
+    treevqa: TreeVQAResult
+    baseline: IndependentBaselineResult
+    config: TreeVQAConfig
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.suite.name
+
+
+def run_comparison(
+    suite: BenchmarkSuite,
+    config: TreeVQAConfig,
+    *,
+    baseline_iterations: int | None = None,
+    initial_parameters: np.ndarray | dict | None = None,
+) -> BenchmarkComparison:
+    """Run TreeVQA and the independent baseline on the same suite.
+
+    Both methods start from the *same* initial parameters.  Unless an explicit
+    initialisation is supplied (CAFQA, Red-QAOA), the standard VQE practice of
+    random initial angles is used — this is what makes the paper's fidelity
+    axes start well below 1 even for Hartree–Fock-referenced molecules.
+    """
+    if initial_parameters is None:
+        rng = np.random.default_rng(config.seed)
+        initial_parameters = rng.normal(0.0, 0.8, suite.ansatz.num_parameters)
+    controller = TreeVQAController(
+        suite.tasks, suite.ansatz, config, initial_parameters=initial_parameters
+    )
+    treevqa = controller.run()
+    baseline = IndependentVQABaseline(
+        suite.tasks, suite.ansatz, config, initial_parameters=initial_parameters
+    ).run(iterations_per_task=baseline_iterations or config.max_rounds)
+    return BenchmarkComparison(suite=suite, treevqa=treevqa, baseline=baseline, config=config)
+
+
+#: The six VQE panels of Fig. 6 / Fig. 7 / Fig. 11.
+FIG6_BENCHMARKS = ("HF", "LiH", "BeH2", "XXZ", "TFIM", "H2")
+
+
+def build_vqe_suite(name: str, preset: Preset) -> BenchmarkSuite:
+    """Build one of the six Fig. 6 benchmark suites at the preset's size."""
+    key = name.lower()
+    if key in ("hf", "lih", "beh2", "h2", "c2h2"):
+        spec_name = {"hf": "HF", "lih": "LiH", "beh2": "BeH2", "h2": "H2", "c2h2": "C2H2"}[key]
+        suite = chemistry_suite(spec_name)
+        if spec_name != "H2" and preset.num_tasks < len(suite.tasks):
+            suite.tasks = suite.tasks[: preset.num_tasks]
+        return suite
+    if key == "xxz":
+        deltas = list(np.linspace(0.55, 1.45, preset.num_tasks))
+        return xxz_suite(num_sites=preset.spin_sites, anisotropies=deltas)
+    if key in ("tfim", "transversefieldising"):
+        fields = list(np.linspace(0.55, 1.45, preset.num_tasks))
+        return tfim_suite(num_sites=preset.spin_sites, fields=fields)
+    if key in ("maxcut", "ieee14"):
+        return maxcut_ieee14_suite(num_instances=preset.num_tasks)
+    raise ValueError(f"unknown VQE benchmark {name!r}")

@@ -1,0 +1,161 @@
+"""Figure 10 — TreeVQA combined with CAFQA initialisation (paper §8.5).
+
+A narrow, high-precision LiH scan is initialised with CAFQA (a Clifford-only
+parameter search).  Both baseline VQE and TreeVQA start from those
+parameters; the metric is how many shots each needs to recover a given
+percentage of the residual energy gap between the CAFQA energy and the true
+ground state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...ansatz import HardwareEfficientAnsatz
+from ...hamiltonians.catalog import BenchmarkSuite
+from ...hamiltonians.molecular import MolecularFamily, get_molecule
+from ...core.task import VQATask
+from ...initialization.cafqa import cafqa_search
+from ..reporting import format_table
+from .common import BenchmarkComparison, Preset, default_config, get_preset, run_comparison
+
+__all__ = ["GapRecoveryPoint", "Figure10Result", "run_figure10", "format_figure10"]
+
+
+@dataclass(frozen=True)
+class GapRecoveryPoint:
+    """Shots needed by both methods to recover one gap percentage."""
+
+    gap_recovered_percent: float
+    treevqa_shots: int | None
+    baseline_shots: int | None
+
+    @property
+    def savings_ratio(self) -> float | None:
+        if not self.treevqa_shots or not self.baseline_shots:
+            return None
+        return self.baseline_shots / self.treevqa_shots
+
+
+@dataclass
+class Figure10Result:
+    """The CAFQA-initialised comparison."""
+
+    cafqa_fidelity: float
+    cafqa_energies: dict[str, float]
+    points: list[GapRecoveryPoint] = field(default_factory=list)
+    comparison: BenchmarkComparison | None = None
+
+    def headline_savings(self) -> float | None:
+        """Savings at the largest gap percentage both methods recover."""
+        usable = [point for point in self.points if point.savings_ratio is not None]
+        return usable[-1].savings_ratio if usable else None
+
+
+def _shots_to_recover(
+    result, task_gaps: dict[str, tuple[float, float]], percent: float, *, per_task_sum: bool
+) -> int | None:
+    """Shots until every task recovers ``percent`` % of its CAFQA-to-exact gap."""
+    worst = 0
+    total = 0
+    for task_name, (cafqa_energy, exact_energy) in task_gaps.items():
+        trajectory = result.trajectories.get(task_name)
+        if trajectory is None or not trajectory.energies:
+            return None
+        target = cafqa_energy - (percent / 100.0) * (cafqa_energy - exact_energy)
+        shots = trajectory.shots_to_reach_energy(target)
+        if shots is None:
+            return None
+        worst = max(worst, shots)
+        total += shots
+    return total if per_task_sum else worst
+
+
+def run_figure10(
+    preset: str | Preset = "fast",
+    *,
+    num_tasks: int | None = None,
+    gap_percentages: tuple[float, ...] = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0),
+    seed: int = 7,
+) -> Figure10Result:
+    """Run the CAFQA-initialised LiH comparison."""
+    preset = get_preset(preset)
+    num_tasks = num_tasks or preset.num_tasks
+    spec = get_molecule("LiH")
+    family = MolecularFamily(spec)
+    # A narrow scan at fine precision, as in the paper (0.01 Å steps).
+    center = spec.equilibrium_bond
+    lengths = np.round(np.linspace(center - 0.05, center + 0.05, num_tasks), 4)
+    bitstring = family.hartree_fock_bitstring()
+    tasks = [
+        VQATask(
+            name=f"LiH@{length:.4f}",
+            hamiltonian=family.hamiltonian(float(length)),
+            scan_parameter=float(length),
+            initial_bitstring=bitstring,
+        )
+        for length in lengths
+    ]
+    ansatz = HardwareEfficientAnsatz(spec.num_qubits, num_layers=2, initial_bitstring=bitstring)
+
+    # CAFQA search on the scan-centre Hamiltonian; parameters shared by all tasks.
+    center_task = tasks[len(tasks) // 2]
+    cafqa = cafqa_search(center_task.hamiltonian, ansatz, num_sweeps=1 if preset.name == "fast" else 2, seed=seed)
+
+    cafqa_energies: dict[str, float] = {}
+    task_gaps: dict[str, tuple[float, float]] = {}
+    fidelities = []
+    for task in tasks:
+        state = ansatz.prepare_state(cafqa.parameters)
+        energy = state.expectation(task.hamiltonian)
+        exact = task.exact_ground_energy()
+        cafqa_energies[task.name] = energy
+        task_gaps[task.name] = (energy, exact)
+        fidelities.append(task.fidelity(energy))
+    cafqa_fidelity = float(np.mean(fidelities))
+
+    suite = BenchmarkSuite(name="LiH-CAFQA", tasks=tasks, ansatz=ansatz, kind="chemistry")
+    config = default_config(preset, seed=seed)
+    comparison = run_comparison(
+        suite,
+        config,
+        baseline_iterations=preset.baseline_iterations,
+        initial_parameters=cafqa.parameters,
+    )
+
+    points = []
+    for percent in gap_percentages:
+        points.append(
+            GapRecoveryPoint(
+                gap_recovered_percent=percent,
+                treevqa_shots=_shots_to_recover(
+                    comparison.treevqa, task_gaps, percent, per_task_sum=False
+                ),
+                baseline_shots=_shots_to_recover(
+                    comparison.baseline, task_gaps, percent, per_task_sum=True
+                ),
+            )
+        )
+    return Figure10Result(
+        cafqa_fidelity=cafqa_fidelity,
+        cafqa_energies=cafqa_energies,
+        points=points,
+        comparison=comparison,
+    )
+
+
+def format_figure10(result: Figure10Result) -> str:
+    """Render the gap-recovery comparison."""
+    rows = [
+        [point.gap_recovered_percent, point.treevqa_shots, point.baseline_shots, point.savings_ratio]
+        for point in result.points
+    ]
+    headline = result.headline_savings()
+    title = f"Fig. 10: CAFQA-initialised LiH (CAFQA fidelity {result.cafqa_fidelity:.3f})"
+    if headline:
+        title += f", shot savings {headline:.1f}x"
+    return format_table(
+        ["gap recovered (%)", "TreeVQA shots", "baseline shots", "savings"], rows, title=title
+    )

@@ -1,0 +1,85 @@
+"""Figure 11 — untuned TreeVQA with the COBYLA optimizer (paper §8.6).
+
+The six VQE benchmarks are re-run with COBYLA instead of SPSA, without any
+TreeVQA re-tuning, to demonstrate plug-and-play behaviour across optimizers.
+The figure reports a shot-savings bar (and the fidelity reached) per
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..metrics import savings_at_threshold
+from ..reporting import format_table
+from .common import (
+    FIG6_BENCHMARKS,
+    BenchmarkComparison,
+    Preset,
+    build_vqe_suite,
+    default_config,
+    get_preset,
+    run_comparison,
+)
+
+__all__ = ["Figure11Bar", "Figure11Result", "run_figure11", "format_figure11"]
+
+
+@dataclass(frozen=True)
+class Figure11Bar:
+    """One benchmark's COBYLA savings bar."""
+
+    benchmark: str
+    fidelity: float
+    savings_ratio: float | None
+    comparison: BenchmarkComparison
+
+
+@dataclass
+class Figure11Result:
+    """All COBYLA bars."""
+
+    bars: list[Figure11Bar] = field(default_factory=list)
+
+    def savings_range(self) -> tuple[float, float] | None:
+        values = [bar.savings_ratio for bar in self.bars if bar.savings_ratio]
+        if not values:
+            return None
+        return float(np.min(values)), float(np.max(values))
+
+
+def run_figure11(
+    preset: str | Preset = "fast",
+    benchmarks: tuple[str, ...] | None = None,
+    *,
+    seed: int = 7,
+) -> Figure11Result:
+    """Run the COBYLA comparison on every benchmark."""
+    preset = get_preset(preset)
+    names = benchmarks or FIG6_BENCHMARKS
+    result = Figure11Result()
+    for name in names:
+        suite = build_vqe_suite(name, preset)
+        config = default_config(preset, optimizer="cobyla", seed=seed)
+        comparison = run_comparison(
+            suite, config, baseline_iterations=preset.baseline_iterations
+        )
+        fidelity, savings = savings_at_threshold(comparison.treevqa, comparison.baseline)
+        result.bars.append(
+            Figure11Bar(
+                benchmark=name, fidelity=fidelity, savings_ratio=savings, comparison=comparison
+            )
+        )
+    return result
+
+
+def format_figure11(result: Figure11Result) -> str:
+    """Render the COBYLA savings bars."""
+    rows = [[bar.benchmark, bar.fidelity, bar.savings_ratio] for bar in result.bars]
+    title = "Fig. 11: TreeVQA with the COBYLA optimizer"
+    bounds = result.savings_range()
+    if bounds:
+        title += f" (savings {bounds[0]:.1f}x–{bounds[1]:.1f}x)"
+    return format_table(["benchmark", "fidelity", "shot savings"], rows, title=title)

@@ -1,0 +1,185 @@
+"""Figure 14 and the §9.1 threshold study — window-size and split-threshold sweeps.
+
+* Window size: the number of iterations the slope regression averages over.
+  Small windows are noise-sensitive (premature splits); large windows delay
+  needed splits.  Reported per setting: final accuracy (mean fidelity, %) and
+  the tree critical depth as a percentage of the iteration budget.
+* Split threshold ε_split: swept over a logarithmic range; the paper finds an
+  optimal middle ground.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ...core import TreeVQAController
+from ..reporting import format_table
+from .common import Preset, build_vqe_suite, default_config, get_preset
+
+__all__ = [
+    "WindowSizePoint",
+    "ThresholdPoint",
+    "Figure14Result",
+    "run_window_size_sweep",
+    "run_threshold_sweep",
+    "run_figure14",
+    "format_figure14",
+]
+
+
+@dataclass(frozen=True)
+class WindowSizePoint:
+    """Outcome for one window-size setting."""
+
+    benchmark: str
+    window_size: int
+    window_ratio: float
+    final_accuracy_percent: float
+    critical_depth_percent: float
+    num_splits: int
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """Outcome for one ε_split setting."""
+
+    benchmark: str
+    epsilon_split: float
+    mean_error_percent: float
+    num_splits: int
+
+
+@dataclass
+class Figure14Result:
+    """Window-size and threshold sweeps."""
+
+    window_points: list[WindowSizePoint] = field(default_factory=list)
+    threshold_points: list[ThresholdPoint] = field(default_factory=list)
+
+    def best_window(self, benchmark: str) -> WindowSizePoint | None:
+        points = [p for p in self.window_points if p.benchmark == benchmark]
+        if not points:
+            return None
+        return max(points, key=lambda point: point.final_accuracy_percent)
+
+    def best_threshold(self, benchmark: str) -> ThresholdPoint | None:
+        points = [p for p in self.threshold_points if p.benchmark == benchmark]
+        if not points:
+            return None
+        return min(points, key=lambda point: point.mean_error_percent)
+
+
+def run_window_size_sweep(
+    benchmark: str,
+    preset: Preset,
+    window_sizes: tuple[int, ...],
+    *,
+    seed: int = 7,
+) -> list[WindowSizePoint]:
+    """Run TreeVQA with several slope-window sizes."""
+    points = []
+    for window in window_sizes:
+        suite = build_vqe_suite(benchmark, preset)
+        config = default_config(preset, seed=seed, window_size=window)
+        run = TreeVQAController(suite.tasks, suite.ansatz, config).run()
+        accuracy = run.mean_fidelity() * 100.0
+        critical_depth = run.tree.critical_depth_iterations()
+        points.append(
+            WindowSizePoint(
+                benchmark=benchmark,
+                window_size=window,
+                window_ratio=window / preset.max_rounds,
+                final_accuracy_percent=accuracy,
+                critical_depth_percent=100.0 * critical_depth / max(run.total_rounds, 1),
+                num_splits=run.tree.num_splits,
+            )
+        )
+    return points
+
+
+def run_threshold_sweep(
+    benchmark: str,
+    preset: Preset,
+    thresholds: tuple[float, ...],
+    *,
+    seed: int = 7,
+) -> list[ThresholdPoint]:
+    """Run TreeVQA with several ε_split values."""
+    points = []
+    for epsilon in thresholds:
+        suite = build_vqe_suite(benchmark, preset)
+        config = default_config(preset, seed=seed, epsilon_split=epsilon)
+        run = TreeVQAController(suite.tasks, suite.ansatz, config).run()
+        errors = [outcome.error for outcome in run.outcomes]
+        points.append(
+            ThresholdPoint(
+                benchmark=benchmark,
+                epsilon_split=epsilon,
+                mean_error_percent=float(np.mean(errors) * 100.0),
+                num_splits=run.tree.num_splits,
+            )
+        )
+    return points
+
+
+def run_figure14(
+    preset: str | Preset = "fast",
+    benchmarks: tuple[str, ...] = ("LiH", "HF"),
+    *,
+    window_sizes: tuple[int, ...] | None = None,
+    thresholds: tuple[float, ...] | None = None,
+    include_threshold_sweep: bool = True,
+    seed: int = 7,
+) -> Figure14Result:
+    """Run the window-size sweep (and optionally the threshold sweep)."""
+    preset = get_preset(preset)
+    if window_sizes is None:
+        window_sizes = (4, 8, 16) if preset.name == "fast" else (4, 8, 16, 32, 48)
+    if thresholds is None:
+        thresholds = (
+            (3e-4, 1.5e-3, 1e-2) if preset.name == "fast"
+            else tuple(np.geomspace(1e-4, 3e-2, 6))
+        )
+    result = Figure14Result()
+    for benchmark in benchmarks:
+        result.window_points.extend(
+            run_window_size_sweep(benchmark, preset, window_sizes, seed=seed)
+        )
+        if include_threshold_sweep:
+            result.threshold_points.extend(
+                run_threshold_sweep(benchmark, preset, thresholds, seed=seed)
+            )
+    return result
+
+
+def format_figure14(result: Figure14Result) -> str:
+    """Render both sweeps."""
+    sections = []
+    window_rows = [
+        [p.benchmark, p.window_size, p.window_ratio, p.final_accuracy_percent,
+         p.critical_depth_percent, p.num_splits]
+        for p in result.window_points
+    ]
+    sections.append(
+        format_table(
+            ["benchmark", "window size", "window ratio", "final accuracy (%)",
+             "critical depth (% of budget)", "#splits"],
+            window_rows,
+            title="Fig. 14: window-size analysis",
+        )
+    )
+    if result.threshold_points:
+        threshold_rows = [
+            [p.benchmark, p.epsilon_split, p.mean_error_percent, p.num_splits]
+            for p in result.threshold_points
+        ]
+        sections.append(
+            format_table(
+                ["benchmark", "epsilon_split", "mean error (%)", "#splits"],
+                threshold_rows,
+                title="§9.1: splitting-threshold analysis",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,117 @@
+"""Figure 4 — the task-similarity observation (paper §3).
+
+* Fig. 4a: dominant ground-state basis amplitudes of H2 at several bond
+  lengths, showing that the wavefunction varies gradually with geometry.
+* Fig. 4b: pairwise ground-state overlap |<ψ_i|ψ_j>|² of LiH tasks across a
+  wide bond-length scan.
+* Fig. 4c: the TreeVQA Hamiltonian similarity metric (ℓ1 coefficient distance
+  through a Gaussian kernel) over the same scan, showing it tracks the
+  ground-state overlap structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.similarity import ground_state_overlap_matrix, normalize_matrix, similarity_matrix
+from ...hamiltonians.molecular import MolecularFamily, get_molecule
+from ...quantum.exact import ground_state
+from ..reporting import format_heatmap, format_table
+
+__all__ = ["Figure4aRow", "Figure4Result", "run_figure4a", "run_figure4", "format_figure4"]
+
+#: Bond lengths used by the Fig. 4b/4c heatmaps (Å), matching the paper's axis.
+DEFAULT_HEATMAP_LENGTHS = (0.6, 0.7, 0.9, 1.0, 1.2, 1.3, 1.4, 1.6, 1.7, 1.8, 2.0, 2.1, 2.3, 2.4)
+
+
+@dataclass(frozen=True)
+class Figure4aRow:
+    """Dominant ground-state amplitudes of H2 at one bond length."""
+
+    bond_length: float
+    amplitudes: dict[str, float]
+
+
+@dataclass
+class Figure4Result:
+    """All three panels of Fig. 4."""
+
+    h2_states: list[Figure4aRow]
+    bond_lengths: tuple[float, ...]
+    overlap_matrix: np.ndarray
+    hamiltonian_similarity: np.ndarray
+
+    def correlation(self) -> float:
+        """Pearson correlation between the two heatmaps' off-diagonal entries.
+
+        The paper's claim is that the coefficient-based similarity metric is a
+        faithful proxy for ground-state overlap; a strongly positive
+        correlation reproduces that claim quantitatively.
+        """
+        mask = ~np.eye(self.overlap_matrix.shape[0], dtype=bool)
+        a = self.overlap_matrix[mask]
+        b = self.hamiltonian_similarity[mask]
+        if np.std(a) == 0 or np.std(b) == 0:
+            return 1.0
+        return float(np.corrcoef(a, b)[0, 1])
+
+
+def run_figure4a(
+    bond_lengths: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 2.0), top_amplitudes: int = 4
+) -> list[Figure4aRow]:
+    """Ground states of H2 at several bond lengths (Fig. 4a)."""
+    family = MolecularFamily(get_molecule("H2"))
+    rows = []
+    for length in bond_lengths:
+        result = ground_state(family.hamiltonian(length))
+        probabilities = result.statevector.probabilities()
+        order = np.argsort(probabilities)[::-1][:top_amplitudes]
+        amplitudes = {
+            format(int(index), f"0{family.num_qubits}b"): float(np.sqrt(probabilities[index]))
+            for index in order
+        }
+        rows.append(Figure4aRow(bond_length=float(length), amplitudes=amplitudes))
+    return rows
+
+
+def run_figure4(
+    molecule: str = "LiH",
+    bond_lengths: tuple[float, ...] = DEFAULT_HEATMAP_LENGTHS,
+) -> Figure4Result:
+    """Compute all three Fig. 4 panels."""
+    family = MolecularFamily(get_molecule(molecule))
+    hamiltonians = [family.hamiltonian(length) for length in bond_lengths]
+    overlap = normalize_matrix(ground_state_overlap_matrix(hamiltonians))
+    hamiltonian_similarity = normalize_matrix(similarity_matrix(hamiltonians))
+    return Figure4Result(
+        h2_states=run_figure4a(),
+        bond_lengths=tuple(float(length) for length in bond_lengths),
+        overlap_matrix=overlap,
+        hamiltonian_similarity=hamiltonian_similarity,
+    )
+
+
+def format_figure4(result: Figure4Result) -> str:
+    """Render the Fig. 4 panels as text heatmaps."""
+    labels = [f"{length:.1f}" for length in result.bond_lengths]
+    sections = []
+    headers = ["Bond (Å)"] + [f"state {i}" for i in range(len(result.h2_states[0].amplitudes))]
+    rows = []
+    for row in result.h2_states:
+        cells = [f"{row.bond_length:.2f}"]
+        cells.extend(f"|{bits}>: {amp:.3f}" for bits, amp in row.amplitudes.items())
+        rows.append(cells)
+    sections.append(format_table(headers, rows, title="Fig. 4a: H2 ground-state amplitudes"))
+    sections.append(
+        format_heatmap(labels, result.overlap_matrix, title="Fig. 4b: ground-state overlap (normalised)")
+    )
+    sections.append(
+        format_heatmap(
+            labels, result.hamiltonian_similarity,
+            title="Fig. 4c: Hamiltonian similarity in TreeVQA norm space (normalised)",
+        )
+    )
+    sections.append(f"off-diagonal correlation (4b vs 4c): {result.correlation():.3f}")
+    return "\n\n".join(sections)

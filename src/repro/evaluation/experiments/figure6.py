@@ -1,0 +1,163 @@
+"""Figure 6 — shot reduction at a fixed fidelity target (paper §8.1).
+
+For each of the six VQE benchmarks (HF, LiH, BeH2, XXZ, transverse-field
+Ising, H2-UCCSD) both TreeVQA and the independent baseline are run, and the
+shots each needs to bring *every* task to a fidelity threshold are compared
+across a sweep of thresholds.  Each panel also reports the paper's headline
+pair: the highest fidelity both methods reach and the savings ratio there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..metrics import SavingsPoint, common_max_fidelity, savings_at_threshold, savings_curve
+from ..reporting import format_table
+from .common import (
+    FIG6_BENCHMARKS,
+    BenchmarkComparison,
+    Preset,
+    build_vqe_suite,
+    default_config,
+    get_preset,
+    run_comparison,
+)
+
+__all__ = ["Figure6Panel", "Figure6Result", "run_figure6_panel", "run_figure6", "format_figure6"]
+
+
+@dataclass
+class Figure6Panel:
+    """One benchmark's shots-vs-threshold comparison."""
+
+    benchmark: str
+    comparison: BenchmarkComparison
+    thresholds: list[float]
+    points: list[SavingsPoint]
+    max_common_fidelity: float
+    headline_savings: float | None
+
+    @property
+    def treevqa_shots(self) -> list[int | None]:
+        return [point.treevqa_shots for point in self.points]
+
+    @property
+    def baseline_shots(self) -> list[int | None]:
+        return [point.baseline_shots for point in self.points]
+
+
+@dataclass
+class Figure6Result:
+    """All panels of Fig. 6."""
+
+    panels: list[Figure6Panel] = field(default_factory=list)
+
+    def average_savings(self) -> float | None:
+        """Mean headline savings ratio over panels that produced one."""
+        values = [panel.headline_savings for panel in self.panels if panel.headline_savings]
+        return float(np.mean(values)) if values else None
+
+
+def _initial_fidelity(comparison: BenchmarkComparison) -> float:
+    """Application fidelity right after the first iteration (the curves' left edge)."""
+    values = []
+    for result in (comparison.treevqa, comparison.baseline):
+        for outcome in result.outcomes:
+            trajectory = result.trajectories.get(outcome.task_name)
+            if trajectory is None or not trajectory.energies:
+                continue
+            values.append(outcome.task.fidelity(trajectory.energies[0]))
+    return min(values) if values else 0.5
+
+
+def _threshold_sweep(
+    max_fidelity: float, initial_fidelity: float, num_points: int = 8
+) -> list[float]:
+    """Thresholds spanning the region the optimisation actually traverses.
+
+    Never exceeds ``max_fidelity`` so every threshold is reachable by both
+    methods (their shots-to-threshold values are finite).
+    """
+    upper = min(max_fidelity, 0.9999)
+    lower = max(0.0, min(initial_fidelity + 0.02, upper - 0.05))
+    thresholds = np.minimum(np.linspace(lower, upper, num_points), max_fidelity)
+    return [float(value) for value in np.floor(thresholds * 1e4) / 1e4]
+
+
+def run_figure6_panel(
+    benchmark: str,
+    preset: str | Preset = "fast",
+    *,
+    comparison: BenchmarkComparison | None = None,
+    optimizer: str = "spsa",
+    seed: int = 7,
+) -> Figure6Panel:
+    """Run (or analyse a precomputed) TreeVQA-vs-baseline comparison for one benchmark."""
+    preset = get_preset(preset)
+    if comparison is None:
+        suite = build_vqe_suite(benchmark, preset)
+        config = default_config(preset, optimizer=optimizer, seed=seed)
+        comparison = run_comparison(
+            suite, config, baseline_iterations=preset.baseline_iterations
+        )
+    max_fidelity = common_max_fidelity(comparison.treevqa, comparison.baseline)
+    thresholds = _threshold_sweep(max_fidelity, _initial_fidelity(comparison))
+    points = savings_curve(comparison.treevqa, comparison.baseline, thresholds)
+    _, headline = savings_at_threshold(comparison.treevqa, comparison.baseline, max_fidelity)
+    return Figure6Panel(
+        benchmark=benchmark,
+        comparison=comparison,
+        thresholds=thresholds,
+        points=points,
+        max_common_fidelity=max_fidelity,
+        headline_savings=headline,
+    )
+
+
+def run_figure6(
+    preset: str | Preset = "fast",
+    benchmarks: tuple[str, ...] | None = None,
+    *,
+    optimizer: str = "spsa",
+    seed: int = 7,
+) -> Figure6Result:
+    """Run every Fig. 6 panel."""
+    preset = get_preset(preset)
+    names = benchmarks or FIG6_BENCHMARKS
+    panels = [
+        run_figure6_panel(name, preset, optimizer=optimizer, seed=seed) for name in names
+    ]
+    return Figure6Result(panels=panels)
+
+
+def format_figure6(result: Figure6Result) -> str:
+    """Render Fig. 6 as per-panel tables plus the headline savings."""
+    sections = []
+    for panel in result.panels:
+        rows = []
+        for point in panel.points:
+            rows.append(
+                [
+                    point.threshold,
+                    point.treevqa_shots,
+                    point.baseline_shots,
+                    point.savings_ratio,
+                ]
+            )
+        table = format_table(
+            ["fidelity threshold", "TreeVQA shots", "baseline shots", "savings"],
+            rows,
+            title=(
+                f"Fig. 6 [{panel.benchmark}] — max common fidelity "
+                f"{panel.max_common_fidelity:.3f}, shot savings "
+                f"{panel.headline_savings:.1f}x" if panel.headline_savings
+                else f"Fig. 6 [{panel.benchmark}] — max common fidelity {panel.max_common_fidelity:.3f}"
+            ),
+        )
+        sections.append(table)
+    average = result.average_savings()
+    if average is not None:
+        sections.append(f"average shot savings across panels: {average:.1f}x")
+    return "\n\n".join(sections)

@@ -1,0 +1,135 @@
+"""Figure 7 — fidelity gain at a fixed shot budget (paper §8.2).
+
+The same six benchmarks as Fig. 6, read the other way: for a sweep of shot
+budgets, what application fidelity does each method achieve?  TreeVQA should
+dominate the baseline across the budget range and show a lower variance of
+per-task fidelities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..metrics import fidelity_budget_curve
+from ..reporting import format_table
+from .common import (
+    FIG6_BENCHMARKS,
+    BenchmarkComparison,
+    Preset,
+    build_vqe_suite,
+    default_config,
+    get_preset,
+    run_comparison,
+)
+
+__all__ = ["Figure7Panel", "Figure7Result", "run_figure7_panel", "run_figure7", "format_figure7"]
+
+
+@dataclass
+class Figure7Panel:
+    """Fidelity-vs-budget curves for one benchmark."""
+
+    benchmark: str
+    budgets: list[int]
+    treevqa_fidelities: list[float]
+    baseline_fidelities: list[float]
+    treevqa_variance: float
+    baseline_variance: float
+    comparison: BenchmarkComparison
+
+    def advantage(self) -> float:
+        """Mean fidelity advantage of TreeVQA over the baseline across budgets."""
+        return float(
+            np.mean(np.array(self.treevqa_fidelities) - np.array(self.baseline_fidelities))
+        )
+
+
+@dataclass
+class Figure7Result:
+    """All panels of Fig. 7."""
+
+    panels: list[Figure7Panel] = field(default_factory=list)
+
+
+def _budget_sweep(comparison: BenchmarkComparison, num_points: int = 10) -> list[int]:
+    """Log-spaced budgets covering both methods' recorded trajectories."""
+    smallest = min(
+        min((t.cumulative_shots[0] for t in result.trajectories.values() if t.cumulative_shots),
+            default=1)
+        for result in (comparison.treevqa, comparison.baseline)
+    )
+    largest = max(comparison.treevqa.total_shots, comparison.baseline.total_shots)
+    largest = max(largest, smallest + 1)
+    return [int(value) for value in np.geomspace(smallest, largest, num_points)]
+
+
+def run_figure7_panel(
+    benchmark: str,
+    preset: str | Preset = "fast",
+    *,
+    comparison: BenchmarkComparison | None = None,
+    seed: int = 7,
+) -> Figure7Panel:
+    """Fidelity-vs-budget curves for one benchmark."""
+    preset = get_preset(preset)
+    if comparison is None:
+        suite = build_vqe_suite(benchmark, preset)
+        config = default_config(preset, seed=seed)
+        comparison = run_comparison(
+            suite, config, baseline_iterations=preset.baseline_iterations
+        )
+    budgets = _budget_sweep(comparison)
+    treevqa_curve = fidelity_budget_curve(comparison.treevqa, budgets)
+    baseline_curve = fidelity_budget_curve(comparison.baseline, budgets)
+    return Figure7Panel(
+        benchmark=benchmark,
+        budgets=budgets,
+        treevqa_fidelities=[value for _, value in treevqa_curve],
+        baseline_fidelities=[value for _, value in baseline_curve],
+        treevqa_variance=comparison.treevqa.fidelity_variance(),
+        baseline_variance=comparison.baseline.fidelity_variance(),
+        comparison=comparison,
+    )
+
+
+def run_figure7(
+    preset: str | Preset = "fast",
+    benchmarks: tuple[str, ...] | None = None,
+    *,
+    seed: int = 7,
+    comparisons: dict[str, BenchmarkComparison] | None = None,
+) -> Figure7Result:
+    """Run every Fig. 7 panel (optionally reusing Fig. 6 comparisons)."""
+    preset = get_preset(preset)
+    names = benchmarks or FIG6_BENCHMARKS
+    panels = []
+    for name in names:
+        precomputed = comparisons.get(name) if comparisons else None
+        panels.append(run_figure7_panel(name, preset, comparison=precomputed, seed=seed))
+    return Figure7Result(panels=panels)
+
+
+def format_figure7(result: Figure7Result) -> str:
+    """Render Fig. 7 as per-panel fidelity-vs-budget tables."""
+    sections = []
+    for panel in result.panels:
+        rows = [
+            [budget, tree, base]
+            for budget, tree, base in zip(
+                panel.budgets, panel.treevqa_fidelities, panel.baseline_fidelities
+            )
+        ]
+        sections.append(
+            format_table(
+                ["shot budget", "TreeVQA fidelity", "baseline fidelity"],
+                rows,
+                title=(
+                    f"Fig. 7 [{panel.benchmark}] — mean advantage {panel.advantage():+.4f}, "
+                    f"fidelity variance {panel.treevqa_variance:.2e} (TreeVQA) vs "
+                    f"{panel.baseline_variance:.2e} (baseline)"
+                ),
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,114 @@
+"""Evaluation metrics (paper §7.2) and savings analyses (§8).
+
+Error and fidelity are defined per task as ε_i = |E_gs − E_i| / |E_gs| and
+F_i = 1 − ε_i; an application reaches a fidelity threshold T only when every
+task does.  Shot savings are the ratio of baseline to TreeVQA shots at the
+same threshold (Fig. 6) or, for a fixed shot budget, the fidelity difference
+(Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.results import RunResult
+
+__all__ = [
+    "relative_error",
+    "fidelity",
+    "SavingsPoint",
+    "savings_curve",
+    "savings_at_threshold",
+    "fidelity_budget_curve",
+    "common_max_fidelity",
+]
+
+
+def relative_error(estimated_energy: float, exact_energy: float) -> float:
+    """ε = |E_gs − E| / |E_gs| (paper §7.2)."""
+    if exact_energy == 0:
+        return abs(estimated_energy - exact_energy)
+    return abs(exact_energy - estimated_energy) / abs(exact_energy)
+
+
+def fidelity(estimated_energy: float, exact_energy: float) -> float:
+    """F = 1 − ε, clipped to [0, 1]."""
+    return float(max(0.0, min(1.0, 1.0 - relative_error(estimated_energy, exact_energy))))
+
+
+@dataclass(frozen=True)
+class SavingsPoint:
+    """Shots required by both methods at one fidelity threshold."""
+
+    threshold: float
+    treevqa_shots: int | None
+    baseline_shots: int | None
+
+    @property
+    def savings_ratio(self) -> float | None:
+        """baseline / TreeVQA shots; None when either never reached the threshold."""
+        if not self.treevqa_shots or not self.baseline_shots:
+            return None
+        return self.baseline_shots / self.treevqa_shots
+
+
+def common_max_fidelity(treevqa: RunResult, baseline: RunResult) -> float:
+    """Highest fidelity threshold reached by *both* runs (the Fig. 6 'Max VQE Fidelity')."""
+    return min(treevqa.max_reported_fidelity(), baseline.max_reported_fidelity())
+
+
+def savings_curve(
+    treevqa: RunResult,
+    baseline: RunResult,
+    thresholds: list[float] | np.ndarray,
+) -> list[SavingsPoint]:
+    """Shots required by each method across a sweep of fidelity thresholds (Fig. 6)."""
+    points = []
+    for threshold in thresholds:
+        points.append(
+            SavingsPoint(
+                threshold=float(threshold),
+                treevqa_shots=treevqa.shots_to_reach_fidelity(float(threshold)),
+                baseline_shots=baseline.shots_to_reach_fidelity(float(threshold)),
+            )
+        )
+    return points
+
+
+def savings_at_threshold(
+    treevqa: RunResult, baseline: RunResult, threshold: float | None = None
+) -> tuple[float, float | None]:
+    """(threshold used, savings ratio) at the highest commonly reached fidelity.
+
+    When ``threshold`` is None the highest fidelity both methods reach is
+    used, mirroring the per-panel 'Max VQE Fidelity / Shot savings' labels of
+    Fig. 6.
+    """
+    if threshold is None:
+        threshold = common_max_fidelity(treevqa, baseline)
+    point = SavingsPoint(
+        threshold=threshold,
+        treevqa_shots=treevqa.shots_to_reach_fidelity(threshold),
+        baseline_shots=baseline.shots_to_reach_fidelity(threshold),
+    )
+    return threshold, point.savings_ratio
+
+
+def fidelity_budget_curve(
+    result: RunResult, budgets: list[int] | np.ndarray, *, aggregate: str = "min"
+) -> list[tuple[int, float]]:
+    """Fidelity achievable under a sweep of shot budgets (Fig. 7)."""
+    if aggregate not in ("min", "mean"):
+        raise ValueError("aggregate must be 'min' or 'mean'")
+    curve = []
+    for budget in budgets:
+        budget = int(budget)
+        value = (
+            result.fidelity_at_shots(budget)
+            if aggregate == "min"
+            else result.mean_fidelity_at_shots(budget)
+        )
+        curve.append((budget, value))
+    return curve

@@ -1,0 +1,67 @@
+"""Plain-text report formatting for experiment outputs.
+
+Every experiment runner returns a data object plus a formatted table so the
+benchmark harness can print "the same rows/series the paper reports" without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series", "format_heatmap"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a fixed-width text table."""
+    rendered_rows = [
+        [_render_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(header).ljust(width) for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object], *, float_format: str = "{:.4g}"
+) -> str:
+    """Render a named (x, y) series as two aligned columns."""
+    rows = list(zip(xs, ys))
+    return format_table(["x", name], rows, float_format=float_format)
+
+
+def format_heatmap(
+    labels: Sequence[object], matrix, *, title: str | None = None, float_format: str = "{:.2f}"
+) -> str:
+    """Render a square matrix with row/column labels (Fig. 4 style)."""
+    headers = [""] + [str(label) for label in labels]
+    rows = []
+    for label, row in zip(labels, matrix):
+        rows.append([label] + [float(value) for value in row])
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def _render_cell(cell: object, float_format: str) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    if cell is None:
+        return "-"
+    return str(cell)

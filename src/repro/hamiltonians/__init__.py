@@ -1,0 +1,65 @@
+"""Benchmark Hamiltonian families: molecules, spin chains, MaxCut / IEEE-14."""
+
+from .catalog import (
+    BenchmarkSuite,
+    VQE_SUITE_NAMES,
+    build_suite,
+    chemistry_suite,
+    ising_large_suite,
+    maxcut_ieee14_suite,
+    tfim_suite,
+    xxz_suite,
+)
+from .ieee14 import (
+    IEEE14_BRANCHES,
+    LOAD_SCENARIOS,
+    LoadScenario,
+    edge_weight_variance,
+    ieee14_graph,
+    load_scaled_graphs,
+)
+from .maxcut import (
+    cut_value,
+    max_cut_brute_force,
+    maxcut_cost_hamiltonian,
+    maxcut_minimization_hamiltonian,
+    qubo_to_ising,
+)
+from .molecular import MOLECULES, MolecularFamily, MoleculeSpec, get_molecule, hartree_fock_bitstring
+from .spin import (
+    heisenberg_xxz_chain,
+    tfim_field_scan,
+    transverse_field_ising_chain,
+    xxz_anisotropy_scan,
+)
+
+__all__ = [
+    "BenchmarkSuite",
+    "VQE_SUITE_NAMES",
+    "build_suite",
+    "chemistry_suite",
+    "ising_large_suite",
+    "maxcut_ieee14_suite",
+    "tfim_suite",
+    "xxz_suite",
+    "IEEE14_BRANCHES",
+    "LOAD_SCENARIOS",
+    "LoadScenario",
+    "edge_weight_variance",
+    "ieee14_graph",
+    "load_scaled_graphs",
+    "cut_value",
+    "max_cut_brute_force",
+    "maxcut_cost_hamiltonian",
+    "maxcut_minimization_hamiltonian",
+    "qubo_to_ising",
+    "MOLECULES",
+    "MolecularFamily",
+    "MoleculeSpec",
+    "get_molecule",
+    "hartree_fock_bitstring",
+    "heisenberg_xxz_chain",
+    "tfim_field_scan",
+    "transverse_field_ising_chain",
+    "xxz_anisotropy_scan",
+]

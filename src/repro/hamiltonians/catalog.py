@@ -1,0 +1,238 @@
+"""Named benchmark suites used throughout the evaluation (paper §7.1).
+
+A :class:`BenchmarkSuite` bundles a family of :class:`~repro.core.task.VQATask`
+objects (one per scan point) with the ansatz the paper pairs with it and the
+Table 1 metadata.  The figure runners in :mod:`repro.evaluation.experiments`
+consume these suites directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ansatz import Ansatz, HardwareEfficientAnsatz, MultiAngleQAOAAnsatz, UCCSDAnsatz
+from ..core.task import VQATask
+from .ieee14 import LOAD_SCENARIOS, LoadScenario, edge_weight_variance, load_scaled_graphs
+from .maxcut import maxcut_minimization_hamiltonian
+from .molecular import MOLECULES, MolecularFamily, get_molecule, hartree_fock_bitstring
+from .spin import tfim_field_scan, transverse_field_ising_chain, xxz_anisotropy_scan
+
+__all__ = [
+    "BenchmarkSuite",
+    "chemistry_suite",
+    "xxz_suite",
+    "tfim_suite",
+    "ising_large_suite",
+    "maxcut_ieee14_suite",
+    "VQE_SUITE_NAMES",
+    "build_suite",
+]
+
+
+@dataclass
+class BenchmarkSuite:
+    """A family of related VQA tasks plus the ansatz used to solve them."""
+
+    name: str
+    tasks: list[VQATask]
+    ansatz: Ansatz
+    kind: str  # "chemistry" | "physics" | "qaoa"
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def num_qubits(self) -> int:
+        return self.tasks[0].num_qubits
+
+    def hamiltonians(self) -> list:
+        return [task.hamiltonian for task in self.tasks]
+
+
+def chemistry_suite(
+    molecule: str,
+    *,
+    bond_lengths: list[float] | None = None,
+    num_ansatz_layers: int = 2,
+    use_uccsd: bool | None = None,
+) -> BenchmarkSuite:
+    """Chemistry benchmark: a molecule scanned over bond lengths (Table 1).
+
+    H2 defaults to the UCCSD ansatz with 5 instances, everything else to the
+    two-layer hardware-efficient ansatz with 10 instances, matching §7.1.
+    """
+    spec = get_molecule(molecule)
+    family = MolecularFamily(spec)
+    scan = family.scan(bond_lengths)
+    bitstring = family.hartree_fock_bitstring()
+    tasks = [
+        VQATask(
+            name=f"{spec.name}@{length:.3f}",
+            hamiltonian=hamiltonian,
+            scan_parameter=length,
+            initial_bitstring=bitstring,
+            metadata={"molecule": spec.name, "bond_length": length},
+        )
+        for length, hamiltonian in scan
+    ]
+    if use_uccsd is None:
+        use_uccsd = spec.name == "H2"
+    if use_uccsd:
+        ansatz: Ansatz = UCCSDAnsatz(
+            spec.num_qubits, spec.num_particles, reference_bitstring=bitstring
+        )
+    else:
+        ansatz = HardwareEfficientAnsatz(
+            spec.num_qubits, num_layers=num_ansatz_layers, initial_bitstring=bitstring
+        )
+    return BenchmarkSuite(
+        name=spec.name,
+        tasks=tasks,
+        ansatz=ansatz,
+        kind="chemistry",
+        metadata={
+            "paper_num_qubits": spec.paper_num_qubits,
+            "paper_num_terms": spec.paper_num_terms,
+            "bond_range": spec.bond_range,
+            "equilibrium_bond": spec.equilibrium_bond,
+            "ansatz": "UCCSD" if use_uccsd else "hardware-efficient",
+        },
+    )
+
+
+def xxz_suite(
+    num_sites: int = 6,
+    anisotropies: list[float] | None = None,
+    *,
+    num_ansatz_layers: int = 2,
+) -> BenchmarkSuite:
+    """Heisenberg XXZ chain scanned across the anisotropy (BKT transition at Δ=1)."""
+    scan = xxz_anisotropy_scan(num_sites, anisotropies)
+    tasks = [
+        VQATask(
+            name=f"XXZ@{delta:.3f}",
+            hamiltonian=hamiltonian,
+            scan_parameter=delta,
+            metadata={"model": "xxz", "anisotropy": delta, "num_sites": num_sites},
+        )
+        for delta, hamiltonian in scan
+    ]
+    ansatz = HardwareEfficientAnsatz(num_sites, num_layers=num_ansatz_layers)
+    return BenchmarkSuite(
+        name="XXZ", tasks=tasks, ansatz=ansatz, kind="physics",
+        metadata={"num_sites": num_sites, "transition": "BKT at anisotropy 1.0"},
+    )
+
+
+def tfim_suite(
+    num_sites: int = 6,
+    fields: list[float] | None = None,
+    *,
+    num_ansatz_layers: int = 2,
+) -> BenchmarkSuite:
+    """Transverse-field Ising chain scanned across the field (transition at h=J)."""
+    scan = tfim_field_scan(num_sites, fields)
+    tasks = [
+        VQATask(
+            name=f"TFIM@{h:.3f}",
+            hamiltonian=hamiltonian,
+            scan_parameter=h,
+            metadata={"model": "tfim", "field": h, "num_sites": num_sites},
+        )
+        for h, hamiltonian in scan
+    ]
+    ansatz = HardwareEfficientAnsatz(num_sites, num_layers=num_ansatz_layers)
+    return BenchmarkSuite(
+        name="TransverseFieldIsing", tasks=tasks, ansatz=ansatz, kind="physics",
+        metadata={"num_sites": num_sites, "transition": "quantum critical point at h=J"},
+    )
+
+
+def ising_large_suite(
+    num_sites: int = 25,
+    fields: list[float] | None = None,
+    *,
+    num_ansatz_layers: int = 1,
+) -> BenchmarkSuite:
+    """The Fig. 9 large-scale Ising benchmark (solved via Pauli propagation)."""
+    if fields is None:
+        fields = list(np.linspace(0.6, 1.4, 10))
+    tasks = [
+        VQATask(
+            name=f"Ising{num_sites}@{h:.3f}",
+            hamiltonian=transverse_field_ising_chain(num_sites, float(h)),
+            scan_parameter=float(h),
+            metadata={"model": "ising", "field": float(h), "num_sites": num_sites},
+        )
+        for h in fields
+    ]
+    ansatz = HardwareEfficientAnsatz(num_sites, num_layers=num_ansatz_layers, entanglement="linear")
+    return BenchmarkSuite(
+        name=f"Ising{num_sites}", tasks=tasks, ansatz=ansatz, kind="physics",
+        metadata={"num_sites": num_sites, "simulator": "pauli-propagation"},
+    )
+
+
+def maxcut_ieee14_suite(
+    scenario: LoadScenario | str = "0.8:1.2",
+    num_instances: int = 10,
+    *,
+    qaoa_layers: int = 1,
+) -> BenchmarkSuite:
+    """MaxCut on the IEEE 14-bus system under a load-scale scenario (Fig. 12)."""
+    if isinstance(scenario, str):
+        matches = [s for s in LOAD_SCENARIOS if s.name == scenario]
+        if not matches:
+            known = ", ".join(s.name for s in LOAD_SCENARIOS)
+            raise ValueError(f"unknown load scenario {scenario!r}; known: {known}")
+        scenario = matches[0]
+    graphs = load_scaled_graphs(scenario.load_range, num_instances)
+    tasks = []
+    for scale, graph in graphs:
+        tasks.append(
+            VQATask(
+                name=f"MaxCut@load{scale:.3f}",
+                hamiltonian=maxcut_minimization_hamiltonian(graph),
+                scan_parameter=scale,
+                metadata={"graph": graph, "load_scale": scale, "scenario": scenario.name},
+            )
+        )
+    variance = edge_weight_variance([graph for _, graph in graphs])
+    # ma-QAOA over the first instance's clause structure; all instances share it
+    # because the graphs are isomorphic with identical edge sets (§8.8).
+    ansatz = MultiAngleQAOAAnsatz(tasks[0].hamiltonian, num_layers=qaoa_layers)
+    return BenchmarkSuite(
+        name=f"IEEE14-MaxCut[{scenario.name}]",
+        tasks=tasks,
+        ansatz=ansatz,
+        kind="qaoa",
+        metadata={
+            "scenario": scenario.name,
+            "load_range": scenario.load_range,
+            "edge_weight_variance": variance,
+            "description": scenario.description,
+        },
+    )
+
+
+VQE_SUITE_NAMES = ("HF", "LiH", "BeH2", "XXZ", "TFIM", "H2")
+
+
+def build_suite(name: str, **kwargs) -> BenchmarkSuite:
+    """Build a named suite: a molecule name, 'XXZ', 'TFIM', 'Ising25' or 'MaxCut'."""
+    key = name.lower()
+    if key in (m.lower() for m in MOLECULES):
+        return chemistry_suite(name, **kwargs)
+    if key == "xxz":
+        return xxz_suite(**kwargs)
+    if key in ("tfim", "transversefieldising", "ising"):
+        return tfim_suite(**kwargs)
+    if key in ("ising25", "ising_large"):
+        return ising_large_suite(**kwargs)
+    if key in ("maxcut", "ieee14"):
+        return maxcut_ieee14_suite(**kwargs)
+    raise ValueError(f"unknown benchmark suite {name!r}")

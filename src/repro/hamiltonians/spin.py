@@ -1,0 +1,91 @@
+"""Spin-chain physics benchmarks (paper §7.1).
+
+Two spin-1/2 models are evaluated in the paper:
+
+* the Heisenberg XXZ chain
+  ``H = J Σ_i (X_i X_{i+1} + Y_i Y_{i+1} + Δ Z_i Z_{i+1})``, whose anisotropy
+  Δ drives a BKT transition at Δ = 1;
+* the transverse-field Ising chain
+  ``H = -J Σ_i Z_i Z_{i+1} - h Σ_i X_i``, with a quantum phase transition at
+  ``h = J``.
+
+Both are open chains (nearest-neighbour couplings only), matching the paper's
+use of a linear spin-to-qubit mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quantum.pauli import PauliOperator, PauliString
+
+__all__ = [
+    "heisenberg_xxz_chain",
+    "transverse_field_ising_chain",
+    "xxz_anisotropy_scan",
+    "tfim_field_scan",
+]
+
+
+def heisenberg_xxz_chain(
+    num_sites: int, anisotropy: float, coupling: float = 1.0, *, periodic: bool = False
+) -> PauliOperator:
+    """Heisenberg XXZ chain Hamiltonian on ``num_sites`` qubits."""
+    if num_sites < 2:
+        raise ValueError("num_sites must be >= 2")
+    terms: dict[PauliString, complex] = {}
+    bonds = [(i, i + 1) for i in range(num_sites - 1)]
+    if periodic and num_sites > 2:
+        bonds.append((num_sites - 1, 0))
+    for i, j in bonds:
+        for op, factor in (("X", 1.0), ("Y", 1.0), ("Z", anisotropy)):
+            pauli = PauliString.from_sparse(num_sites, {i: op, j: op})
+            terms[pauli] = terms.get(pauli, 0.0) + coupling * factor
+    return PauliOperator(num_sites, terms)
+
+
+def transverse_field_ising_chain(
+    num_sites: int, field: float, coupling: float = 1.0, *, periodic: bool = False
+) -> PauliOperator:
+    """Transverse-field Ising chain: -J Σ Z_i Z_{i+1} - h Σ X_i."""
+    if num_sites < 2:
+        raise ValueError("num_sites must be >= 2")
+    terms: dict[PauliString, complex] = {}
+    bonds = [(i, i + 1) for i in range(num_sites - 1)]
+    if periodic and num_sites > 2:
+        bonds.append((num_sites - 1, 0))
+    for i, j in bonds:
+        pauli = PauliString.from_sparse(num_sites, {i: "Z", j: "Z"})
+        terms[pauli] = terms.get(pauli, 0.0) - coupling
+    for i in range(num_sites):
+        pauli = PauliString.from_sparse(num_sites, {i: "X"})
+        terms[pauli] = terms.get(pauli, 0.0) - field
+    return PauliOperator(num_sites, terms)
+
+
+def xxz_anisotropy_scan(
+    num_sites: int,
+    anisotropies: list[float] | np.ndarray | None = None,
+    coupling: float = 1.0,
+) -> list[tuple[float, PauliOperator]]:
+    """XXZ Hamiltonians across an anisotropy scan spanning the BKT point Δ = 1."""
+    if anisotropies is None:
+        anisotropies = np.linspace(0.55, 1.45, 10)
+    return [
+        (float(delta), heisenberg_xxz_chain(num_sites, float(delta), coupling))
+        for delta in anisotropies
+    ]
+
+
+def tfim_field_scan(
+    num_sites: int,
+    fields: list[float] | np.ndarray | None = None,
+    coupling: float = 1.0,
+) -> list[tuple[float, PauliOperator]]:
+    """Transverse-field Ising Hamiltonians across a field scan spanning h = J."""
+    if fields is None:
+        fields = np.linspace(0.55, 1.45, 10)
+    return [
+        (float(h), transverse_field_ising_chain(num_sites, float(h), coupling))
+        for h in fields
+    ]

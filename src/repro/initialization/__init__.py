@@ -1,0 +1,23 @@
+"""Classical initialisation strategies: Hartree–Fock, CAFQA, Red-QAOA."""
+
+from .cafqa import CAFQAResult, cafqa_search, clifford_energy
+from .hartree_fock import (
+    assign_hartree_fock,
+    hartree_fock_bitstring,
+    hartree_fock_energy,
+    hartree_fock_state,
+)
+from .red_qaoa import RedQAOAResult, pool_graph, red_qaoa_initialization
+
+__all__ = [
+    "CAFQAResult",
+    "cafqa_search",
+    "clifford_energy",
+    "assign_hartree_fock",
+    "hartree_fock_bitstring",
+    "hartree_fock_energy",
+    "hartree_fock_state",
+    "RedQAOAResult",
+    "pool_graph",
+    "red_qaoa_initialization",
+]

@@ -1,0 +1,37 @@
+"""Hartree–Fock-style reference-state initialisation (paper §5.1, §7.1).
+
+The chemistry benchmarks start every task from the Hartree–Fock determinant:
+the lowest ``num_particles`` spin orbitals occupied.  In the qubit picture
+this is a computational-basis bitstring, prepared with X gates in front of
+the ansatz and shared by all tasks of a molecule's scan — which is why the
+paper starts them in a single root cluster.
+"""
+
+from __future__ import annotations
+
+from ..core.task import VQATask
+from ..hamiltonians.molecular import hartree_fock_bitstring
+from ..quantum.statevector import Statevector
+
+__all__ = ["hartree_fock_bitstring", "hartree_fock_state", "hartree_fock_energy", "assign_hartree_fock"]
+
+
+def hartree_fock_state(num_qubits: int, num_particles: int) -> Statevector:
+    """The Hartree–Fock determinant as a statevector."""
+    return Statevector.computational_basis(
+        num_qubits, hartree_fock_bitstring(num_qubits, num_particles)
+    )
+
+
+def hartree_fock_energy(task: VQATask, num_particles: int) -> float:
+    """Energy of the Hartree–Fock determinant under the task Hamiltonian."""
+    state = hartree_fock_state(task.num_qubits, num_particles)
+    return state.expectation(task.hamiltonian)
+
+
+def assign_hartree_fock(tasks: list[VQATask], num_particles: int) -> list[VQATask]:
+    """Set every task's initial bitstring to the HF determinant (in place); returns tasks."""
+    bitstring = hartree_fock_bitstring(tasks[0].num_qubits, num_particles)
+    for task in tasks:
+        task.initial_bitstring = bitstring
+    return tasks

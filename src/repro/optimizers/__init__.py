@@ -1,0 +1,14 @@
+"""Classical optimizers: SPSA (paper default) and COBYLA (alternate, §8.6)."""
+
+from .base import IterativeOptimizer, Objective, OptimizerResult, OptimizerStep
+from .cobyla import COBYLA
+from .spsa import SPSA
+
+__all__ = [
+    "IterativeOptimizer",
+    "Objective",
+    "OptimizerResult",
+    "OptimizerStep",
+    "COBYLA",
+    "SPSA",
+]

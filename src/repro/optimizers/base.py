@@ -1,0 +1,113 @@
+"""Optimizer interfaces shared by TreeVQA and the baseline.
+
+TreeVQA drives its optimizer one *iteration* at a time so that the sliding-
+window slope monitor can inspect the loss after every iteration and trigger a
+cluster split (paper §5.2.2–5.2.3).  The interface therefore exposes
+:meth:`IterativeOptimizer.step` in addition to a conventional
+:meth:`IterativeOptimizer.minimize` loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Objective", "OptimizerStep", "OptimizerResult", "IterativeOptimizer"]
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class OptimizerStep:
+    """Outcome of a single optimizer iteration."""
+
+    parameters: np.ndarray
+    loss: float
+    num_evaluations: int
+    iteration: int
+
+
+@dataclass
+class OptimizerResult:
+    """Outcome of a full optimisation run."""
+
+    parameters: np.ndarray
+    loss: float
+    num_iterations: int
+    num_evaluations: int
+    loss_history: list[float] = field(default_factory=list)
+
+    @property
+    def best_loss(self) -> float:
+        """Lowest loss seen along the trajectory (falls back to final loss)."""
+        return min(self.loss_history) if self.loss_history else self.loss
+
+
+class IterativeOptimizer:
+    """Base class: stateful, steppable optimizer."""
+
+    #: number of objective evaluations consumed per step (the paper's
+    #: N_evals-per-iter; 2 for SPSA's ± perturbation pair).
+    evaluations_per_step: int = 1
+
+    def __init__(self) -> None:
+        self._parameters: np.ndarray | None = None
+        self._iteration = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def reset(self, initial_parameters: np.ndarray) -> None:
+        """Start a new optimisation from ``initial_parameters``."""
+        self._parameters = np.asarray(initial_parameters, dtype=float).copy()
+        self._iteration = 0
+
+    @property
+    def parameters(self) -> np.ndarray:
+        """Current parameter vector."""
+        if self._parameters is None:
+            raise RuntimeError("optimizer has not been reset with initial parameters")
+        return self._parameters.copy()
+
+    @property
+    def iteration(self) -> int:
+        """Number of completed iterations since the last reset."""
+        return self._iteration
+
+    # -- to be provided by subclasses -------------------------------------------
+
+    def step(self, objective: Objective) -> OptimizerStep:
+        """Perform one iteration and return the new parameters and loss estimate."""
+        raise NotImplementedError
+
+    # -- convenience ---------------------------------------------------------------
+
+    def minimize(
+        self,
+        objective: Objective,
+        initial_parameters: np.ndarray,
+        num_iterations: int,
+        callback: Callable[[OptimizerStep], None] | None = None,
+    ) -> OptimizerResult:
+        """Run ``num_iterations`` steps from ``initial_parameters``."""
+        if num_iterations < 1:
+            raise ValueError("num_iterations must be >= 1")
+        self.reset(initial_parameters)
+        history: list[float] = []
+        evaluations = 0
+        last: OptimizerStep | None = None
+        for _ in range(num_iterations):
+            last = self.step(objective)
+            history.append(last.loss)
+            evaluations += last.num_evaluations
+            if callback is not None:
+                callback(last)
+        assert last is not None
+        return OptimizerResult(
+            parameters=last.parameters,
+            loss=last.loss,
+            num_iterations=num_iterations,
+            num_evaluations=evaluations,
+            loss_history=history,
+        )

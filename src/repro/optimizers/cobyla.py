@@ -1,0 +1,91 @@
+"""COBYLA optimizer adapter (paper §8.6, §8.7).
+
+COBYLA (Constrained Optimization BY Linear Approximations) is inherently a
+run-to-completion algorithm, but TreeVQA needs per-iteration control so it
+can monitor slopes and split clusters.  The adapter exposes the common
+:class:`~repro.optimizers.base.IterativeOptimizer` interface by running
+scipy's COBYLA in short warm-restarted blocks: each ``step`` continues from
+the current best point with a trust-region radius that decays across blocks.
+This keeps the optimizer's qualitative behaviour (gradient-free local linear
+approximations) while fitting the steppable interface; the shot ledger counts
+the true number of objective evaluations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from .base import IterativeOptimizer, Objective, OptimizerStep
+
+__all__ = ["COBYLA"]
+
+
+class COBYLA(IterativeOptimizer):
+    """Warm-restarted COBYLA blocks behind the steppable optimizer interface."""
+
+    def __init__(
+        self,
+        *,
+        initial_trust_radius: float = 0.3,
+        final_trust_radius: float = 1e-3,
+        trust_decay: float = 0.97,
+        evaluations_per_step: int = 4,
+    ) -> None:
+        super().__init__()
+        if initial_trust_radius <= 0 or final_trust_radius <= 0:
+            raise ValueError("trust radii must be positive")
+        if evaluations_per_step < 2:
+            raise ValueError("evaluations_per_step must be >= 2")
+        self.initial_trust_radius = initial_trust_radius
+        self.final_trust_radius = final_trust_radius
+        self.trust_decay = trust_decay
+        self.evaluations_per_step = evaluations_per_step
+        self._trust_radius = initial_trust_radius
+        self._best_loss = np.inf
+
+    def reset(self, initial_parameters: np.ndarray) -> None:
+        super().reset(initial_parameters)
+        self._trust_radius = self.initial_trust_radius
+        self._best_loss = np.inf
+
+    def step(self, objective: Objective) -> OptimizerStep:
+        parameters = self.parameters
+        evaluations = 0
+        best_loss = np.inf
+        best_parameters = parameters
+
+        def counted(x: np.ndarray) -> float:
+            nonlocal evaluations, best_loss, best_parameters
+            evaluations += 1
+            value = float(objective(np.asarray(x, dtype=float)))
+            if value < best_loss:
+                best_loss = value
+                best_parameters = np.asarray(x, dtype=float).copy()
+            return value
+
+        optimize.minimize(
+            counted,
+            parameters,
+            method="COBYLA",
+            options={
+                "maxiter": self.evaluations_per_step,
+                "rhobeg": self._trust_radius,
+                "tol": self.final_trust_radius,
+            },
+        )
+
+        # Keep the best point seen in this block (COBYLA may end on a worse probe).
+        if best_loss <= self._best_loss:
+            self._best_loss = best_loss
+            self._parameters = best_parameters
+        self._trust_radius = max(
+            self.final_trust_radius, self._trust_radius * self.trust_decay
+        )
+        self._iteration += 1
+        return OptimizerStep(
+            parameters=self.parameters,
+            loss=float(best_loss),
+            num_evaluations=evaluations,
+            iteration=self._iteration,
+        )

@@ -1,0 +1,71 @@
+"""Quantum simulation substrate: Pauli algebra, circuits, and simulators."""
+
+from .circuit import Instruction, Parameter, ParameterExpression, QuantumCircuit
+from .clifford import CliffordSimulator, clifford_angle_index, is_clifford_angle
+from .density_matrix import DensityMatrix, DensityMatrixSimulator
+from .exact import GroundStateResult, ground_state, ground_state_energy, pauli_to_sparse
+from .gates import GATE_REGISTRY, gate_matrix
+from .noise import (
+    BACKEND_PROFILES,
+    BackendNoiseProfile,
+    KrausChannel,
+    NoiseModel,
+    amplitude_damping_channel,
+    bit_flip_channel,
+    dephasing_channel,
+    depolarizing_channel,
+    get_backend_profile,
+    global_depolarizing_expectation,
+    two_qubit_depolarizing_channel,
+)
+from .pauli import PauliOperator, PauliString, pauli_matrix
+from .pauli_propagation import PauliPropagationConfig, PauliPropagationSimulator
+from .sampling import (
+    BaseEstimator,
+    EstimatorResult,
+    ExactEstimator,
+    SamplingEstimator,
+    ShotNoiseEstimator,
+)
+from .statevector import Statevector, StatevectorSimulator
+
+__all__ = [
+    "Instruction",
+    "Parameter",
+    "ParameterExpression",
+    "QuantumCircuit",
+    "CliffordSimulator",
+    "clifford_angle_index",
+    "is_clifford_angle",
+    "DensityMatrix",
+    "DensityMatrixSimulator",
+    "GroundStateResult",
+    "ground_state",
+    "ground_state_energy",
+    "pauli_to_sparse",
+    "GATE_REGISTRY",
+    "gate_matrix",
+    "BACKEND_PROFILES",
+    "BackendNoiseProfile",
+    "KrausChannel",
+    "NoiseModel",
+    "amplitude_damping_channel",
+    "bit_flip_channel",
+    "dephasing_channel",
+    "depolarizing_channel",
+    "get_backend_profile",
+    "global_depolarizing_expectation",
+    "two_qubit_depolarizing_channel",
+    "PauliOperator",
+    "PauliString",
+    "pauli_matrix",
+    "PauliPropagationConfig",
+    "PauliPropagationSimulator",
+    "BaseEstimator",
+    "EstimatorResult",
+    "ExactEstimator",
+    "SamplingEstimator",
+    "ShotNoiseEstimator",
+    "Statevector",
+    "StatevectorSimulator",
+]

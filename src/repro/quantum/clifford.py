@@ -1,0 +1,248 @@
+"""Stabilizer (Clifford) simulation in the binary-symplectic representation.
+
+CAFQA-style initialisation (paper §8.5) restricts every ansatz angle to a
+multiple of π/2 so the circuit becomes a Clifford circuit that can be
+simulated classically in polynomial time.  This module provides that
+simulator: stabilizer generators are tracked as binary symplectic vectors
+with an i-power phase, Clifford gates update them in O(n), and Pauli-string
+expectation values are obtained by a GF(2) solve over the generators.
+
+Pauli phase convention: an operator is ``i^phase · Π_j X_j^{x_j} Z_j^{z_j}``
+with ``phase`` in Z4 (so Y = i·X·Z has phase 1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .pauli import PauliOperator, PauliString
+
+__all__ = ["CliffordSimulator", "is_clifford_angle", "clifford_angle_index"]
+
+_ANGLE_TOLERANCE = 1e-9
+
+
+def is_clifford_angle(theta: float, tolerance: float = _ANGLE_TOLERANCE) -> bool:
+    """True if ``theta`` is (numerically) an integer multiple of π/2."""
+    ratio = theta / (math.pi / 2)
+    return abs(ratio - round(ratio)) < tolerance
+
+
+def clifford_angle_index(theta: float) -> int:
+    """Return k in {0,1,2,3} such that theta ≡ k·π/2 (mod 2π)."""
+    if not is_clifford_angle(theta):
+        raise ValueError(f"{theta} is not a multiple of π/2")
+    return int(round(theta / (math.pi / 2))) % 4
+
+
+def _label_to_symplectic(label: str) -> tuple[np.ndarray, np.ndarray, int]:
+    """Convert a Pauli label to (x bits, z bits, i-power phase)."""
+    n = len(label)
+    x = np.zeros(n, dtype=np.uint8)
+    z = np.zeros(n, dtype=np.uint8)
+    phase = 0
+    for i, op in enumerate(label):
+        if op == "X":
+            x[i] = 1
+        elif op == "Z":
+            z[i] = 1
+        elif op == "Y":
+            x[i] = 1
+            z[i] = 1
+            phase = (phase + 1) % 4
+    return x, z, phase
+
+
+def _multiply(
+    x1: np.ndarray, z1: np.ndarray, p1: int, x2: np.ndarray, z2: np.ndarray, p2: int
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Multiply two Paulis in symplectic form: (A, B) -> A·B."""
+    # Per qubit: X^x1 Z^z1 · X^x2 Z^z2 = (-1)^(z1·x2) X^(x1+x2) Z^(z1+z2).
+    phase = (p1 + p2 + 2 * int(np.sum(z1 * x2))) % 4
+    return x1 ^ x2, z1 ^ z2, phase
+
+
+class CliffordSimulator:
+    """Track the stabilizer group of an n-qubit state under Clifford gates."""
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be >= 1")
+        self.num_qubits = num_qubits
+        # Stabilizer generators: initially Z_i on each qubit (state |0...0>).
+        self._x = np.zeros((num_qubits, num_qubits), dtype=np.uint8)
+        self._z = np.eye(num_qubits, dtype=np.uint8)
+        self._phase = np.zeros(num_qubits, dtype=np.int64)  # i-powers, values 0 or 2
+
+    # -- gate application -------------------------------------------------------
+
+    def apply_circuit(self, circuit: QuantumCircuit) -> "CliffordSimulator":
+        """Apply a bound circuit consisting of Clifford gates / Clifford angles."""
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError("circuit and simulator qubit counts differ")
+        if not circuit.is_bound():
+            raise ValueError("circuit has unbound parameters; call circuit.bind first")
+        for inst in circuit.instructions:
+            self._apply_instruction(inst.gate, inst.qubits, tuple(inst.params))
+        return self
+
+    def _apply_instruction(
+        self, gate: str, qubits: tuple[int, ...], params: tuple[float, ...]
+    ) -> None:
+        if gate == "i":
+            return
+        if gate == "h":
+            self._h(qubits[0])
+        elif gate == "s":
+            self._s(qubits[0])
+        elif gate == "sdg":
+            self._s(qubits[0])
+            self._s(qubits[0])
+            self._s(qubits[0])
+        elif gate == "x":
+            self._pauli_gate(qubits[0], flip_on="z")
+        elif gate == "z":
+            self._pauli_gate(qubits[0], flip_on="x")
+        elif gate == "y":
+            self._pauli_gate(qubits[0], flip_on="xor")
+        elif gate == "cx":
+            self._cx(qubits[0], qubits[1])
+        elif gate == "cz":
+            self._h(qubits[1])
+            self._cx(qubits[0], qubits[1])
+            self._h(qubits[1])
+        elif gate == "swap":
+            self._cx(qubits[0], qubits[1])
+            self._cx(qubits[1], qubits[0])
+            self._cx(qubits[0], qubits[1])
+        elif gate in ("rz", "rx", "ry", "p"):
+            self._rotation(gate, qubits[0], params[0])
+        elif gate == "rzz":
+            index = clifford_angle_index(params[0])
+            # exp(-i k π/4 ZZ): implement as CX(a,b) · RZ_b(kπ/2) · CX(a,b).
+            self._cx(qubits[0], qubits[1])
+            self._rotation("rz", qubits[1], index * math.pi / 2)
+            self._cx(qubits[0], qubits[1])
+        else:
+            raise ValueError(f"gate {gate!r} is not supported by the Clifford simulator")
+
+    def _rotation(self, gate: str, qubit: int, theta: float) -> None:
+        index = clifford_angle_index(theta)
+        if index == 0:
+            return
+        if gate in ("rz", "p"):
+            sequence = {1: ["s"], 2: ["z"], 3: ["sdg"]}[index]
+        elif gate == "rx":
+            sequence = {1: ["h", "s", "h"], 2: ["x"], 3: ["h", "sdg", "h"]}[index]
+        else:  # ry(theta) = S · rx(theta) · Sdg, applied right-to-left as a circuit
+            sequence = ["sdg"] + {1: ["h", "s", "h"], 2: ["x"], 3: ["h", "sdg", "h"]}[index] + ["s"]
+        for name in sequence:
+            self._apply_instruction(name, (qubit,), ())
+
+    def _h(self, qubit: int) -> None:
+        x, z = self._x[:, qubit].copy(), self._z[:, qubit].copy()
+        self._phase = (self._phase + 2 * (x * z)) % 4
+        self._x[:, qubit], self._z[:, qubit] = z, x
+
+    def _s(self, qubit: int) -> None:
+        x, z = self._x[:, qubit], self._z[:, qubit]
+        # X -> Y contributes one factor of i per row with x=1; Z unchanged.
+        self._phase = (self._phase + x.astype(np.int64)) % 4
+        self._z[:, qubit] = z ^ x
+
+    def _pauli_gate(self, qubit: int, flip_on: str) -> None:
+        x, z = self._x[:, qubit], self._z[:, qubit]
+        if flip_on == "z":
+            flips = z
+        elif flip_on == "x":
+            flips = x
+        else:
+            flips = x ^ z
+        self._phase = (self._phase + 2 * flips.astype(np.int64)) % 4
+
+    def _cx(self, control: int, target: int) -> None:
+        # In the explicit i-power convention (operators stored as i^phase·X^x Z^z)
+        # CX conjugation maps X^x Z^z products to X^x Z^z products with no phase.
+        xc, zc = self._x[:, control].copy(), self._z[:, control].copy()
+        xt, zt = self._x[:, target].copy(), self._z[:, target].copy()
+        self._x[:, target] = xt ^ xc
+        self._z[:, control] = zc ^ zt
+
+    # -- measurement of Pauli expectation values ----------------------------------
+
+    def pauli_expectation(self, pauli: PauliString | str) -> float:
+        """Expectation value of a Pauli string: exactly -1, 0 or +1."""
+        label = pauli.label if isinstance(pauli, PauliString) else pauli
+        if len(label) != self.num_qubits:
+            raise ValueError("Pauli length must equal the number of qubits")
+        px, pz, pphase = _label_to_symplectic(label)
+        if not np.any(px) and not np.any(pz):
+            return 1.0
+        # Commutation check against every stabilizer generator.
+        anticommute = (self._x @ pz + self._z @ px) % 2
+        if np.any(anticommute):
+            return 0.0
+        # Solve for the generator subset whose product equals ±P.
+        selection = self._solve_gf2(np.concatenate([px, pz]))
+        if selection is None:
+            return 0.0
+        x = np.zeros(self.num_qubits, dtype=np.uint8)
+        z = np.zeros(self.num_qubits, dtype=np.uint8)
+        phase = 0
+        for row in np.flatnonzero(selection):
+            x, z, phase = _multiply(x, z, phase, self._x[row], self._z[row], int(self._phase[row]))
+        if not np.array_equal(x, px) or not np.array_equal(z, pz):
+            return 0.0
+        difference = (phase - pphase) % 4
+        if difference == 0:
+            return 1.0
+        if difference == 2:
+            return -1.0
+        raise RuntimeError("stabilizer phase bookkeeping produced an imaginary sign")
+
+    def expectation(self, operator: PauliOperator) -> float:
+        """Expectation value of a Pauli-sum Hamiltonian."""
+        if operator.num_qubits != self.num_qubits:
+            raise ValueError("qubit-count mismatch")
+        value = 0.0
+        for pauli, coeff in operator.items():
+            if coeff == 0:
+                continue
+            value += coeff.real * self.pauli_expectation(pauli)
+        return float(value)
+
+    def _solve_gf2(self, target: np.ndarray) -> np.ndarray | None:
+        """Solve generators^T · c = target over GF(2); return c or None."""
+        n = self.num_qubits
+        matrix = np.concatenate([self._x, self._z], axis=1).astype(np.uint8)  # rows = generators
+        augmented = np.concatenate([matrix.T, target.reshape(-1, 1)], axis=1).astype(np.uint8)
+        rows, cols = augmented.shape
+        pivot_row = 0
+        pivot_cols = []
+        for col in range(n):
+            pivot = None
+            for row in range(pivot_row, rows):
+                if augmented[row, col]:
+                    pivot = row
+                    break
+            if pivot is None:
+                continue
+            augmented[[pivot_row, pivot]] = augmented[[pivot, pivot_row]]
+            for row in range(rows):
+                if row != pivot_row and augmented[row, col]:
+                    augmented[row] ^= augmented[pivot_row]
+            pivot_cols.append(col)
+            pivot_row += 1
+            if pivot_row == rows:
+                break
+        # Check consistency: any zero row with non-zero RHS means no solution.
+        for row in range(pivot_row, rows):
+            if augmented[row, -1] and not np.any(augmented[row, :-1]):
+                return None
+        solution = np.zeros(n, dtype=np.uint8)
+        for index, col in enumerate(pivot_cols):
+            solution[col] = augmented[index, -1]
+        return solution

@@ -1,0 +1,99 @@
+"""Exact ground-state solvers used as the reference for error and fidelity.
+
+The paper's fidelity metric (§7.2) needs the true ground-state energy E_gs of
+every task Hamiltonian.  Small systems are diagonalised densely; larger ones
+use sparse Lanczos (``scipy.sparse.linalg.eigsh``) on a sparse matrix built
+term-by-term from the Pauli decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import eigsh
+
+from .pauli import PauliOperator, PauliString
+from .statevector import Statevector
+
+__all__ = ["GroundStateResult", "ground_state", "ground_state_energy", "pauli_to_sparse"]
+
+_DENSE_QUBIT_LIMIT = 10
+
+_SPARSE_SINGLE = {
+    "I": sparse.identity(2, format="csr", dtype=complex),
+    "X": sparse.csr_matrix(np.array([[0, 1], [1, 0]], dtype=complex)),
+    "Y": sparse.csr_matrix(np.array([[0, -1j], [1j, 0]], dtype=complex)),
+    "Z": sparse.csr_matrix(np.array([[1, 0], [0, -1]], dtype=complex)),
+}
+
+
+@dataclass(frozen=True)
+class GroundStateResult:
+    """Ground-state energy and state of a Hamiltonian."""
+
+    energy: float
+    statevector: Statevector
+    gap: float | None = None
+
+    @property
+    def num_qubits(self) -> int:
+        return self.statevector.num_qubits
+
+
+def pauli_to_sparse(operator: PauliOperator) -> sparse.csr_matrix:
+    """Sparse CSR matrix of a Pauli operator."""
+    dim = 2 ** operator.num_qubits
+    total = sparse.csr_matrix((dim, dim), dtype=complex)
+    for pauli, coeff in operator.items():
+        if coeff == 0:
+            continue
+        term = _sparse_pauli_string(pauli)
+        total = total + coeff * term
+    return total.tocsr()
+
+
+def _sparse_pauli_string(pauli: PauliString) -> sparse.csr_matrix:
+    matrix = sparse.identity(1, format="csr", dtype=complex)
+    for label in pauli.label:
+        matrix = sparse.kron(matrix, _SPARSE_SINGLE[label], format="csr")
+    return matrix
+
+
+def ground_state(operator: PauliOperator, *, compute_gap: bool = False) -> GroundStateResult:
+    """Exact ground state of a Hermitian Pauli operator.
+
+    Dense diagonalisation is used up to 10 qubits, sparse Lanczos beyond.  If
+    ``compute_gap`` is true the energy gap to the first excited state is also
+    returned (used by the adiabatic-continuity discussion in §3).
+    """
+    if not operator.is_hermitian():
+        raise ValueError("ground_state requires a Hermitian operator")
+    if operator.num_terms == 0:
+        state = Statevector.zero_state(operator.num_qubits)
+        return GroundStateResult(energy=0.0, statevector=state, gap=0.0 if compute_gap else None)
+
+    if operator.num_qubits <= _DENSE_QUBIT_LIMIT:
+        matrix = operator.to_matrix()
+        eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+        energy = float(eigenvalues[0])
+        vector = eigenvectors[:, 0]
+        gap = float(eigenvalues[1] - eigenvalues[0]) if compute_gap and len(eigenvalues) > 1 else None
+    else:
+        matrix = pauli_to_sparse(operator)
+        k = 2 if compute_gap else 1
+        eigenvalues, eigenvectors = eigsh(matrix, k=k, which="SA")
+        order = np.argsort(eigenvalues)
+        eigenvalues = eigenvalues[order]
+        eigenvectors = eigenvectors[:, order]
+        energy = float(eigenvalues[0])
+        vector = eigenvectors[:, 0]
+        gap = float(eigenvalues[1] - eigenvalues[0]) if compute_gap and len(eigenvalues) > 1 else None
+
+    return GroundStateResult(energy=energy, statevector=Statevector(vector), gap=gap)
+
+
+def ground_state_energy(operator: PauliOperator) -> float:
+    """Just the ground-state energy."""
+    return ground_state(operator).energy

@@ -1,0 +1,189 @@
+"""Gate matrix library for the circuit IR and simulators.
+
+Every gate used by the ansatz families in the paper is defined here:
+single-qubit rotations (rx, ry, rz), fixed single-qubit gates (h, x, y, z, s,
+sdg, t), and two-qubit entanglers (cx, cz, swap, rzz, rxx, ryy).  Matrices are
+returned as NumPy arrays in the computational basis with qubit 0 as the most
+significant bit of the index (matching :mod:`repro.quantum.statevector`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "GateDefinition",
+    "GATE_REGISTRY",
+    "gate_matrix",
+    "is_parametric",
+    "gate_num_qubits",
+    "rx_matrix",
+    "ry_matrix",
+    "rz_matrix",
+    "rzz_matrix",
+    "rxx_matrix",
+    "ryy_matrix",
+]
+
+_SQRT2 = math.sqrt(2.0)
+
+_I = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2
+_S = np.array([[1, 0], [0, 1j]], dtype=complex)
+_SDG = np.array([[1, 0], [0, -1j]], dtype=complex)
+_T = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=complex)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+_CX = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+)
+_CZ = np.diag([1, 1, 1, -1]).astype(complex)
+_SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+def rx_matrix(theta: float) -> np.ndarray:
+    """Rotation about X by angle theta."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def ry_matrix(theta: float) -> np.ndarray:
+    """Rotation about Y by angle theta."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def rz_matrix(theta: float) -> np.ndarray:
+    """Rotation about Z by angle theta."""
+    phase = np.exp(-0.5j * theta)
+    return np.array([[phase, 0], [0, np.conj(phase)]], dtype=complex)
+
+
+def phase_matrix(theta: float) -> np.ndarray:
+    """Phase gate diag(1, e^{i theta})."""
+    return np.array([[1, 0], [0, np.exp(1j * theta)]], dtype=complex)
+
+
+def u3_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    """Generic single-qubit rotation U3(theta, phi, lambda)."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def rzz_matrix(theta: float) -> np.ndarray:
+    """Two-qubit ZZ rotation exp(-i theta/2 Z⊗Z)."""
+    phase = np.exp(-0.5j * theta)
+    return np.diag([phase, np.conj(phase), np.conj(phase), phase]).astype(complex)
+
+
+def rxx_matrix(theta: float) -> np.ndarray:
+    """Two-qubit XX rotation exp(-i theta/2 X⊗X)."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    matrix = np.eye(4, dtype=complex) * c
+    off = -1j * s
+    matrix[0, 3] = off
+    matrix[1, 2] = off
+    matrix[2, 1] = off
+    matrix[3, 0] = off
+    return matrix
+
+
+def ryy_matrix(theta: float) -> np.ndarray:
+    """Two-qubit YY rotation exp(-i theta/2 Y⊗Y)."""
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    matrix = np.eye(4, dtype=complex) * c
+    matrix[0, 3] = 1j * s
+    matrix[1, 2] = -1j * s
+    matrix[2, 1] = -1j * s
+    matrix[3, 0] = 1j * s
+    return matrix
+
+
+def crx_matrix(theta: float) -> np.ndarray:
+    """Controlled-RX."""
+    matrix = np.eye(4, dtype=complex)
+    matrix[2:, 2:] = rx_matrix(theta)
+    return matrix
+
+
+@dataclass(frozen=True)
+class GateDefinition:
+    """Static description of a gate type."""
+
+    name: str
+    num_qubits: int
+    num_params: int
+    builder: object  # callable (*params) -> np.ndarray
+
+    def matrix(self, *params: float) -> np.ndarray:
+        if len(params) != self.num_params:
+            raise ValueError(
+                f"gate {self.name!r} expects {self.num_params} parameters, got {len(params)}"
+            )
+        if self.num_params == 0:
+            return self.builder()  # type: ignore[operator]
+        return self.builder(*params)  # type: ignore[operator]
+
+
+GATE_REGISTRY: dict[str, GateDefinition] = {
+    "i": GateDefinition("i", 1, 0, lambda: _I.copy()),
+    "x": GateDefinition("x", 1, 0, lambda: _X.copy()),
+    "y": GateDefinition("y", 1, 0, lambda: _Y.copy()),
+    "z": GateDefinition("z", 1, 0, lambda: _Z.copy()),
+    "h": GateDefinition("h", 1, 0, lambda: _H.copy()),
+    "s": GateDefinition("s", 1, 0, lambda: _S.copy()),
+    "sdg": GateDefinition("sdg", 1, 0, lambda: _SDG.copy()),
+    "t": GateDefinition("t", 1, 0, lambda: _T.copy()),
+    "sx": GateDefinition("sx", 1, 0, lambda: _SX.copy()),
+    "rx": GateDefinition("rx", 1, 1, rx_matrix),
+    "ry": GateDefinition("ry", 1, 1, ry_matrix),
+    "rz": GateDefinition("rz", 1, 1, rz_matrix),
+    "p": GateDefinition("p", 1, 1, phase_matrix),
+    "u3": GateDefinition("u3", 1, 3, u3_matrix),
+    "cx": GateDefinition("cx", 2, 0, lambda: _CX.copy()),
+    "cz": GateDefinition("cz", 2, 0, lambda: _CZ.copy()),
+    "swap": GateDefinition("swap", 2, 0, lambda: _SWAP.copy()),
+    "rzz": GateDefinition("rzz", 2, 1, rzz_matrix),
+    "rxx": GateDefinition("rxx", 2, 1, rxx_matrix),
+    "ryy": GateDefinition("ryy", 2, 1, ryy_matrix),
+    "crx": GateDefinition("crx", 2, 1, crx_matrix),
+}
+
+
+def gate_matrix(name: str, *params: float) -> np.ndarray:
+    """Matrix for the named gate with the given parameter values."""
+    try:
+        definition = GATE_REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown gate {name!r}") from None
+    return definition.matrix(*params)
+
+
+def is_parametric(name: str) -> bool:
+    """True if the named gate takes at least one parameter."""
+    try:
+        return GATE_REGISTRY[name].num_params > 0
+    except KeyError:
+        raise ValueError(f"unknown gate {name!r}") from None
+
+
+def gate_num_qubits(name: str) -> int:
+    """Number of qubits the named gate acts on."""
+    try:
+        return GATE_REGISTRY[name].num_qubits
+    except KeyError:
+        raise ValueError(f"unknown gate {name!r}") from None

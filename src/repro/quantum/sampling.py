@@ -1,0 +1,296 @@
+"""Shot-based expectation-value estimation.
+
+The paper evaluates every Pauli term with 4096 shots per evaluation (§7.3).
+Running billions of literal shots is infeasible in a reproduction, so three
+estimators with the same interface are provided:
+
+* :class:`ExactEstimator` — noiseless expectation values (the shot ledger
+  still charges shots, exactly as §7.3 prescribes).
+* :class:`ShotNoiseEstimator` — exact value plus Gaussian noise with the
+  correct single-Pauli sampling variance ``(1 - <P>^2) / shots`` per term,
+  which is statistically equivalent to sampling each Pauli term with ``shots``
+  shots at a tiny fraction of the cost.
+* :class:`SamplingEstimator` — literal bitstring sampling per qubit-wise
+  commuting measurement basis, for small circuits and validation tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .pauli import PauliOperator, PauliString
+from .statevector import Statevector
+
+__all__ = [
+    "EstimatorResult",
+    "BaseEstimator",
+    "ExactEstimator",
+    "ShotNoiseEstimator",
+    "SamplingEstimator",
+    "DensityMatrixEstimator",
+]
+
+
+@dataclass(frozen=True)
+class EstimatorResult:
+    """One expectation-value estimate and its shot cost."""
+
+    value: float
+    shots_used: int
+    variance: float = 0.0
+    term_values: dict[PauliString, float] = field(default_factory=dict)
+
+
+class BaseEstimator:
+    """Common machinery: run the circuit, account shots, return an estimate."""
+
+    def __init__(self, shots_per_term: int = 4096, seed: int | None = None) -> None:
+        if shots_per_term < 1:
+            raise ValueError("shots_per_term must be >= 1")
+        self.shots_per_term = shots_per_term
+        self.rng = np.random.default_rng(seed)
+        self.total_shots = 0
+        self.total_evaluations = 0
+
+    def estimate(
+        self,
+        circuit: QuantumCircuit,
+        operator: PauliOperator,
+        initial_state: Statevector | None = None,
+    ) -> EstimatorResult:
+        """Estimate <H> for the bound circuit, charging shots to the ledger."""
+        state = (initial_state or Statevector.zero_state(circuit.num_qubits)).evolve(circuit)
+        result = self._estimate_state(state, operator)
+        self.total_shots += result.shots_used
+        self.total_evaluations += 1
+        return result
+
+    def estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
+        """Estimate <H> for an already-prepared state."""
+        result = self._estimate_state(state, operator)
+        self.total_shots += result.shots_used
+        self.total_evaluations += 1
+        return result
+
+    def shots_for(self, operator: PauliOperator) -> int:
+        """Shot cost charged for one evaluation of ``operator``."""
+        non_identity = sum(1 for p, c in operator.items() if not p.is_identity and c != 0)
+        return self.shots_per_term * max(non_identity, 1)
+
+    def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
+        raise NotImplementedError
+
+
+class ExactEstimator(BaseEstimator):
+    """Noiseless expectation values with §7.3 shot accounting."""
+
+    def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
+        term_values: dict[PauliString, float] = {}
+        total = 0.0
+        for pauli, coeff in operator.items():
+            if coeff == 0:
+                continue
+            if pauli.is_identity:
+                term_values[pauli] = 1.0
+                total += coeff.real
+                continue
+            value = state.pauli_expectation(pauli)
+            term_values[pauli] = value
+            total += coeff.real * value
+        return EstimatorResult(
+            value=total,
+            shots_used=self.shots_for(operator),
+            variance=0.0,
+            term_values=term_values,
+        )
+
+
+class ShotNoiseEstimator(BaseEstimator):
+    """Exact value perturbed by the per-term finite-shot sampling variance.
+
+    For a Pauli string P with expectation value p = <P> measured with ``s``
+    shots, the sample-mean variance is (1 - p^2) / s.  The per-term estimates
+    are independent, so the Hamiltonian estimate carries the summed,
+    coefficient-weighted variance.
+    """
+
+    def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
+        term_values: dict[PauliString, float] = {}
+        total = 0.0
+        variance = 0.0
+        shots = self.shots_per_term
+        for pauli, coeff in operator.items():
+            if coeff == 0:
+                continue
+            if pauli.is_identity:
+                term_values[pauli] = 1.0
+                total += coeff.real
+                continue
+            exact = state.pauli_expectation(pauli)
+            term_variance = max(1.0 - exact ** 2, 0.0) / shots
+            noisy = exact + self.rng.normal(0.0, np.sqrt(term_variance)) if term_variance > 0 else exact
+            noisy = float(np.clip(noisy, -1.0, 1.0))
+            term_values[pauli] = noisy
+            total += coeff.real * noisy
+            variance += (coeff.real ** 2) * term_variance
+        return EstimatorResult(
+            value=total,
+            shots_used=self.shots_for(operator),
+            variance=variance,
+            term_values=term_values,
+        )
+
+
+class SamplingEstimator(BaseEstimator):
+    """Literal measurement sampling, one basis per qubit-wise-commuting group.
+
+    Intended for validation on small systems; cost grows with the number of
+    commuting groups rather than with the number of terms.
+    """
+
+    def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
+        groups = operator.group_qubit_wise_commuting()
+        term_values: dict[PauliString, float] = {}
+        shots_used = 0
+        for group in groups:
+            non_identity = [p for p in group if not p.is_identity]
+            if not non_identity:
+                for pauli in group:
+                    term_values[pauli] = 1.0
+                continue
+            basis = _measurement_basis(non_identity)
+            rotated = state.evolve(_basis_rotation_circuit(basis))
+            probabilities = rotated.probabilities()
+            outcomes = self.rng.choice(
+                probabilities.size, size=self.shots_per_term, p=probabilities / probabilities.sum()
+            )
+            shots_used += self.shots_per_term
+            bit_table = _bit_table(outcomes, state.num_qubits)
+            for pauli in group:
+                if pauli.is_identity:
+                    term_values[pauli] = 1.0
+                    continue
+                signs = np.ones(len(outcomes))
+                for qubit in pauli.support():
+                    signs *= 1.0 - 2.0 * bit_table[:, qubit]
+                term_values[pauli] = float(signs.mean())
+        total = 0.0
+        for pauli, coeff in operator.items():
+            if coeff == 0:
+                continue
+            total += coeff.real * term_values.get(pauli, 1.0 if pauli.is_identity else 0.0)
+        return EstimatorResult(
+            value=total,
+            shots_used=max(shots_used, self.shots_per_term),
+            variance=0.0,
+            term_values=term_values,
+        )
+
+
+def _measurement_basis(paulis: list[PauliString]) -> list[str]:
+    """Per-qubit measurement basis ('I', 'X', 'Y' or 'Z') for a QWC group."""
+    num_qubits = paulis[0].num_qubits
+    basis = ["I"] * num_qubits
+    for pauli in paulis:
+        for qubit, op in enumerate(pauli.label):
+            if op == "I":
+                continue
+            if basis[qubit] == "I":
+                basis[qubit] = op
+            elif basis[qubit] != op:
+                raise ValueError("terms are not qubit-wise commuting")
+    return basis
+
+
+def _basis_rotation_circuit(basis: list[str]) -> QuantumCircuit:
+    """Circuit rotating each qubit's measurement basis to Z."""
+    circuit = QuantumCircuit(len(basis), name="basis-rotation")
+    for qubit, op in enumerate(basis):
+        if op == "X":
+            circuit.h(qubit)
+        elif op == "Y":
+            circuit.sdg(qubit)
+            circuit.h(qubit)
+    return circuit
+
+
+def _bit_table(outcomes: np.ndarray, num_qubits: int) -> np.ndarray:
+    """Bit value of each qubit for each sampled outcome (qubit 0 = MSB)."""
+    table = np.zeros((len(outcomes), num_qubits), dtype=float)
+    for column in range(num_qubits):
+        shift = num_qubits - 1 - column
+        table[:, column] = (outcomes >> shift) & 1
+    return table
+
+
+class DensityMatrixEstimator(BaseEstimator):
+    """Noisy expectation values via density-matrix simulation (paper §8.7).
+
+    The circuit is executed under a :class:`~repro.quantum.noise.NoiseModel`
+    (gate-attached depolarising / decoherence channels, readout error folded
+    into the Pauli expectations) and the shot ledger charges the same
+    4096-per-term cost as every other estimator.  Sampling noise on top of the
+    noisy expectation can be enabled with ``add_shot_noise``.
+    """
+
+    def __init__(
+        self,
+        noise_model,
+        shots_per_term: int = 4096,
+        seed: int | None = None,
+        *,
+        add_shot_noise: bool = False,
+    ) -> None:
+        super().__init__(shots_per_term=shots_per_term, seed=seed)
+        from .density_matrix import DensityMatrixSimulator  # local import avoids a cycle
+
+        self.noise_model = noise_model
+        self.add_shot_noise = add_shot_noise
+        self._simulator = DensityMatrixSimulator(noise_model)
+
+    def estimate(
+        self,
+        circuit: QuantumCircuit,
+        operator: PauliOperator,
+        initial_state: Statevector | None = None,
+    ) -> EstimatorResult:
+        from .density_matrix import DensityMatrix
+
+        if initial_state is None:
+            rho = DensityMatrix.zero_state(circuit.num_qubits)
+        else:
+            rho = DensityMatrix.from_statevector(initial_state)
+        state = self._simulator.run(circuit, rho)
+        readout = self.noise_model.readout_error
+        term_values: dict[PauliString, float] = {}
+        total = 0.0
+        for pauli, coeff in operator.items():
+            if coeff == 0:
+                continue
+            if pauli.is_identity:
+                term_values[pauli] = 1.0
+                total += coeff.real
+                continue
+            value = float(np.trace(state.data @ pauli.to_matrix()).real)
+            if readout > 0:
+                value *= (1.0 - 2.0 * readout) ** pauli.weight
+            if self.add_shot_noise:
+                variance = max(1.0 - value ** 2, 0.0) / self.shots_per_term
+                value = float(np.clip(value + self.rng.normal(0.0, np.sqrt(variance)), -1.0, 1.0))
+            term_values[pauli] = value
+            total += coeff.real * value
+        result = EstimatorResult(
+            value=total,
+            shots_used=self.shots_for(operator),
+            variance=0.0,
+            term_values=term_values,
+        )
+        self.total_shots += result.shots_used
+        self.total_evaluations += 1
+        return result
+
+    def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
+        raise NotImplementedError("DensityMatrixEstimator estimates from circuits, not states")

@@ -1,0 +1,216 @@
+"""Exact statevector simulation.
+
+Replaces Qiskit's ``StatevectorSimulator`` in the paper's methodology (§7.4).
+States are stored as rank-n tensors of shape ``(2,) * num_qubits`` with axis
+``i`` corresponding to qubit ``i`` (qubit 0 is the most significant bit of the
+flattened index), which makes gate application a couple of ``tensordot`` /
+``moveaxis`` operations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .gates import gate_matrix
+from .pauli import PauliOperator, PauliString
+
+__all__ = ["Statevector", "StatevectorSimulator", "apply_pauli_string"]
+
+
+class Statevector:
+    """An exact pure state on ``num_qubits`` qubits."""
+
+    def __init__(self, data: np.ndarray | Sequence[complex]) -> None:
+        array = np.asarray(data, dtype=complex).ravel()
+        size = array.size
+        num_qubits = int(round(np.log2(size)))
+        if 2 ** num_qubits != size:
+            raise ValueError(f"statevector length {size} is not a power of two")
+        self.num_qubits = num_qubits
+        self._data = array.copy()
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def zero_state(cls, num_qubits: int) -> "Statevector":
+        """|00...0>."""
+        data = np.zeros(2 ** num_qubits, dtype=complex)
+        data[0] = 1.0
+        return cls(data)
+
+    @classmethod
+    def computational_basis(cls, num_qubits: int, bitstring: str | int) -> "Statevector":
+        """A computational basis state given as a bitstring ('0110') or integer.
+
+        Bitstrings are read with qubit 0 first (leftmost character).
+        """
+        if isinstance(bitstring, str):
+            if len(bitstring) != num_qubits:
+                raise ValueError("bitstring length must equal num_qubits")
+            index = int(bitstring, 2)
+        else:
+            index = int(bitstring)
+        if not 0 <= index < 2 ** num_qubits:
+            raise ValueError("basis index out of range")
+        data = np.zeros(2 ** num_qubits, dtype=complex)
+        data[index] = 1.0
+        return cls(data)
+
+    # -- views -----------------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The amplitudes as a flat copy."""
+        return self._data.copy()
+
+    def tensor(self) -> np.ndarray:
+        """The amplitudes reshaped to ``(2,) * num_qubits``."""
+        return self._data.reshape((2,) * self.num_qubits)
+
+    def probabilities(self) -> np.ndarray:
+        """Measurement probabilities in the computational basis."""
+        return np.abs(self._data) ** 2
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._data))
+
+    def normalized(self) -> "Statevector":
+        """Return a unit-norm copy."""
+        norm = self.norm()
+        if norm == 0:
+            raise ValueError("cannot normalize the zero vector")
+        return Statevector(self._data / norm)
+
+    # -- quantities --------------------------------------------------------------
+
+    def overlap(self, other: "Statevector") -> complex:
+        """Inner product <self|other>."""
+        if other.num_qubits != self.num_qubits:
+            raise ValueError("qubit-count mismatch")
+        return complex(np.vdot(self._data, other._data))
+
+    def fidelity(self, other: "Statevector") -> float:
+        """State fidelity |<self|other>|^2."""
+        return float(abs(self.overlap(other)) ** 2)
+
+    def expectation(self, operator: PauliOperator) -> float:
+        """Exact expectation value of a Hermitian Pauli operator."""
+        if operator.num_qubits != self.num_qubits:
+            raise ValueError("qubit-count mismatch")
+        tensor = self.tensor()
+        value = 0.0 + 0.0j
+        for pauli, coeff in operator.items():
+            if coeff == 0:
+                continue
+            transformed = apply_pauli_string(tensor, pauli.label)
+            value += coeff * np.vdot(tensor, transformed)
+        return float(value.real)
+
+    def pauli_expectation(self, pauli: PauliString | str) -> float:
+        """Expectation value of a single Pauli string."""
+        label = pauli.label if isinstance(pauli, PauliString) else pauli
+        tensor = self.tensor()
+        transformed = apply_pauli_string(tensor, label)
+        return float(np.vdot(tensor, transformed).real)
+
+    def sample_counts(
+        self, shots: int, rng: np.random.Generator | None = None
+    ) -> dict[str, int]:
+        """Sample measurement outcomes in the computational basis."""
+        if shots < 1:
+            raise ValueError("shots must be >= 1")
+        rng = rng or np.random.default_rng()
+        probabilities = self.probabilities()
+        probabilities = probabilities / probabilities.sum()
+        outcomes = rng.choice(probabilities.size, size=shots, p=probabilities)
+        counts: dict[str, int] = {}
+        for outcome in outcomes:
+            key = format(int(outcome), f"0{self.num_qubits}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # -- evolution ----------------------------------------------------------------
+
+    def evolve(self, circuit: QuantumCircuit) -> "Statevector":
+        """Apply a bound circuit and return the resulting state."""
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError("circuit and state qubit counts differ")
+        if not circuit.is_bound():
+            raise ValueError("circuit has unbound parameters; call circuit.bind first")
+        tensor = self.tensor()
+        for inst in circuit.instructions:
+            matrix = gate_matrix(inst.gate, *inst.params)  # type: ignore[arg-type]
+            tensor = _apply_gate(tensor, matrix, inst.qubits)
+        return Statevector(tensor.ravel())
+
+
+def _apply_gate(tensor: np.ndarray, matrix: np.ndarray, qubits: tuple[int, ...]) -> np.ndarray:
+    """Apply a k-qubit gate matrix to the listed qubit axes of the state tensor."""
+    k = len(qubits)
+    num_qubits = tensor.ndim
+    gate_tensor = matrix.reshape((2,) * (2 * k))
+    # Contract the gate's "input" indices with the state's qubit axes.
+    tensor = np.tensordot(gate_tensor, tensor, axes=(list(range(k, 2 * k)), list(qubits)))
+    # tensordot moves the contracted axes to the front in gate order; put them back.
+    return np.moveaxis(tensor, list(range(k)), list(qubits))
+
+
+def apply_pauli_string(tensor: np.ndarray, label: str) -> np.ndarray:
+    """Apply a Pauli string (given as a label) to a state tensor, returning a copy."""
+    if len(label) != tensor.ndim:
+        raise ValueError("Pauli label length must equal the number of qubits")
+    result = tensor
+    copied = False
+    for qubit, op in enumerate(label):
+        if op == "I":
+            continue
+        if not copied:
+            result = result.copy()
+            copied = True
+        if op == "X":
+            result = np.flip(result, axis=qubit)
+        elif op == "Y":
+            result = np.flip(result, axis=qubit)
+            # After the flip, index 0 along the axis came from |1> and index 1 from |0>.
+            slicer0 = [slice(None)] * result.ndim
+            slicer1 = [slice(None)] * result.ndim
+            slicer0[qubit] = 0
+            slicer1[qubit] = 1
+            result[tuple(slicer0)] *= -1j
+            result[tuple(slicer1)] *= 1j
+        elif op == "Z":
+            slicer = [slice(None)] * result.ndim
+            slicer[qubit] = 1
+            result[tuple(slicer)] *= -1
+        else:  # pragma: no cover - PauliString validates labels upstream
+            raise ValueError(f"invalid Pauli factor {op!r}")
+    if not copied:
+        result = result.copy()
+    return result
+
+
+class StatevectorSimulator:
+    """Run bound circuits and evaluate Pauli expectation values exactly."""
+
+    def __init__(self) -> None:
+        self.circuits_run = 0
+
+    def run(
+        self, circuit: QuantumCircuit, initial_state: Statevector | None = None
+    ) -> Statevector:
+        """Simulate a bound circuit from ``initial_state`` (default |0...0>)."""
+        state = initial_state or Statevector.zero_state(circuit.num_qubits)
+        self.circuits_run += 1
+        return state.evolve(circuit)
+
+    def expectation(
+        self,
+        circuit: QuantumCircuit,
+        operator: PauliOperator,
+        initial_state: Statevector | None = None,
+    ) -> float:
+        """<psi(circuit)|operator|psi(circuit)> for a bound circuit."""
+        return self.run(circuit, initial_state).expectation(operator)

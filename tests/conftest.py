@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.core import TreeVQAConfig, VQATask
+from repro.hamiltonians import tfim_suite, transverse_field_ising_chain
+from repro.quantum import PauliOperator, QuantumCircuit, Statevector
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def bell_state() -> Statevector:
+    circuit = QuantumCircuit(2).h(0).cx(0, 1)
+    return Statevector.zero_state(2).evolve(circuit)
+
+
+@pytest.fixture
+def small_hamiltonian() -> PauliOperator:
+    return PauliOperator.from_terms([("ZZ", 1.0), ("XI", 0.5), ("IX", 0.5)])
+
+
+@pytest.fixture
+def tfim_tasks() -> list[VQATask]:
+    """Three small transverse-field Ising tasks (4 qubits)."""
+    return [
+        VQATask(
+            name=f"tfim@{field:.2f}",
+            hamiltonian=transverse_field_ising_chain(4, field),
+            scan_parameter=field,
+        )
+        for field in (0.8, 1.0, 1.2)
+    ]
+
+
+@pytest.fixture
+def small_ansatz() -> HardwareEfficientAnsatz:
+    return HardwareEfficientAnsatz(4, num_layers=1)
+
+
+@pytest.fixture
+def fast_config() -> TreeVQAConfig:
+    """A configuration small enough for unit tests."""
+    return TreeVQAConfig(
+        max_rounds=25,
+        warmup_iterations=5,
+        window_size=4,
+        epsilon_split=1e-3,
+        optimizer_kwargs={"learning_rate": 0.3, "perturbation": 0.15},
+        seed=3,
+    )
+
+
+@pytest.fixture
+def small_suite():
+    """A tiny TFIM benchmark suite."""
+    return tfim_suite(num_sites=4, fields=[0.8, 1.0, 1.2], num_ansatz_layers=1)

@@ -1,0 +1,283 @@
+"""Tests for VQACluster, TreeVQAController, the baseline and post-processing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.core import (
+    IndependentVQABaseline,
+    TreeVQAConfig,
+    TreeVQAController,
+    VQACluster,
+    VQATask,
+    select_best_states,
+)
+from repro.core.results import TreeVQAResult
+from repro.hamiltonians import transverse_field_ising_chain
+
+
+def make_cluster(tasks, ansatz, config, parameters=None):
+    return VQACluster(
+        cluster_id="test",
+        tasks=tasks,
+        ansatz=ansatz,
+        optimizer=config.make_optimizer(),
+        estimator=config.make_estimator(),
+        config=config,
+        initial_parameters=parameters if parameters is not None else ansatz.zero_parameters(),
+    )
+
+
+class TestVQACluster:
+    def test_construction_validations(self, tfim_tasks, small_ansatz, fast_config):
+        with pytest.raises(ValueError):
+            make_cluster([], small_ansatz, fast_config)
+        wrong_ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        with pytest.raises(ValueError):
+            make_cluster(tfim_tasks, wrong_ansatz, fast_config)
+        mismatched = tfim_tasks + [
+            VQATask("other", transverse_field_ising_chain(3, 1.0))
+        ]
+        with pytest.raises(ValueError):
+            make_cluster(mismatched, small_ansatz, fast_config)
+        mixed_init = [
+            VQATask("a", transverse_field_ising_chain(4, 1.0), initial_bitstring="0000"),
+            VQATask("b", transverse_field_ising_chain(4, 1.1), initial_bitstring="1111"),
+        ]
+        with pytest.raises(ValueError):
+            make_cluster(mixed_init, small_ansatz, fast_config)
+        with pytest.raises(ValueError):
+            make_cluster(tfim_tasks, small_ansatz, fast_config, parameters=np.zeros(3))
+
+    def test_mixed_hamiltonian_and_shot_cost(self, tfim_tasks, small_ansatz, fast_config):
+        cluster = make_cluster(tfim_tasks, small_ansatz, fast_config)
+        assert cluster.num_tasks == 3
+        # TFIM terms are shared: 3 ZZ + 4 X = 7 non-identity terms.
+        assert cluster.shots_per_evaluation() == 7 * fast_config.shots_per_pauli_term
+        assert cluster.similarity is not None
+        assert cluster.similarity.shape == (3, 3)
+
+    def test_step_records_losses_and_shots(self, tfim_tasks, small_ansatz, fast_config):
+        cluster = make_cluster(tfim_tasks, small_ansatz, fast_config)
+        record = cluster.step()
+        assert record.iteration == 1
+        assert set(record.individual_losses) == {task.name for task in tfim_tasks}
+        assert record.shots == 2 * cluster.shots_per_evaluation()
+        assert cluster.iterations == 1
+        assert cluster.monitor.iterations_recorded == 1
+        # Mixed loss is the mean of individual losses.
+        assert record.mixed_loss == pytest.approx(
+            np.mean(list(record.individual_losses.values()))
+        )
+
+    def test_individual_losses_match_exact_expectation(self, tfim_tasks, small_ansatz, fast_config):
+        cluster = make_cluster(tfim_tasks, small_ansatz, fast_config)
+        record = cluster.step()
+        state = cluster.prepare_state()
+        for task in tfim_tasks:
+            assert record.individual_losses[task.name] == pytest.approx(
+                state.expectation(task.hamiltonian), abs=1e-9
+            )
+
+    def test_loss_decreases_over_iterations(self, tfim_tasks, small_ansatz, fast_config):
+        cluster = make_cluster(
+            tfim_tasks, small_ansatz, fast_config,
+            parameters=np.random.default_rng(0).normal(0, 0.5, small_ansatz.num_parameters),
+        )
+        first = cluster.step().mixed_loss
+        for _ in range(20):
+            last = cluster.step().mixed_loss
+        assert last < first
+
+    def test_split_produces_partition_with_inherited_parameters(
+        self, tfim_tasks, small_ansatz, fast_config
+    ):
+        cluster = make_cluster(tfim_tasks, small_ansatz, fast_config)
+        cluster.step()
+        children = cluster.split()
+        assert cluster.retired
+        assert len(children) == 2
+        all_tasks = sorted(name for child in children for name in child.task_names)
+        assert all_tasks == sorted(task.name for task in tfim_tasks)
+        for child in children:
+            np.testing.assert_allclose(child.parameters, cluster.parameters)
+            assert child.level == cluster.level + 1
+            assert child.cluster_id.startswith(cluster.cluster_id)
+        with pytest.raises(RuntimeError):
+            cluster.step()
+
+    def test_singleton_cannot_split(self, tfim_tasks, small_ansatz, fast_config):
+        cluster = make_cluster(tfim_tasks[:1], small_ansatz, fast_config)
+        assert cluster.similarity is None
+        assert not cluster.split_decision().should_split
+        with pytest.raises(ValueError):
+            cluster.split()
+
+    def test_forced_split_decision(self, tfim_tasks, small_ansatz):
+        config = TreeVQAConfig(
+            max_rounds=10, warmup_iterations=0, window_size=2,
+            forced_split_iteration=2, seed=0,
+        )
+        cluster = make_cluster(tfim_tasks, small_ansatz, config)
+        cluster.step()
+        assert not cluster.split_decision().should_split
+        cluster.step()
+        assert cluster.split_decision().should_split
+
+    def test_disable_automatic_splits(self, tfim_tasks, small_ansatz):
+        config = TreeVQAConfig(
+            max_rounds=10, warmup_iterations=0, window_size=2,
+            disable_automatic_splits=True, seed=0,
+        )
+        cluster = make_cluster(tfim_tasks, small_ansatz, config)
+        for _ in range(5):
+            cluster.step()
+        assert not cluster.split_decision().should_split
+
+
+class TestTreeVQAController:
+    def test_input_validation(self, tfim_tasks, small_ansatz, fast_config):
+        with pytest.raises(ValueError):
+            TreeVQAController([], small_ansatz, fast_config)
+        duplicated = [tfim_tasks[0], tfim_tasks[0]]
+        with pytest.raises(ValueError):
+            TreeVQAController(duplicated, small_ansatz, fast_config)
+        with pytest.raises(ValueError):
+            TreeVQAController(tfim_tasks, HardwareEfficientAnsatz(3), fast_config)
+
+    def test_roots_grouped_by_initial_bitstring(self, small_ansatz, fast_config):
+        tasks = [
+            VQATask("a", transverse_field_ising_chain(4, 0.9), initial_bitstring="0000"),
+            VQATask("b", transverse_field_ising_chain(4, 1.0), initial_bitstring="0000"),
+            VQATask("c", transverse_field_ising_chain(4, 1.1), initial_bitstring="1111"),
+        ]
+        controller = TreeVQAController(tasks, small_ansatz, fast_config)
+        assert len(controller.active_clusters) == 2
+        sizes = sorted(cluster.num_tasks for cluster in controller.active_clusters)
+        assert sizes == [1, 2]
+
+    def test_run_produces_complete_result(self, tfim_tasks, small_ansatz, fast_config):
+        controller = TreeVQAController(tfim_tasks, small_ansatz, fast_config)
+        result = controller.run()
+        assert isinstance(result, TreeVQAResult)
+        assert len(result.outcomes) == 3
+        assert result.total_shots > 0
+        assert result.total_shots == result.ledger.total
+        assert result.total_rounds == fast_config.max_rounds
+        for outcome in result.outcomes:
+            assert 0.0 <= outcome.fidelity <= 1.0
+        for task in tfim_tasks:
+            trajectory = result.trajectories[task.name]
+            assert trajectory.num_samples > 0
+            assert trajectory.cumulative_shots == sorted(trajectory.cumulative_shots)
+        assert result.tree.num_nodes >= 1
+        # Summary text renders without error.
+        assert "tasks: 3" in result.summary()
+
+    def test_run_only_once(self, tfim_tasks, small_ansatz, fast_config):
+        controller = TreeVQAController(tfim_tasks, small_ansatz, fast_config)
+        controller.run()
+        with pytest.raises(RuntimeError):
+            controller.run()
+
+    def test_shot_budget_respected(self, tfim_tasks, small_ansatz):
+        budget = 3_000_000
+        config = TreeVQAConfig(
+            max_rounds=500, max_total_shots=budget, warmup_iterations=3, window_size=3, seed=0
+        )
+        result = TreeVQAController(tfim_tasks, small_ansatz, config).run()
+        per_round = 2 * 7 * config.shots_per_pauli_term
+        assert result.total_shots < budget + 3 * per_round
+        assert result.total_rounds < 500
+
+    def test_splits_recorded_in_tree(self, tfim_tasks, small_ansatz):
+        config = TreeVQAConfig(
+            max_rounds=60, warmup_iterations=5, window_size=4, epsilon_split=5e-2, seed=1,
+            optimizer_kwargs={"learning_rate": 0.3, "perturbation": 0.15},
+        )
+        result = TreeVQAController(tfim_tasks, small_ansatz, config).run()
+        assert result.tree.num_splits >= 1
+        assert result.tree.depth_levels() >= 2
+        # Tree shot accounting matches the ledger.
+        assert result.tree.total_shots() == result.total_shots
+
+    def test_initial_parameters_dict_by_bitstring(self, small_ansatz, fast_config):
+        tasks = [
+            VQATask("a", transverse_field_ising_chain(4, 0.9), initial_bitstring="0000"),
+            VQATask("b", transverse_field_ising_chain(4, 1.1), initial_bitstring="1111"),
+        ]
+        parameters = {"0000": np.full(small_ansatz.num_parameters, 0.1)}
+        controller = TreeVQAController(
+            tasks, small_ansatz, fast_config, initial_parameters=parameters
+        )
+        clusters = {c.task_names[0]: c for c in controller.active_clusters}
+        np.testing.assert_allclose(clusters["a"].parameters, 0.1)
+        np.testing.assert_allclose(clusters["b"].parameters, 0.0)
+
+
+class TestBaselineAndPostprocess:
+    def test_baseline_runs_each_task_independently(self, tfim_tasks, small_ansatz, fast_config):
+        baseline = IndependentVQABaseline(tfim_tasks, small_ansatz, fast_config)
+        result = baseline.run(iterations_per_task=10)
+        assert len(result.outcomes) == 3
+        # Each task charged 10 iterations × 2 evals × 7 terms × shots_per_term.
+        expected_per_task = 10 * 2 * 7 * fast_config.shots_per_pauli_term
+        for task in tfim_tasks:
+            assert result.ledger.total_for(task.name) == expected_per_task
+        assert result.total_shots == 3 * expected_per_task
+
+    def test_baseline_trajectories_use_per_task_shots(self, tfim_tasks, small_ansatz, fast_config):
+        result = IndependentVQABaseline(tfim_tasks, small_ansatz, fast_config).run(5)
+        for trajectory in result.trajectories.values():
+            assert trajectory.cumulative_shots[0] == 2 * 7 * fast_config.shots_per_pauli_term
+
+    def test_baseline_budget_split_equally(self, tfim_tasks, small_ansatz):
+        per_iteration = 2 * 7 * 4096
+        config = TreeVQAConfig(max_rounds=100, max_total_shots=3 * 5 * per_iteration, seed=0)
+        result = IndependentVQABaseline(tfim_tasks, small_ansatz, config).run()
+        for task in tfim_tasks:
+            assert result.ledger.total_for(task.name) <= 5 * per_iteration
+
+    def test_treevqa_beats_or_matches_baseline_shots_at_matched_fidelity(
+        self, small_suite
+    ):
+        """Integration: the paper's headline claim at miniature scale."""
+        config = TreeVQAConfig(
+            max_rounds=80, warmup_iterations=10, window_size=6, epsilon_split=2e-3,
+            optimizer_kwargs={"learning_rate": 0.3, "perturbation": 0.15}, seed=5,
+        )
+        rng = np.random.default_rng(5)
+        initial = rng.normal(0.0, 0.7, small_suite.ansatz.num_parameters)
+        treevqa = TreeVQAController(
+            small_suite.tasks, small_suite.ansatz, config, initial_parameters=initial
+        ).run()
+        baseline = IndependentVQABaseline(
+            small_suite.tasks, small_suite.ansatz, config, initial_parameters=initial
+        ).run(iterations_per_task=80)
+        threshold = min(treevqa.max_reported_fidelity(), baseline.max_reported_fidelity()) - 0.01
+        tree_shots = treevqa.shots_to_reach_fidelity(threshold)
+        base_shots = baseline.shots_to_reach_fidelity(threshold)
+        assert tree_shots is not None and base_shots is not None
+        assert base_shots >= tree_shots
+
+    def test_postprocess_selects_best_cluster(self, tfim_tasks, small_ansatz, fast_config):
+        good = make_cluster(tfim_tasks, small_ansatz, fast_config)
+        for _ in range(15):
+            good.step()
+        bad = VQACluster(
+            cluster_id="bad",
+            tasks=tfim_tasks,
+            ansatz=small_ansatz,
+            optimizer=fast_config.make_optimizer(),
+            estimator=fast_config.make_estimator(),
+            config=fast_config,
+            initial_parameters=np.full(small_ansatz.num_parameters, 1.5),
+        )
+        selections = select_best_states(tfim_tasks, [good, bad])
+        assert len(selections) == 3
+        for selection in selections:
+            assert selection.energy == min(selection.candidate_energies.values())
+        with pytest.raises(ValueError):
+            select_best_states(tfim_tasks, [])

@@ -1,0 +1,109 @@
+"""Tests for the classical initialisation strategies (HF, CAFQA, Red-QAOA)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ansatz import HardwareEfficientAnsatz, MultiAngleQAOAAnsatz, QAOAAnsatz, UCCSDAnsatz
+from repro.core import VQATask
+from repro.hamiltonians import (
+    MolecularFamily,
+    get_molecule,
+    ieee14_graph,
+    maxcut_minimization_hamiltonian,
+    transverse_field_ising_chain,
+)
+from repro.initialization import (
+    cafqa_search,
+    clifford_energy,
+    hartree_fock_energy,
+    hartree_fock_state,
+    pool_graph,
+    red_qaoa_initialization,
+)
+from repro.quantum.exact import ground_state_energy
+from repro.quantum.statevector import StatevectorSimulator
+
+
+class TestHartreeFock:
+    def test_state_and_energy(self):
+        state = hartree_fock_state(4, 2)
+        assert abs(state.data[int("1100", 2)]) == pytest.approx(1.0)
+        family = MolecularFamily(get_molecule("H2"))
+        task = VQATask("h2", family.hamiltonian(0.75), initial_bitstring="1100")
+        energy = hartree_fock_energy(task, 2)
+        # HF energy is an upper bound on the exact ground energy.
+        assert energy >= task.exact_ground_energy() - 1e-9
+
+
+class TestCAFQA:
+    def test_clifford_energy_matches_statevector(self):
+        ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        operator = transverse_field_ising_chain(3, 1.0)
+        parameters = np.array([0.0, np.pi / 2, np.pi, 0.0, 3 * np.pi / 2, 0.0] * 2)
+        clifford_value = clifford_energy(ansatz, parameters, operator)
+        exact = StatevectorSimulator().run(ansatz.bound_circuit(parameters)).expectation(operator)
+        assert clifford_value == pytest.approx(exact, abs=1e-9)
+
+    def test_search_improves_over_zero_point(self):
+        operator = transverse_field_ising_chain(4, 0.6)
+        ansatz = HardwareEfficientAnsatz(4, num_layers=1)
+        result = cafqa_search(operator, ansatz, num_sweeps=1, seed=0)
+        zero_energy = clifford_energy(ansatz, ansatz.zero_parameters(), operator)
+        assert result.energy <= zero_energy + 1e-9
+        assert result.num_evaluations > 0
+        assert result.parameters.shape == (ansatz.num_parameters,)
+        # All parameters stay on the Clifford grid.
+        assert np.allclose(np.mod(result.parameters, np.pi / 2), 0.0)
+
+    def test_initialization_fidelity(self):
+        operator = transverse_field_ising_chain(3, 0.4)
+        ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        result = cafqa_search(operator, ansatz, num_sweeps=2, seed=1)
+        fidelity = result.initialization_fidelity(ground_state_energy(operator))
+        assert 0.0 < fidelity <= 1.0
+
+    def test_rejects_scaled_parameter_ansatz(self):
+        ansatz = UCCSDAnsatz(4, 2)
+        operator = transverse_field_ising_chain(4, 1.0)
+        with pytest.raises(ValueError):
+            cafqa_search(operator, ansatz)
+
+    def test_qubit_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cafqa_search(transverse_field_ising_chain(3, 1.0), HardwareEfficientAnsatz(4))
+
+
+class TestRedQAOA:
+    def test_pool_graph_reduces_nodes(self):
+        graph = ieee14_graph()
+        pooled = pool_graph(graph, target_nodes=6)
+        assert pooled.number_of_nodes() <= 6
+        assert pooled.number_of_nodes() >= 2
+        with pytest.raises(ValueError):
+            pool_graph(graph, target_nodes=1)
+
+    def test_initialization_broadcast_shapes(self):
+        graph = ieee14_graph()
+        initialization = red_qaoa_initialization(graph, num_layers=1, target_nodes=6, grid_points=5)
+        cost = maxcut_minimization_hamiltonian(graph)
+        standard = QAOAAnsatz(cost, num_layers=1)
+        multi = MultiAngleQAOAAnsatz(cost, num_layers=1)
+        assert initialization.broadcast(standard).shape == (2,)
+        assert initialization.broadcast(multi).shape == (multi.num_parameters,)
+        wrong_depth = QAOAAnsatz(cost, num_layers=2)
+        with pytest.raises(ValueError):
+            initialization.broadcast(wrong_depth)
+
+    def test_initialization_beats_plus_state(self):
+        graph = ieee14_graph()
+        initialization = red_qaoa_initialization(graph, num_layers=1, target_nodes=7, grid_points=7)
+        cost = maxcut_minimization_hamiltonian(graph)
+        ansatz = QAOAAnsatz(cost, num_layers=1)
+        simulator = StatevectorSimulator()
+        initialized = simulator.expectation(
+            ansatz.bound_circuit(initialization.broadcast(ansatz)), cost
+        )
+        plus_state = simulator.expectation(ansatz.bound_circuit(ansatz.zero_parameters()), cost)
+        assert initialized < plus_state

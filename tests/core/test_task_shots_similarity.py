@@ -1,0 +1,202 @@
+"""Tests for VQA tasks, shot accounting, similarity metrics and mixed Hamiltonians."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DEFAULT_SHOTS_PER_PAULI_TERM,
+    ShotLedger,
+    VQATask,
+    build_mixed_hamiltonian,
+    coefficient_l1_distance,
+    distance_matrix,
+    gaussian_similarity,
+    ground_state_overlap_matrix,
+    normalize_matrix,
+    shots_for_run,
+    shots_per_evaluation,
+    similarity_matrix,
+)
+from repro.hamiltonians import MolecularFamily, get_molecule, transverse_field_ising_chain
+from repro.quantum.pauli import PauliOperator
+
+
+class TestVQATask:
+    def test_properties(self, tfim_tasks):
+        task = tfim_tasks[0]
+        assert task.num_qubits == 4
+        assert task.num_pauli_terms == 7
+        assert "tfim" in repr(task)
+
+    def test_reference_energy_cached(self, tfim_tasks):
+        task = tfim_tasks[0]
+        assert task.reference_energy is None
+        energy = task.exact_ground_energy()
+        assert task.reference_energy == energy
+        assert task.exact_ground_energy() == energy
+
+    def test_error_and_fidelity(self, tfim_tasks):
+        task = tfim_tasks[0]
+        exact = task.exact_ground_energy()
+        assert task.error(exact) == pytest.approx(0.0)
+        assert task.fidelity(exact) == pytest.approx(1.0)
+        assert task.fidelity(exact * 0.5) == pytest.approx(0.5)
+        assert 0.0 <= task.fidelity(100.0) <= 1.0
+
+    def test_initial_bitstring_validation(self):
+        hamiltonian = transverse_field_ising_chain(3, 1.0)
+        with pytest.raises(ValueError):
+            VQATask("bad", hamiltonian, initial_bitstring="01")
+        with pytest.raises(ValueError):
+            VQATask("bad", hamiltonian, initial_bitstring="0a1")
+
+    def test_initial_state(self):
+        hamiltonian = transverse_field_ising_chain(3, 1.0)
+        task = VQATask("t", hamiltonian, initial_bitstring="010")
+        assert abs(task.initial_state().data[2]) == pytest.approx(1.0)
+        default = VQATask("t2", hamiltonian)
+        assert abs(default.initial_state().data[0]) == pytest.approx(1.0)
+
+
+class TestShotAccounting:
+    def test_per_evaluation_formula(self):
+        operator = PauliOperator.from_terms([("XX", 1.0), ("ZZ", 1.0), ("II", 3.0)])
+        # identity terms are not measured
+        assert shots_per_evaluation(operator) == 2 * DEFAULT_SHOTS_PER_PAULI_TERM
+        assert shots_per_evaluation(10, 100) == 1000
+        with pytest.raises(ValueError):
+            shots_per_evaluation(0)
+        with pytest.raises(ValueError):
+            shots_per_evaluation(10, 0)
+
+    def test_overall_formula_matches_paper(self):
+        # N_overall = iterations × evals/iter × 4096 × #terms (§7.3)
+        assert shots_for_run(100, 2, 50) == 100 * 2 * 4096 * 50
+        with pytest.raises(ValueError):
+            shots_for_run(-1, 2, 50)
+
+    def test_ledger_accumulates(self):
+        ledger = ShotLedger()
+        ledger.charge("a", 1, 100)
+        ledger.charge("b", 1, 50)
+        ledger.charge("a", 2, 25)
+        assert ledger.total == 175
+        assert ledger.total_for("a") == 125
+        assert ledger.sources() == ["a", "b"]
+        assert ledger.cumulative_totals() == [100, 150, 175]
+
+    def test_ledger_charge_evaluations(self):
+        ledger = ShotLedger(shots_per_term=10)
+        operator = PauliOperator.from_terms([("XX", 1.0), ("ZZ", 1.0)])
+        total = ledger.charge_evaluations("a", 1, operator, num_evaluations=3)
+        assert total == 3 * 10 * 2
+
+    def test_ledger_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ShotLedger().charge("a", 1, -5)
+
+
+class TestSimilarity:
+    def test_l1_distance_simple(self):
+        a = PauliOperator.from_terms([("XX", 1.0), ("ZZ", 2.0)])
+        b = PauliOperator.from_terms([("XX", 1.5), ("YY", 1.0)])
+        assert coefficient_l1_distance(a, b) == pytest.approx(0.5 + 2.0 + 1.0)
+
+    def test_distance_matrix_properties(self):
+        operators = [transverse_field_ising_chain(4, h) for h in (0.5, 1.0, 1.5)]
+        distances = distance_matrix(operators)
+        assert distances.shape == (3, 3)
+        np.testing.assert_allclose(np.diag(distances), 0.0)
+        np.testing.assert_allclose(distances, distances.T)
+        # Distance grows with field difference: 4 X terms × |Δh|
+        assert distances[0, 2] == pytest.approx(4.0)
+        assert distances[0, 1] == pytest.approx(2.0)
+
+    def test_gaussian_similarity_range(self):
+        distances = np.array([[0.0, 1.0], [1.0, 0.0]])
+        similarity = gaussian_similarity(distances)
+        assert similarity[0, 0] == pytest.approx(1.0)
+        assert 0 < similarity[0, 1] < 1
+        custom = gaussian_similarity(distances, sigma=10.0)
+        assert custom[0, 1] > similarity[0, 1]
+
+    def test_similarity_matrix_orders_neighbours(self):
+        family = MolecularFamily(get_molecule("LiH"))
+        operators = [family.hamiltonian(r) for r in (1.45, 1.50, 1.65)]
+        similarity = similarity_matrix(operators)
+        assert similarity[0, 1] > similarity[0, 2]
+
+    def test_ground_state_overlap_matrix(self):
+        operators = [transverse_field_ising_chain(4, h) for h in (0.3, 0.35, 2.5)]
+        overlaps = ground_state_overlap_matrix(operators)
+        np.testing.assert_allclose(np.diag(overlaps), 1.0)
+        assert overlaps[0, 1] > overlaps[0, 2]
+
+    def test_normalize_matrix(self):
+        matrix = np.array([[1.0, 3.0], [2.0, 5.0]])
+        normalized = normalize_matrix(matrix)
+        assert normalized.min() == 0.0
+        assert normalized.max() == 1.0
+        np.testing.assert_allclose(normalize_matrix(np.full((2, 2), 4.0)), 1.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            distance_matrix([])
+
+    @given(st.lists(st.floats(0.2, 3.0), min_size=2, max_size=5))
+    @settings(max_examples=15, deadline=None)
+    def test_similarity_symmetric_and_bounded(self, fields):
+        operators = [transverse_field_ising_chain(3, float(h)) for h in fields]
+        similarity = similarity_matrix(operators)
+        np.testing.assert_allclose(similarity, similarity.T, atol=1e-12)
+        assert np.all(similarity >= 0) and np.all(similarity <= 1 + 1e-12)
+
+
+class TestMixedHamiltonian:
+    def test_average_of_identical_operators_is_identity(self):
+        operator = transverse_field_ising_chain(4, 1.0)
+        mixed = build_mixed_hamiltonian([operator, operator, operator])
+        assert mixed.operator.equals(operator)
+        assert mixed.num_tasks == 3
+
+    def test_padding_creates_shared_basis(self):
+        a = PauliOperator.from_terms([("XX", 1.0)])
+        b = PauliOperator.from_terms([("ZZ", 2.0)])
+        mixed = build_mixed_hamiltonian([a, b])
+        assert mixed.num_terms == 2
+        assert mixed.operator.coefficient("XX") == pytest.approx(0.5)
+        assert mixed.operator.coefficient("ZZ") == pytest.approx(1.0)
+
+    def test_mixed_is_hermitian_mean(self):
+        operators = [transverse_field_ising_chain(4, h) for h in (0.5, 1.5)]
+        mixed = build_mixed_hamiltonian(operators)
+        assert mixed.operator.is_hermitian()
+        # Mean field of 0.5 and 1.5 is 1.0.
+        expected = transverse_field_ising_chain(4, 1.0)
+        assert mixed.operator.equals(expected)
+
+    def test_individual_value_recombination(self):
+        a = PauliOperator.from_terms([("XX", 1.0), ("ZZ", 0.5)])
+        b = PauliOperator.from_terms([("ZZ", 2.0)])
+        mixed = build_mixed_hamiltonian([a, b])
+        term_values = {pauli: 1.0 for pauli in mixed.basis}
+        assert mixed.individual_value(0, term_values) == pytest.approx(1.5)
+        assert mixed.individual_value(1, term_values) == pytest.approx(2.0)
+        values = mixed.individual_values(term_values)
+        np.testing.assert_allclose(values, [1.5, 2.0])
+        with pytest.raises(IndexError):
+            mixed.individual_value(5, term_values)
+
+    def test_qubit_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_mixed_hamiltonian(
+                [PauliOperator.from_terms([("XX", 1.0)]), PauliOperator.from_terms([("X", 1.0)])]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_mixed_hamiltonian([])

@@ -1,0 +1,138 @@
+"""Smoke and shape tests for the figure/table experiment runners.
+
+These use deliberately tiny presets so the whole module runs in tens of
+seconds; the benchmark harness (``benchmarks/``) runs the real "fast" presets
+and records the headline numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiments import (
+    Preset,
+    build_vqe_suite,
+    default_config,
+    format_figure4,
+    format_figure6,
+    format_figure13,
+    format_table1,
+    get_preset,
+    run_comparison,
+    run_figure4,
+    run_figure4a,
+    run_figure6_panel,
+    run_figure13,
+    run_large_scale_benchmark,
+    run_table1,
+)
+from repro.evaluation.experiments.figure6 import Figure6Result
+from repro.evaluation.experiments.figure7 import run_figure7_panel
+from repro.evaluation.experiments.figure14 import run_window_size_sweep
+
+TINY = Preset(
+    name="fast", num_tasks=3, max_rounds=40, baseline_iterations=40,
+    chemistry_qubits_cap=6, spin_sites=4, warmup_iterations=6, window_size=4,
+)
+
+
+class TestPresetsAndSuites:
+    def test_get_preset(self):
+        assert get_preset("fast").name == "fast"
+        assert get_preset(TINY) is TINY
+        with pytest.raises(ValueError):
+            get_preset("enormous")
+
+    def test_build_vqe_suites(self):
+        for name in ("LiH", "XXZ", "TFIM", "H2"):
+            suite = build_vqe_suite(name, TINY)
+            assert suite.num_tasks >= 3 or name == "H2"
+        with pytest.raises(ValueError):
+            build_vqe_suite("nope", TINY)
+
+    def test_default_config_optimizers(self):
+        assert default_config(TINY).optimizer == "spsa"
+        assert default_config(TINY, optimizer="cobyla").optimizer == "cobyla"
+
+
+class TestTable1AndFigure4:
+    def test_table1_rows(self):
+        rows = run_table1(("H2", "LiH"))
+        assert [row.molecule for row in rows] == ["H2", "LiH"]
+        assert rows[1].paper_num_terms == 496
+        assert "Table 1" in format_table1(rows)
+
+    def test_figure4a_amplitudes_vary_smoothly(self):
+        rows = run_figure4a(bond_lengths=(0.6, 0.7, 1.8))
+        assert len(rows) == 3
+        for row in rows:
+            assert all(0 <= amp <= 1 for amp in row.amplitudes.values())
+
+    def test_figure4_heatmaps_and_correlation(self):
+        result = run_figure4(bond_lengths=(1.4, 1.5, 1.6, 2.0, 2.4))
+        assert result.overlap_matrix.shape == (5, 5)
+        assert result.hamiltonian_similarity.shape == (5, 5)
+        np.testing.assert_allclose(np.diag(result.overlap_matrix), 1.0)
+        # The paper's claim: the coefficient metric tracks ground-state overlap.
+        assert result.correlation() > 0.3
+        assert "Fig. 4b" in format_figure4(result)
+
+
+class TestComparisonRunners:
+    def test_run_comparison_shapes(self):
+        suite = build_vqe_suite("TFIM", TINY)
+        config = default_config(TINY, seed=3)
+        comparison = run_comparison(suite, config, baseline_iterations=TINY.baseline_iterations)
+        assert comparison.treevqa.total_shots > 0
+        assert comparison.baseline.total_shots > 0
+        assert set(comparison.treevqa.final_fidelities()) == {t.name for t in suite.tasks}
+
+    def test_figure6_panel_savings_positive(self):
+        panel = run_figure6_panel("TFIM", TINY, seed=3)
+        assert panel.thresholds == sorted(panel.thresholds)
+        # The tiny preset only gets part-way to convergence; the benchmark
+        # harness exercises the real "fast"/"full" presets.
+        assert panel.max_common_fidelity > 0.3
+        usable = [p.savings_ratio for p in panel.points if p.savings_ratio is not None]
+        assert usable, "no threshold was reached by both methods"
+        # TreeVQA should save shots (allow a little slack for the tiny preset).
+        assert max(usable) > 1.0
+        text = format_figure6(Figure6Result(panels=[panel]))
+        assert "Fig. 6" in text
+
+    def test_figure7_panel_monotone_budgets(self):
+        panel = run_figure7_panel("TFIM", TINY, seed=3)
+        assert panel.budgets == sorted(panel.budgets)
+        assert all(0 <= f <= 1 for f in panel.treevqa_fidelities)
+        assert all(0 <= f <= 1 for f in panel.baseline_fidelities)
+        # Fidelity curves are non-decreasing in the budget.
+        assert all(
+            b >= a - 1e-9
+            for a, b in zip(panel.treevqa_fidelities, panel.treevqa_fidelities[1:])
+        )
+
+
+class TestStudies:
+    def test_figure13_split_timing(self):
+        result = run_figure13(TINY, benchmarks=("TFIM",), split_percentages=(25, 75), seed=3)
+        assert len(result.points) == 2
+        assert all(point.mean_error_percent >= 0 for point in result.points)
+        assert result.best_split_percent("TFIM") in (25.0, 75.0)
+        assert "Fig. 13" in format_figure13(result)
+
+    def test_window_size_sweep(self):
+        points = run_window_size_sweep("TFIM", TINY, window_sizes=(4, 12), seed=3)
+        assert len(points) == 2
+        assert points[0].window_size == 4
+        assert all(0 <= p.final_accuracy_percent <= 100 for p in points)
+        assert all(p.critical_depth_percent <= 100.0 + 1e-9 for p in points)
+
+    def test_large_scale_benchmark_savings(self):
+        result = run_large_scale_benchmark(
+            "Ising25", preset_name="fast", noisy=False,
+            shared_iterations=6, leaf_iterations=3, baseline_iterations=10, seed=2,
+        )
+        assert len(result.tasks) == 5
+        assert all(task.treevqa_shots > 0 for task in result.tasks)
+        assert result.mean_savings() > 0

@@ -1,0 +1,81 @@
+"""Tests for evaluation metrics and report formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ShotLedger, VQATask
+from repro.core.results import RunResult, TaskOutcome, TaskTrajectory
+from repro.evaluation.metrics import (
+    SavingsPoint,
+    common_max_fidelity,
+    fidelity,
+    fidelity_budget_curve,
+    relative_error,
+    savings_at_threshold,
+    savings_curve,
+)
+from repro.evaluation.reporting import format_heatmap, format_series, format_table
+from repro.hamiltonians import transverse_field_ising_chain
+
+
+def _make_result(energies, shots, reference=-4.0):
+    task = VQATask("t", transverse_field_ising_chain(3, 1.0), reference_energy=reference)
+    trajectory = TaskTrajectory("t")
+    for s, e in zip(shots, energies):
+        trajectory.record(s, e)
+    ledger = ShotLedger()
+    ledger.charge("t", 1, shots[-1])
+    outcome = TaskOutcome(task, energies[-1], "x", task.fidelity(energies[-1]), task.error(energies[-1]))
+    return RunResult(outcomes=[outcome], trajectories={"t": trajectory}, ledger=ledger, total_rounds=3)
+
+
+class TestMetrics:
+    def test_relative_error_and_fidelity(self):
+        assert relative_error(-3.0, -4.0) == pytest.approx(0.25)
+        assert fidelity(-3.0, -4.0) == pytest.approx(0.75)
+        assert fidelity(-4.0, -4.0) == 1.0
+        assert relative_error(1.0, 0.0) == 1.0
+        assert 0.0 <= fidelity(10.0, -4.0) <= 1.0
+
+    def test_savings_point_ratio(self):
+        assert SavingsPoint(0.9, 100, 400).savings_ratio == 4.0
+        assert SavingsPoint(0.9, None, 400).savings_ratio is None
+        assert SavingsPoint(0.9, 100, None).savings_ratio is None
+
+    def test_savings_curve_and_threshold(self):
+        treevqa = _make_result([-2.0, -3.0, -3.8], [100, 200, 300])
+        baseline = _make_result([-2.0, -3.0, -3.8], [1000, 2000, 3000])
+        points = savings_curve(treevqa, baseline, [0.5, 0.75, 0.95])
+        assert [p.threshold for p in points] == [0.5, 0.75, 0.95]
+        assert points[1].savings_ratio == pytest.approx(10.0)
+        threshold, ratio = savings_at_threshold(treevqa, baseline)
+        assert threshold == pytest.approx(common_max_fidelity(treevqa, baseline))
+        assert ratio == pytest.approx(10.0)
+
+    def test_fidelity_budget_curve(self):
+        result = _make_result([-2.0, -3.0, -3.8], [100, 200, 300])
+        curve = fidelity_budget_curve(result, [150, 250, 350])
+        assert [value for _, value in curve] == pytest.approx([0.5, 0.75, 0.95])
+        mean_curve = fidelity_budget_curve(result, [350], aggregate="mean")
+        assert mean_curve[0][1] == pytest.approx(0.95)
+        with pytest.raises(ValueError):
+            fidelity_budget_curve(result, [100], aggregate="median")
+
+
+class TestReporting:
+    def test_format_table_alignment_and_none(self):
+        text = format_table(["name", "value"], [["a", 1.23456], ["b", None]], title="T")
+        assert text.startswith("T")
+        assert "1.235" in text
+        assert "-" in text
+
+    def test_format_series(self):
+        text = format_series("y", [1, 2], [0.5, 0.25])
+        assert "0.5" in text and "0.25" in text
+
+    def test_format_heatmap(self):
+        matrix = np.array([[1.0, 0.5], [0.5, 1.0]])
+        text = format_heatmap(["a", "b"], matrix, title="H")
+        assert "1.00" in text and "0.50" in text

@@ -1,0 +1,89 @@
+"""Tests for the named benchmark suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ansatz import HardwareEfficientAnsatz, MultiAngleQAOAAnsatz, UCCSDAnsatz
+from repro.hamiltonians import (
+    BenchmarkSuite,
+    build_suite,
+    chemistry_suite,
+    ising_large_suite,
+    maxcut_ieee14_suite,
+    tfim_suite,
+    xxz_suite,
+)
+
+
+class TestChemistrySuite:
+    def test_h2_defaults_to_uccsd(self):
+        suite = chemistry_suite("H2")
+        assert isinstance(suite.ansatz, UCCSDAnsatz)
+        assert suite.num_tasks == 5
+        assert suite.kind == "chemistry"
+
+    def test_lih_defaults_to_hardware_efficient(self):
+        suite = chemistry_suite("LiH")
+        assert isinstance(suite.ansatz, HardwareEfficientAnsatz)
+        assert suite.num_tasks == 10
+        assert suite.metadata["paper_num_terms"] == 496
+
+    def test_tasks_share_initial_bitstring(self):
+        suite = chemistry_suite("HF")
+        bitstrings = {task.initial_bitstring for task in suite.tasks}
+        assert len(bitstrings) == 1
+
+    def test_custom_bond_lengths(self):
+        suite = chemistry_suite("LiH", bond_lengths=[1.5, 1.6])
+        assert suite.num_tasks == 2
+        assert suite.tasks[0].scan_parameter == pytest.approx(1.5)
+
+
+class TestSpinSuites:
+    def test_xxz_suite(self):
+        suite = xxz_suite(num_sites=4)
+        assert suite.num_tasks == 10
+        assert suite.num_qubits == 4
+        assert all("XXZ" in task.name for task in suite.tasks)
+
+    def test_tfim_suite_custom_fields(self):
+        suite = tfim_suite(num_sites=4, fields=[0.9, 1.1])
+        assert suite.num_tasks == 2
+
+    def test_ising_large_suite(self):
+        suite = ising_large_suite(num_sites=12, fields=[0.8, 1.2])
+        assert suite.num_qubits == 12
+        assert suite.metadata["simulator"] == "pauli-propagation"
+
+
+class TestMaxCutSuite:
+    def test_scenario_by_name(self):
+        suite = maxcut_ieee14_suite("0.9:1.1", num_instances=4)
+        assert suite.num_tasks == 4
+        assert suite.num_qubits == 14
+        assert isinstance(suite.ansatz, MultiAngleQAOAAnsatz)
+        assert suite.metadata["edge_weight_variance"] > 0
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            maxcut_ieee14_suite("2:3")
+
+
+class TestBuildSuite:
+    @pytest.mark.parametrize(
+        "name, expected_kind",
+        [("H2", "chemistry"), ("xxz", "physics"), ("tfim", "physics"), ("maxcut", "qaoa")],
+    )
+    def test_dispatch(self, name, expected_kind):
+        suite = build_suite(name) if name != "maxcut" else build_suite(name, num_instances=3)
+        assert isinstance(suite, BenchmarkSuite)
+        assert suite.kind == expected_kind
+
+    def test_unknown_suite(self):
+        with pytest.raises(ValueError):
+            build_suite("nonexistent")
+
+    def test_hamiltonians_accessor(self):
+        suite = tfim_suite(num_sites=4, fields=[1.0])
+        assert len(suite.hamiltonians()) == 1

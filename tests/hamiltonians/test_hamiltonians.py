@@ -1,0 +1,213 @@
+"""Tests for the benchmark Hamiltonian families."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hamiltonians import (
+    IEEE14_BRANCHES,
+    LOAD_SCENARIOS,
+    MOLECULES,
+    MolecularFamily,
+    cut_value,
+    edge_weight_variance,
+    get_molecule,
+    hartree_fock_bitstring,
+    heisenberg_xxz_chain,
+    ieee14_graph,
+    load_scaled_graphs,
+    max_cut_brute_force,
+    maxcut_cost_hamiltonian,
+    maxcut_minimization_hamiltonian,
+    qubo_to_ising,
+    tfim_field_scan,
+    transverse_field_ising_chain,
+    xxz_anisotropy_scan,
+)
+from repro.quantum.exact import ground_state, ground_state_energy
+
+
+class TestMolecularFamilies:
+    def test_catalog_contents(self):
+        assert set(MOLECULES) == {"H2", "LiH", "BeH2", "HF", "C2H2"}
+        assert get_molecule("lih").name == "LiH"
+        with pytest.raises(ValueError):
+            get_molecule("H2O")
+
+    def test_term_counts_match_spec(self):
+        for name in ("H2", "LiH", "HF"):
+            spec = MOLECULES[name]
+            family = MolecularFamily(spec)
+            hamiltonian = family.hamiltonian(spec.equilibrium_bond)
+            assert hamiltonian.num_qubits == spec.num_qubits
+            assert hamiltonian.num_terms <= spec.num_terms
+            assert hamiltonian.num_terms >= spec.num_terms - 10
+            assert hamiltonian.is_hermitian()
+
+    def test_relative_ordering_matches_paper(self):
+        sizes = {name: MOLECULES[name].num_terms for name in MOLECULES}
+        assert sizes["H2"] < sizes["LiH"] <= sizes["HF"] < sizes["BeH2"] < sizes["C2H2"]
+
+    def test_hamiltonian_varies_smoothly(self):
+        family = MolecularFamily(get_molecule("LiH"))
+        h1 = family.hamiltonian(1.5)
+        h2 = family.hamiltonian(1.51)
+        h3 = family.hamiltonian(1.9)
+        from repro.core.similarity import coefficient_l1_distance
+
+        assert coefficient_l1_distance(h1, h2) < coefficient_l1_distance(h1, h3)
+
+    def test_deterministic_generation(self):
+        first = MolecularFamily(get_molecule("HF")).hamiltonian(0.95)
+        second = MolecularFamily(get_molecule("HF")).hamiltonian(0.95)
+        assert first.equals(second)
+
+    def test_pes_has_minimum_near_equilibrium(self):
+        spec = get_molecule("H2")
+        family = MolecularFamily(spec)
+        lengths = np.linspace(0.4, 2.2, 10)
+        energies = [ground_state_energy(family.hamiltonian(float(r))) for r in lengths]
+        best = lengths[int(np.argmin(energies))]
+        assert 0.5 < best < 1.3
+        # Dissociation limit should be higher than the minimum.
+        assert energies[-1] > min(energies)
+
+    def test_invalid_bond_length(self):
+        family = MolecularFamily(get_molecule("H2"))
+        with pytest.raises(ValueError):
+            family.hamiltonian(0.0)
+
+    def test_scan_default_instances(self):
+        family = MolecularFamily(get_molecule("LiH"))
+        scan = family.scan()
+        assert len(scan) == 10
+        assert scan[1][0] - scan[0][0] == pytest.approx(0.03)
+        h2_scan = MolecularFamily(get_molecule("H2")).scan()
+        assert len(h2_scan) == 5
+
+    def test_hartree_fock_bitstring(self):
+        assert hartree_fock_bitstring(6, 2) == "110000"
+        with pytest.raises(ValueError):
+            hartree_fock_bitstring(4, 5)
+        family = MolecularFamily(get_molecule("LiH"))
+        assert family.hartree_fock_bitstring().count("1") == get_molecule("LiH").num_particles
+
+
+class TestSpinModels:
+    def test_xxz_term_count(self):
+        operator = heisenberg_xxz_chain(5, 1.0)
+        assert operator.num_terms == 3 * 4
+        periodic = heisenberg_xxz_chain(5, 1.0, periodic=True)
+        assert periodic.num_terms == 3 * 5
+
+    def test_xxz_known_two_site_energy(self):
+        # Two-site Heisenberg (Δ=1): singlet energy is -3J.
+        operator = heisenberg_xxz_chain(2, 1.0)
+        assert ground_state_energy(operator) == pytest.approx(-3.0)
+
+    def test_tfim_limits(self):
+        # h = 0: classical Ising, ground energy -(N-1)J.
+        assert ground_state_energy(transverse_field_ising_chain(4, 0.0)) == pytest.approx(-3.0)
+        # J = 0 equivalent: huge field dominates, E ≈ -h*N.
+        strong_field = transverse_field_ising_chain(4, 50.0)
+        assert ground_state_energy(strong_field) == pytest.approx(-200.0, rel=0.01)
+
+    def test_scans(self):
+        assert len(xxz_anisotropy_scan(4)) == 10
+        scan = tfim_field_scan(4, [0.5, 1.0, 1.5])
+        assert [h for h, _ in scan] == [0.5, 1.0, 1.5]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            heisenberg_xxz_chain(1, 1.0)
+        with pytest.raises(ValueError):
+            transverse_field_ising_chain(1, 1.0)
+
+    def test_gap_closes_near_tfim_transition(self):
+        # Deep in the paramagnetic phase the gap is ~2(h-J); it shrinks toward
+        # the critical point h = J.
+        paramagnetic = ground_state(transverse_field_ising_chain(6, 2.5), compute_gap=True)
+        critical = ground_state(transverse_field_ising_chain(6, 1.0), compute_gap=True)
+        assert critical.gap < paramagnetic.gap
+
+
+class TestMaxCut:
+    @pytest.fixture
+    def square_graph(self):
+        graph = nx.Graph()
+        graph.add_weighted_edges_from([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.0), (3, 0, 2.0)])
+        return graph
+
+    def test_cost_hamiltonian_eigenvalue_equals_max_cut(self, square_graph):
+        cost = maxcut_cost_hamiltonian(square_graph)
+        best_value, best_bits = max_cut_brute_force(square_graph)
+        # Highest eigenvalue of the cost Hamiltonian equals the max cut weight.
+        minimization = maxcut_minimization_hamiltonian(square_graph)
+        assert -ground_state_energy(minimization) == pytest.approx(best_value)
+        assert cut_value(square_graph, best_bits) == pytest.approx(best_value)
+
+    def test_cut_value_with_dict_assignment(self, square_graph):
+        value = cut_value(square_graph, {0: 0, 1: 1, 2: 0, 3: 1})
+        assert value == pytest.approx(6.0)
+
+    def test_bitstring_length_validation(self, square_graph):
+        with pytest.raises(ValueError):
+            cut_value(square_graph, "01")
+
+    def test_qubo_to_ising_matches_enumeration(self):
+        rng = np.random.default_rng(3)
+        q = rng.normal(size=(3, 3))
+        operator = qubo_to_ising(q)
+        # Check every bitstring: x^T Q x equals <x|H|x>.
+        for bits in range(8):
+            x = np.array([(bits >> (2 - i)) & 1 for i in range(3)], dtype=float)
+            expected = float(x @ (0.5 * (q + q.T)) @ x)
+            from repro.quantum.statevector import Statevector
+
+            state = Statevector.computational_basis(3, bits)
+            assert operator.expectation(state.data) == pytest.approx(expected, abs=1e-9)
+
+    def test_qubo_validation(self):
+        with pytest.raises(ValueError):
+            qubo_to_ising(np.zeros((2, 3)))
+
+
+class TestIEEE14:
+    def test_topology(self):
+        graph = ieee14_graph()
+        assert graph.number_of_nodes() == 14
+        assert graph.number_of_edges() == len(IEEE14_BRANCHES) == 20
+        assert nx.is_connected(graph)
+
+    def test_load_scaling_changes_weights(self):
+        light = ieee14_graph(0.5)
+        heavy = ieee14_graph(1.5)
+        light_total = sum(d["weight"] for _, _, d in light.edges(data=True))
+        heavy_total = sum(d["weight"] for _, _, d in heavy.edges(data=True))
+        assert heavy_total > light_total
+
+    def test_load_scenarios_variance_ordering(self):
+        variances = []
+        for scenario in LOAD_SCENARIOS:
+            graphs = [g for _, g in load_scaled_graphs(scenario.load_range, 10)]
+            variances.append(edge_weight_variance(graphs))
+        # Wider load ranges must produce larger edge-weight variance (Fig. 12).
+        assert variances[0] > variances[1] > variances[2]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ieee14_graph(0.0)
+        with pytest.raises(ValueError):
+            load_scaled_graphs((1.5, 0.5))
+        with pytest.raises(ValueError):
+            edge_weight_variance([])
+
+    @given(st.floats(0.5, 1.5))
+    @settings(max_examples=20, deadline=None)
+    def test_weights_always_positive(self, scale):
+        graph = ieee14_graph(scale)
+        assert all(d["weight"] > 0 for _, _, d in graph.edges(data=True))

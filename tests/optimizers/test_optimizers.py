@@ -1,0 +1,118 @@
+"""Tests for SPSA and COBYLA optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.optimizers import COBYLA, SPSA, OptimizerResult
+
+
+def quadratic(x: np.ndarray) -> float:
+    return float(np.sum((x - 1.0) ** 2))
+
+
+class TestSPSA:
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            SPSA(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SPSA(perturbation=-1.0)
+
+    def test_schedules_decay(self):
+        spsa = SPSA(learning_rate=0.5, perturbation=0.2, expected_iterations=100)
+        assert spsa.learning_rate_at(0) > spsa.learning_rate_at(50)
+        assert spsa.perturbation_at(0) > spsa.perturbation_at(50)
+
+    def test_step_uses_two_evaluations(self):
+        spsa = SPSA(seed=0)
+        spsa.reset(np.zeros(3))
+        calls = []
+
+        def objective(x):
+            calls.append(x.copy())
+            return quadratic(x)
+
+        step = spsa.step(objective)
+        assert len(calls) == 2
+        assert step.num_evaluations == 2
+        assert step.iteration == 1
+
+    def test_requires_reset_before_step(self):
+        with pytest.raises(RuntimeError):
+            SPSA().step(quadratic)
+
+    def test_minimize_converges_on_quadratic(self):
+        spsa = SPSA(learning_rate=0.3, perturbation=0.1, seed=2, expected_iterations=200)
+        result = spsa.minimize(quadratic, np.zeros(4), 200)
+        assert isinstance(result, OptimizerResult)
+        assert result.num_iterations == 200
+        assert result.num_evaluations == 400
+        assert quadratic(result.parameters) < 0.1
+        assert result.best_loss <= result.loss_history[0]
+
+    def test_deterministic_with_seed(self):
+        a = SPSA(seed=5).minimize(quadratic, np.zeros(2), 30)
+        b = SPSA(seed=5).minimize(quadratic, np.zeros(2), 30)
+        np.testing.assert_allclose(a.parameters, b.parameters)
+
+    def test_calibrate_scales_learning_rate(self):
+        flat = SPSA(seed=1)
+        steep = SPSA(seed=1)
+        flat.calibrate(lambda x: 0.01 * quadratic(x), np.ones(3) * 3, target_step=0.1)
+        steep.calibrate(lambda x: 100.0 * quadratic(x), np.ones(3) * 3, target_step=0.1)
+        assert flat.learning_rate > steep.learning_rate
+
+    def test_minimize_validates_iterations(self):
+        with pytest.raises(ValueError):
+            SPSA().minimize(quadratic, np.zeros(2), 0)
+
+    def test_callback_invoked(self):
+        seen = []
+        SPSA(seed=0).minimize(quadratic, np.zeros(2), 5, callback=lambda step: seen.append(step))
+        assert len(seen) == 5
+
+
+class TestCOBYLA:
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            COBYLA(initial_trust_radius=0.0)
+        with pytest.raises(ValueError):
+            COBYLA(evaluations_per_step=1)
+
+    def test_step_counts_evaluations(self):
+        cobyla = COBYLA(evaluations_per_step=6)
+        cobyla.reset(np.zeros(2))
+        step = cobyla.step(quadratic)
+        assert step.num_evaluations >= 2
+        assert step.iteration == 1
+
+    def test_minimize_converges_on_quadratic(self):
+        cobyla = COBYLA(initial_trust_radius=0.5, evaluations_per_step=8)
+        result = cobyla.minimize(quadratic, np.zeros(3), 40)
+        assert quadratic(result.parameters) < 0.05
+
+    def test_monotone_best_parameters(self):
+        """The retained parameters never regress to a worse objective."""
+        cobyla = COBYLA(evaluations_per_step=4)
+        cobyla.reset(np.full(2, 3.0))
+        best = np.inf
+        for _ in range(20):
+            cobyla.step(quadratic)
+            value = quadratic(cobyla.parameters)
+            assert value <= best + 1e-9
+            best = min(best, value)
+
+    def test_trust_radius_decays(self):
+        cobyla = COBYLA(initial_trust_radius=0.5, trust_decay=0.5)
+        cobyla.reset(np.zeros(2))
+        cobyla.step(quadratic)
+        cobyla.step(quadratic)
+        assert cobyla._trust_radius < 0.5
+
+    def test_reset_restores_trust_radius(self):
+        cobyla = COBYLA(initial_trust_radius=0.5, trust_decay=0.5)
+        cobyla.reset(np.zeros(2))
+        cobyla.step(quadratic)
+        cobyla.reset(np.zeros(2))
+        assert cobyla._trust_radius == 0.5

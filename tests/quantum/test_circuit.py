@@ -1,0 +1,136 @@
+"""Tests for the circuit IR, gates, and parameter binding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import Parameter, ParameterExpression, QuantumCircuit
+from repro.quantum.gates import (
+    GATE_REGISTRY,
+    gate_matrix,
+    gate_num_qubits,
+    is_parametric,
+    rx_matrix,
+    ry_matrix,
+    rz_matrix,
+    rzz_matrix,
+)
+
+
+class TestGates:
+    def test_all_registered_gates_are_unitary(self):
+        rng = np.random.default_rng(0)
+        for name, definition in GATE_REGISTRY.items():
+            params = rng.uniform(-np.pi, np.pi, definition.num_params)
+            matrix = gate_matrix(name, *params)
+            dim = 2 ** definition.num_qubits
+            np.testing.assert_allclose(
+                matrix @ matrix.conj().T, np.eye(dim), atol=1e-10, err_msg=name
+            )
+
+    def test_rotation_identities(self):
+        np.testing.assert_allclose(rx_matrix(0.0), np.eye(2), atol=1e-12)
+        np.testing.assert_allclose(ry_matrix(2 * np.pi), -np.eye(2), atol=1e-12)
+        np.testing.assert_allclose(rz_matrix(0.0), np.eye(2), atol=1e-12)
+        np.testing.assert_allclose(rzz_matrix(0.0), np.eye(4), atol=1e-12)
+
+    def test_parametric_flags(self):
+        assert is_parametric("rx")
+        assert not is_parametric("cx")
+        assert gate_num_qubits("cx") == 2
+        with pytest.raises(ValueError):
+            gate_matrix("nope")
+        with pytest.raises(ValueError):
+            is_parametric("nope")
+
+    def test_wrong_parameter_count(self):
+        with pytest.raises(ValueError):
+            gate_matrix("rx")
+        with pytest.raises(ValueError):
+            gate_matrix("h", 0.3)
+
+
+class TestParameter:
+    def test_parameters_are_distinct_objects(self):
+        a, b = Parameter("theta"), Parameter("theta")
+        assert a != b
+        assert a == a
+
+    def test_expressions(self):
+        theta = Parameter("t")
+        expression = 2.0 * theta
+        assert isinstance(expression, ParameterExpression)
+        assert expression.evaluate(0.5) == pytest.approx(1.0)
+        shifted = theta + 1.0
+        assert shifted.evaluate(0.25) == pytest.approx(1.25)
+        negated = -theta
+        assert negated.evaluate(0.3) == pytest.approx(-0.3)
+        rescaled = expression * 0.5
+        assert rescaled.evaluate(0.5) == pytest.approx(0.5)
+
+
+class TestQuantumCircuit:
+    def test_append_validates_gate_and_qubits(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.append("nope", [0])
+        with pytest.raises(ValueError):
+            circuit.append("cx", [0])
+        with pytest.raises(ValueError):
+            circuit.append("cx", [0, 5])
+        with pytest.raises(ValueError):
+            circuit.append("cx", [1, 1])
+        with pytest.raises(ValueError):
+            circuit.append("rx", [0], [])
+
+    def test_gate_counts_and_depth(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).cx(1, 2).rz(0.3, 2)
+        assert circuit.count_gates() == {"h": 1, "cx": 2, "rz": 1}
+        assert circuit.depth() == 4
+        assert circuit.two_qubit_gate_count() == 2
+        assert len(circuit) == 4
+
+    def test_parameter_tracking_in_order(self):
+        a, b = Parameter("a"), Parameter("b")
+        circuit = QuantumCircuit(2).ry(a, 0).rz(b, 1).ry(a, 1)
+        assert circuit.parameters == [a, b]
+        assert circuit.num_parameters == 2
+        assert not circuit.is_bound()
+
+    def test_bind_with_sequence_and_mapping(self):
+        a, b = Parameter("a"), Parameter("b")
+        circuit = QuantumCircuit(1).ry(a, 0).rz(b, 0)
+        bound = circuit.bind([0.1, 0.2])
+        assert bound.is_bound()
+        assert bound.instructions[0].params == (0.1,)
+        bound2 = circuit.bind({a: 0.5, b: 0.7})
+        assert bound2.instructions[1].params == (0.7,)
+
+    def test_bind_missing_or_wrong_length(self):
+        a, b = Parameter("a"), Parameter("b")
+        circuit = QuantumCircuit(1).ry(a, 0).rz(b, 0)
+        with pytest.raises(ValueError):
+            circuit.bind([0.1])
+        with pytest.raises(ValueError):
+            circuit.bind({a: 0.1})
+
+    def test_bind_evaluates_expressions(self):
+        theta = Parameter("t")
+        circuit = QuantumCircuit(1).rz(theta * 2.0, 0)
+        bound = circuit.bind([0.3])
+        assert bound.instructions[0].params[0] == pytest.approx(0.6)
+
+    def test_compose_and_copy(self):
+        first = QuantumCircuit(2).h(0)
+        second = QuantumCircuit(2).cx(0, 1)
+        combined = first.compose(second)
+        assert [inst.gate for inst in combined.instructions] == ["h", "cx"]
+        clone = combined.copy()
+        assert len(clone) == 2
+        with pytest.raises(ValueError):
+            first.compose(QuantumCircuit(3))
+
+    def test_invalid_qubit_count(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)

@@ -1,0 +1,163 @@
+"""Tests for the stabilizer simulator and the Pauli-propagation simulator."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+
+from repro.quantum.circuit import QuantumCircuit
+from repro.quantum.clifford import CliffordSimulator, clifford_angle_index, is_clifford_angle
+from repro.quantum.pauli import PauliOperator
+from repro.quantum.pauli_propagation import PauliPropagationConfig, PauliPropagationSimulator
+from repro.quantum.statevector import StatevectorSimulator
+
+
+class TestCliffordAngles:
+    def test_is_clifford_angle(self):
+        assert is_clifford_angle(0.0)
+        assert is_clifford_angle(np.pi / 2)
+        assert is_clifford_angle(-np.pi)
+        assert not is_clifford_angle(0.3)
+
+    def test_angle_index(self):
+        assert clifford_angle_index(0.0) == 0
+        assert clifford_angle_index(np.pi / 2) == 1
+        assert clifford_angle_index(2 * np.pi) == 0
+        assert clifford_angle_index(-np.pi / 2) == 3
+        with pytest.raises(ValueError):
+            clifford_angle_index(0.4)
+
+
+class TestCliffordSimulator:
+    def test_initial_state_expectations(self):
+        simulator = CliffordSimulator(2)
+        assert simulator.pauli_expectation("ZI") == 1.0
+        assert simulator.pauli_expectation("XI") == 0.0
+        assert simulator.pauli_expectation("II") == 1.0
+
+    def test_x_gate_flips_z(self):
+        simulator = CliffordSimulator(1)
+        simulator.apply_circuit(QuantumCircuit(1).x(0))
+        assert simulator.pauli_expectation("Z") == -1.0
+
+    def test_bell_state_stabilizers(self):
+        simulator = CliffordSimulator(2)
+        simulator.apply_circuit(QuantumCircuit(2).h(0).cx(0, 1))
+        assert simulator.pauli_expectation("XX") == 1.0
+        assert simulator.pauli_expectation("ZZ") == 1.0
+        assert simulator.pauli_expectation("YY") == -1.0
+        assert simulator.pauli_expectation("ZI") == 0.0
+
+    def test_hamiltonian_expectation(self):
+        simulator = CliffordSimulator(2)
+        simulator.apply_circuit(QuantumCircuit(2).h(0).cx(0, 1))
+        operator = PauliOperator.from_terms([("XX", 0.5), ("ZZ", 0.25), ("ZI", 3.0)])
+        assert simulator.expectation(operator) == pytest.approx(0.75)
+
+    def test_non_clifford_angle_rejected(self):
+        simulator = CliffordSimulator(1)
+        with pytest.raises(ValueError):
+            simulator.apply_circuit(QuantumCircuit(1).ry(0.3, 0))
+
+    def test_random_clifford_circuits_match_statevector(self):
+        rng = random.Random(7)
+        for _ in range(15):
+            num_qubits = rng.choice([2, 3])
+            circuit = QuantumCircuit(num_qubits)
+            for _ in range(12):
+                gate = rng.choice(["h", "s", "sdg", "x", "y", "z", "cx", "cz", "rx", "ry", "rz"])
+                if gate in ("cx", "cz"):
+                    a, b = rng.sample(range(num_qubits), 2)
+                    circuit.append(gate, [a, b])
+                elif gate in ("rx", "ry", "rz"):
+                    angle = rng.choice([0.0, np.pi / 2, np.pi, 3 * np.pi / 2])
+                    circuit.append(gate, [rng.randrange(num_qubits)], [angle])
+                else:
+                    circuit.append(gate, [rng.randrange(num_qubits)])
+            clifford = CliffordSimulator(num_qubits).apply_circuit(circuit)
+            statevector = StatevectorSimulator().run(circuit)
+            for labels in itertools.product("IXYZ", repeat=num_qubits):
+                label = "".join(labels)
+                assert clifford.pauli_expectation(label) == pytest.approx(
+                    statevector.pauli_expectation(label), abs=1e-9
+                ), f"{label} mismatch"
+
+
+class TestPauliPropagation:
+    @pytest.fixture
+    def circuit(self):
+        circuit = QuantumCircuit(4)
+        circuit.ry(0.3, 0).ry(0.8, 1).cx(0, 1).rz(0.5, 2).cx(1, 2).rx(0.7, 3).cx(2, 3)
+        circuit.ry(0.2, 0).rz(0.4, 2)
+        return circuit
+
+    @pytest.fixture
+    def operator(self):
+        return PauliOperator.from_terms(
+            [("ZZII", 0.8), ("IXXI", -0.5), ("IIZZ", 1.2), ("XIIX", 0.3), ("IIII", 0.25)]
+        )
+
+    def test_untruncated_matches_statevector(self, circuit, operator):
+        simulator = PauliPropagationSimulator(
+            PauliPropagationConfig(max_weight=4, coefficient_threshold=0.0)
+        )
+        value = simulator.expectation(operator, circuit)
+        expected = StatevectorSimulator().run(circuit).expectation(operator)
+        assert value == pytest.approx(expected, abs=1e-9)
+
+    def test_initial_bits_flip_z_contributions(self, operator):
+        simulator = PauliPropagationSimulator()
+        identity_circuit = QuantumCircuit(4).rz(0.0, 0)
+        all_zero = simulator.expectation(operator, identity_circuit, "0000")
+        flipped = simulator.expectation(operator, identity_circuit, "1000")
+        # Flipping qubit 0 negates the ZZII contribution only.
+        assert all_zero - flipped == pytest.approx(2 * 0.8)
+
+    def test_truncation_reduces_terms(self, circuit, operator):
+        loose = PauliPropagationSimulator(PauliPropagationConfig(max_weight=4))
+        tight = PauliPropagationSimulator(
+            PauliPropagationConfig(max_weight=1, coefficient_threshold=1e-3)
+        )
+        loose_terms = loose.propagate(operator, circuit)
+        tight_terms = tight.propagate(operator, circuit)
+        assert len(tight_terms) < len(loose_terms)
+        assert tight.truncated_weight_terms > 0
+
+    def test_truncated_value_close_to_exact(self, circuit, operator):
+        exact = StatevectorSimulator().run(circuit).expectation(operator)
+        truncated = PauliPropagationSimulator(
+            PauliPropagationConfig(max_weight=2, coefficient_threshold=1e-6)
+        ).expectation(operator, circuit)
+        assert truncated == pytest.approx(exact, abs=0.5)
+
+    def test_unbound_circuit_rejected(self, operator):
+        from repro.quantum.circuit import Parameter
+
+        circuit = QuantumCircuit(4).ry(Parameter("t"), 0)
+        with pytest.raises(ValueError):
+            PauliPropagationSimulator().expectation(operator, circuit)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PauliPropagationConfig(max_weight=0)
+        with pytest.raises(ValueError):
+            PauliPropagationConfig(coefficient_threshold=-1)
+        with pytest.raises(ValueError):
+            PauliPropagationConfig(max_terms=0)
+
+    def test_large_system_runs(self):
+        from repro.hamiltonians.spin import transverse_field_ising_chain
+        from repro.ansatz import HardwareEfficientAnsatz
+
+        operator = transverse_field_ising_chain(20, 1.0)
+        ansatz = HardwareEfficientAnsatz(20, num_layers=1, entanglement="linear")
+        parameters = np.linspace(-0.2, 0.2, ansatz.num_parameters)
+        simulator = PauliPropagationSimulator(
+            PauliPropagationConfig(max_weight=4, coefficient_threshold=1e-5, max_terms=20000)
+        )
+        value = simulator.expectation(operator, ansatz.bound_circuit(parameters))
+        # Energy must lie within the operator's trivial bounds.
+        assert abs(value) <= operator.l1_norm() + 1e-9

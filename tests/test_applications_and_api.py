@@ -1,0 +1,73 @@
+"""Tests for the application wrappers and the top-level public API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.applications import build_pes_tasks, run_landscape, run_pes_scan
+from repro.core import TreeVQAConfig
+from repro.hamiltonians import tfim_suite
+
+
+class TestPESApplication:
+    def test_build_pes_tasks_precision_controls_count(self):
+        coarse, _ = build_pes_tasks("LiH", precision=0.1)
+        fine, _ = build_pes_tasks("LiH", precision=0.03)
+        assert len(fine) > len(coarse)
+        assert all(task.initial_bitstring is not None for task in fine)
+        with pytest.raises(ValueError):
+            build_pes_tasks("LiH", precision=0.0)
+
+    def test_run_pes_scan_produces_curve(self):
+        config = TreeVQAConfig(
+            max_rounds=15, warmup_iterations=4, window_size=3, seed=0,
+        )
+        curve = run_pes_scan("H2", precision=0.05, config=config, ansatz_layers=1)
+        assert curve.molecule == "H2"
+        assert len(curve.points) >= 2
+        assert curve.total_shots > 0
+        assert curve.max_error() >= 0
+        bond_lengths = [point.bond_length for point in curve.points]
+        assert bond_lengths == sorted(bond_lengths)
+        equilibrium = curve.equilibrium()
+        assert equilibrium.energy == min(p.energy for p in curve.points)
+
+    def test_run_pes_scan_method_validation(self):
+        with pytest.raises(ValueError):
+            run_pes_scan("H2", method="quantum-annealing")
+
+
+class TestLandscapeApplication:
+    def test_run_landscape_treevqa_and_baseline(self):
+        suite = tfim_suite(num_sites=4, fields=[0.9, 1.1], num_ansatz_layers=1)
+        config = TreeVQAConfig(max_rounds=12, warmup_iterations=4, window_size=3, seed=0)
+        landscape = run_landscape(suite, config=config)
+        assert landscape.method == "treevqa"
+        assert len(landscape.points) == 2
+        assert np.all(np.diff(landscape.scan_parameters()) > 0)
+        baseline = run_landscape(suite, config=config, method="baseline")
+        assert baseline.total_shots > 0
+        with pytest.raises(ValueError):
+            run_landscape(suite, config=config, method="other")
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_key_entry_points_importable(self):
+        from repro.core import IndependentVQABaseline, TreeVQAConfig, TreeVQAController, VQATask
+        from repro.ansatz import HardwareEfficientAnsatz
+        from repro.evaluation.experiments import run_figure6
+        from repro.quantum import PauliOperator, Statevector
+
+        assert callable(run_figure6)
+        assert TreeVQAController is not None
+        assert IndependentVQABaseline is not None
+        assert VQATask is not None
+        assert TreeVQAConfig is not None
+        assert HardwareEfficientAnsatz is not None
+        assert PauliOperator is not None
+        assert Statevector is not None
