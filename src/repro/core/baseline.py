@@ -159,10 +159,11 @@ class IndependentVQABaseline:
             shots = step.num_evaluations * per_evaluation
             task_shots += shots
             self.ledger.charge(task.name, iteration + 1, shots)
-            # Energy at the updated parameters, recombined classically from the
-            # logged term values (same bookkeeping as the TreeVQA clusters).
-            state = self.ansatz.prepare_state(step.parameters, initial_state)
-            energy = state.expectation(task.hamiltonian)
+            # The optimizer's own loss estimate for the step, derived from the
+            # objective evaluations it already charged — the same
+            # no-extra-state-preparation bookkeeping as the TreeVQA clusters
+            # (whose recombined mixed loss equals this same quantity).
+            energy = step.loss
             if self.config.record_trajectory:
                 trajectory.record(task_shots, energy)
             if energy < best_energy:
@@ -171,10 +172,12 @@ class IndependentVQABaseline:
             if self._task_budget_exhausted(task_shots):
                 break
 
-        # Final evaluation at the best parameters (classical bookkeeping, no charge).
+        # Final exact evaluation at the best parameters (classical
+        # bookkeeping, no charge).  Not clamped to ``best_energy``: with a
+        # noisy estimator the running minimum is biased low and corresponds to
+        # no actual parameter vector.
         final_state = self.ansatz.prepare_state(best_parameters, initial_state)
         final_energy = final_state.expectation(task.hamiltonian)
-        final_energy = min(final_energy, best_energy)
         return TaskOutcome(
             task=task,
             energy=final_energy,

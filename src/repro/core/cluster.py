@@ -17,7 +17,7 @@ import numpy as np
 
 from ..ansatz.base import Ansatz
 from ..optimizers.base import IterativeOptimizer
-from ..quantum.sampling import BaseEstimator
+from ..quantum.sampling import BaseEstimator, EstimatorResult
 from ..quantum.statevector import Statevector
 from .config import TreeVQAConfig
 from .mixed_hamiltonian import MixedHamiltonian, build_mixed_hamiltonian
@@ -27,19 +27,45 @@ from .similarity import similarity_matrix
 from .splitting import SplitDecision, assign_split_groups, evaluate_split_condition
 from .task import VQATask
 
-__all__ = ["ClusterStepRecord", "VQACluster"]
+__all__ = ["ClusterStepRecord", "VQACluster", "step_recombination_weights"]
+
+
+def step_recombination_weights(values: np.ndarray, optimizer_loss: float) -> np.ndarray:
+    """Weights over a step's objective evaluations matching the optimizer's loss.
+
+    The recombined cluster loss should agree with the loss estimate the
+    optimizer itself reports for the step: when the reported loss is the mean
+    of the evaluations (SPSA reports the mean of its ± perturbation pair),
+    the evaluations are averaged; otherwise the single evaluation closest to
+    the reported loss is used (COBYLA reports its accepted best probe).
+    Either way ``weights @ values == optimizer_loss`` for the optimizers
+    shipped with the framework, so the per-task losses decompose the exact
+    quantity the optimizer observed — with zero extra quantum cost.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 1 or np.isclose(values.mean(), optimizer_loss, rtol=1e-9, atol=1e-12):
+        return np.full(values.size, 1.0 / values.size)
+    weights = np.zeros(values.size)
+    weights[np.argmin(np.abs(values - optimizer_loss))] = 1.0
+    return weights
 
 
 @dataclass(frozen=True)
 class ClusterStepRecord:
     """Outcome of one cluster iteration.
 
-    ``individual_losses`` are the member-task energies at the *updated*
-    parameters θ_t, obtained by classically recombining the per-term
-    expectation values of the shared state (paper §5.2.2/§5.3 — no additional
-    quantum cost); ``mixed_loss`` is their cluster average.
-    ``optimizer_loss`` is the optimizer's own loss estimate for the step
-    (e.g. the mean of SPSA's two perturbed evaluations).
+    ``individual_losses`` are the member-task energies recombined classically
+    from the per-term expectation values the optimizer's objective
+    evaluations measured during the step (paper §5.2.2/§5.3 — no additional
+    quantum cost, and no extra state preparation): the measured term vectors
+    are combined with :func:`step_recombination_weights` so that
+    ``mixed_loss`` — the cluster average of the individual losses — agrees
+    with ``optimizer_loss``, the optimizer's own loss estimate for the step
+    (the mean of SPSA's two perturbed evaluations; COBYLA's accepted best
+    probe).  ``evaluated_parameters`` are the parameter vectors of the step's
+    evaluations and ``recombination_weights`` the weights applied to their
+    term vectors; ``parameters`` are the *updated* parameters θ_t the
+    optimizer returned.
     """
 
     cluster_id: str
@@ -49,7 +75,9 @@ class ClusterStepRecord:
     shots: int
     num_evaluations: int
     optimizer_loss: float = 0.0
-    parameters: np.ndarray = field(repr=False, default=None)
+    parameters: np.ndarray | None = field(repr=False, default=None)
+    evaluated_parameters: tuple[np.ndarray, ...] | None = field(repr=False, default=None)
+    recombination_weights: np.ndarray | None = field(repr=False, default=None)
 
 
 class VQACluster:
@@ -101,6 +129,10 @@ class VQACluster:
             similarity_matrix([task.hamiltonian for task in tasks]) if len(tasks) > 1 else None
         )
         self._initial_state = tasks[0].initial_state()
+        self._shots_per_evaluation = shots_per_evaluation(
+            self.mixed.operator, config.shots_per_pauli_term
+        )
+        self._step_evaluations: list[tuple[np.ndarray, EstimatorResult]] = []
         self._parameters = np.asarray(initial_parameters, dtype=float).copy()
         if self._parameters.size != ansatz.num_parameters:
             raise ValueError(
@@ -133,8 +165,9 @@ class VQACluster:
         return self._initial_state
 
     def shots_per_evaluation(self) -> int:
-        """Shot cost of one mixed-Hamiltonian evaluation."""
-        return shots_per_evaluation(self.mixed.operator, self.config.shots_per_pauli_term)
+        """Shot cost of one mixed-Hamiltonian evaluation (cached; the mixed
+        operator is immutable for the lifetime of the cluster)."""
+        return self._shots_per_evaluation
 
     def prepare_state(self, parameters: np.ndarray | None = None) -> Statevector:
         """|psi(theta)> for the cluster's current (or given) parameters."""
@@ -144,29 +177,78 @@ class VQACluster:
     # -- optimisation --------------------------------------------------------------
 
     def _objective(self, parameters: np.ndarray) -> float:
-        """Mixed-Hamiltonian loss charged to the quantum estimator."""
+        """Mixed-Hamiltonian loss charged to the quantum estimator.
+
+        The full estimator result (one value per padded-basis term, in basis
+        order) is retained so :meth:`step` can recombine the member-task
+        energies from the measured term vector without re-preparing a state.
+        """
+        parameters = np.asarray(parameters, dtype=float)
         circuit = self.ansatz.bound_circuit(parameters)
         result = self.estimator.estimate(circuit, self.mixed.operator, self._initial_state)
+        self._step_evaluations.append((parameters.copy(), result))
         return result.value
+
+    def _evaluation_term_vector(self, result: EstimatorResult) -> np.ndarray | None:
+        """Basis-ordered term vector from an estimator result.
+
+        Returns None when the result carries no term data (a custom estimator
+        built against the scalar-only API) — the caller then falls back to an
+        exact recombination from a freshly prepared state.
+        """
+        if result.term_basis == self.mixed.basis:
+            return np.asarray(result.term_vector, dtype=float)
+        if not result.term_basis:
+            return None
+        # Custom estimators may report a different term order; fall back to
+        # the dictionary recombination.
+        return self.mixed.term_vector(result.term_values)
 
     def _individual_energies(self) -> np.ndarray:
         """Member-task energies at the current parameters.
 
-        One shared state is prepared, every basis Pauli term is evaluated once,
-        and the per-task energies are classical dot products with the padded
-        coefficient vectors (the §5.3 recombination; zero shot cost).
+        One shared state is prepared, every basis Pauli term is evaluated in
+        one vectorized engine pass, and the per-task energies are a single
+        ``coefficient_matrix @ term_vector`` product (the §5.3 recombination;
+        zero shot cost).  :meth:`step` avoids even this state preparation by
+        reusing the objective's measured term vector.
         """
         state = self.prepare_state()
-        term_values = {pauli: state.pauli_expectation(pauli) for pauli in self.mixed.basis}
-        return self.mixed.individual_values(term_values)
+        return self.mixed.individual_values(self.mixed.engine.expectation_values(state))
 
     def step(self) -> ClusterStepRecord:
-        """One VQA iteration on the mixed Hamiltonian (Algorithm 2, lines 5-10)."""
+        """One VQA iteration on the mixed Hamiltonian (Algorithm 2, lines 5-10).
+
+        The member-task losses are recombined from the term vectors measured
+        by the optimizer's own objective evaluations (weighted to match the
+        optimizer's reported loss), so one step performs exactly
+        ``num_evaluations`` state preparations — the separate
+        individual-energy simulation of the per-term implementation is gone.
+        """
         if self.retired:
             raise RuntimeError(f"cluster {self.cluster_id} is retired")
+        self._step_evaluations = []
         step = self.optimizer.step(self._objective)
         self._parameters = np.asarray(step.parameters, dtype=float)
-        individual = self._individual_energies()
+        term_vectors = [
+            self._evaluation_term_vector(result) for _, result in self._step_evaluations
+        ]
+        if term_vectors and all(vector is not None for vector in term_vectors):
+            evaluated_parameters = tuple(
+                parameters for parameters, _ in self._step_evaluations
+            )
+            weights = step_recombination_weights(
+                np.array([result.value for _, result in self._step_evaluations]),
+                step.loss,
+            )
+            individual = self.mixed.individual_values(weights @ np.stack(term_vectors))
+        else:
+            # Defensive: an optimizer that never called the objective, or a
+            # custom estimator without term data — recombine exactly from a
+            # freshly prepared state instead.
+            evaluated_parameters = (self._parameters.copy(),)
+            weights = np.ones(1)
+            individual = self._individual_energies()
         mixed_loss = float(np.mean(individual))
         self.monitor.record(mixed_loss, individual)
         shots = step.num_evaluations * self.shots_per_evaluation()
@@ -181,6 +263,8 @@ class VQACluster:
             num_evaluations=step.num_evaluations,
             optimizer_loss=step.loss,
             parameters=self._parameters.copy(),
+            evaluated_parameters=evaluated_parameters,
+            recombination_weights=weights,
         )
 
     # -- splitting -----------------------------------------------------------------

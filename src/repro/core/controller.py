@@ -6,6 +6,13 @@ cluster (one VQA iteration per cluster per round), splitting clusters when
 their split condition fires, until the global shot budget S_max is exhausted
 or the round limit is reached.  A final post-processing pass evaluates every
 task on every final cluster state and keeps the best answer (§5.3).
+
+All expectation values flow through the compiled Pauli engine
+(:mod:`repro.quantum.engine`): each cluster step measures its mixed
+Hamiltonian's full term vector in one vectorized pass and recombines every
+member task's energy with a matmul, and the final §5.3 pass evaluates the
+whole (task, cluster) grid through one batched engine call in
+:func:`~repro.core.postprocess.select_best_states`.
 """
 
 from __future__ import annotations
@@ -119,7 +126,12 @@ class TreeVQAController:
         return self._finalize()
 
     def _run_round(self) -> None:
-        """Step every active cluster once, applying splits as they trigger."""
+        """Step every active cluster once, applying splits as they trigger.
+
+        Each ``cluster.step()`` evaluates all (task, cluster) energies of the
+        round from the term vector measured by the cluster's final objective
+        evaluation — no per-term loops and no extra state preparations.
+        """
         next_clusters: list[VQACluster] = []
         pending = list(self.active_clusters)
         for position, cluster in enumerate(pending):

@@ -5,12 +5,22 @@ every final cluster's optimised state and the lowest energy wins.  Because the
 clusters already logged per-Pauli-term expectation values during optimisation,
 this evaluation is a classical recombination of stored values — the paper
 charges no additional shots for it, and neither does this implementation.
+
+The evaluation is fully batched: one expectation engine is compiled over the
+union term basis of all task Hamiltonians, every final cluster state is pushed
+through it in a single batched call, and the (cluster × task) energy matrix is
+one matrix product of the per-state term values with the per-task coefficient
+vectors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from ..quantum.engine import pauli_evaluator
+from ..quantum.pauli import PauliOperator
 from .cluster import VQACluster
 from .task import VQATask
 
@@ -37,12 +47,26 @@ def select_best_states(
     """
     if not clusters:
         raise ValueError("clusters must be non-empty")
+    if not tasks:
+        return []
+    cluster_ids = [cluster.cluster_id for cluster in clusters]
+    states = [cluster.prepare_state() for cluster in clusters]
+    # One engine over the union basis, one batched pass over all states, and
+    # one matmul for the full (cluster, task) energy grid.
+    basis = PauliOperator.term_superset([task.hamiltonian for task in tasks])
+    engine = pauli_evaluator(basis, num_qubits=tasks[0].num_qubits)
+    coefficient_matrix = np.array(
+        [task.hamiltonian.coefficient_vector(basis) for task in tasks]
+    )
+    term_values = engine.expectation_values_batch(states)  # (clusters, terms)
+    energies = term_values @ coefficient_matrix.T  # (clusters, tasks)
+
     selections = []
-    states = [(cluster.cluster_id, cluster.prepare_state()) for cluster in clusters]
-    for task in tasks:
-        candidates: dict[str, float] = {}
-        for cluster_id, state in states:
-            candidates[cluster_id] = state.expectation(task.hamiltonian)
+    for task_index, task in enumerate(tasks):
+        candidates = {
+            cluster_id: float(energies[cluster_index, task_index])
+            for cluster_index, cluster_id in enumerate(cluster_ids)
+        }
         best_cluster = min(candidates, key=candidates.get)
         selections.append(
             PostProcessSelection(

@@ -9,7 +9,7 @@ ground state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -79,9 +79,22 @@ def run_figure10(
     num_tasks: int | None = None,
     gap_percentages: tuple[float, ...] = (5.0, 10.0, 15.0, 20.0, 25.0, 30.0),
     seed: int = 7,
+    min_rounds: int = 200,
 ) -> Figure10Result:
-    """Run the CAFQA-initialised LiH comparison."""
+    """Run the CAFQA-initialised LiH comparison.
+
+    Gap recovery is a *fine-tuning* experiment: the residual CAFQA-to-exact
+    gap closes over hundreds of small SPSA steps, so the round budget gets a
+    figure-specific floor of ``min_rounds`` (the vectorized engine makes this
+    cheap; pass a smaller value for deliberately tiny smoke runs).
+    """
     preset = get_preset(preset)
+    if preset.max_rounds < min_rounds:
+        preset = replace(
+            preset,
+            max_rounds=min_rounds,
+            baseline_iterations=max(min_rounds, preset.baseline_iterations),
+        )
     num_tasks = num_tasks or preset.num_tasks
     spec = get_molecule("LiH")
     family = MolecularFamily(spec)
@@ -89,12 +102,15 @@ def run_figure10(
     center = spec.equilibrium_bond
     lengths = np.round(np.linspace(center - 0.05, center + 0.05, num_tasks), 4)
     bitstring = family.hartree_fock_bitstring()
+    # The Hartree-Fock reference lives in the ansatz (its leading X layer), so
+    # the tasks keep the default |0...0> initial state: the CAFQA search, the
+    # CAFQA reference energies and the optimisation trajectories then all
+    # prepare exactly the same state for the same parameters.
     tasks = [
         VQATask(
             name=f"LiH@{length:.4f}",
             hamiltonian=family.hamiltonian(float(length)),
             scan_parameter=float(length),
-            initial_bitstring=bitstring,
         )
         for length in lengths
     ]
@@ -107,8 +123,8 @@ def run_figure10(
     cafqa_energies: dict[str, float] = {}
     task_gaps: dict[str, tuple[float, float]] = {}
     fidelities = []
+    state = ansatz.prepare_state(cafqa.parameters)
     for task in tasks:
-        state = ansatz.prepare_state(cafqa.parameters)
         energy = state.expectation(task.hamiltonian)
         exact = task.exact_ground_energy()
         cafqa_energies[task.name] = energy
@@ -117,7 +133,23 @@ def run_figure10(
     cafqa_fidelity = float(np.mean(fidelities))
 
     suite = BenchmarkSuite(name="LiH-CAFQA", tasks=tasks, ansatz=ansatz, kind="chemistry")
-    config = default_config(preset, seed=seed)
+    # CAFQA already lands within a few percent of the ground state, so both
+    # methods *fine-tune*: SPSA needs perturbations well below the
+    # global-search defaults or its very first ±c evaluation throws the state
+    # out of the narrow high-precision basin, and the split thresholds must
+    # shrink with the residual-gap energy scale or slope fluctuations split
+    # the (nearly identical) scan points into full-price singletons.
+    config = default_config(
+        preset,
+        seed=seed,
+        epsilon_split=2e-5,
+        individual_slope_threshold=1e-2,
+        optimizer_kwargs={
+            "learning_rate": 0.6,
+            "perturbation": 0.08,
+            "expected_iterations": preset.max_rounds,
+        },
+    )
     comparison = run_comparison(
         suite,
         config,

@@ -3,6 +3,7 @@
 from .circuit import Instruction, Parameter, ParameterExpression, QuantumCircuit
 from .clifford import CliffordSimulator, clifford_angle_index, is_clifford_angle
 from .density_matrix import DensityMatrix, DensityMatrixSimulator
+from .engine import CompiledPauliOperator, compiled_pauli_operator
 from .exact import GroundStateResult, ground_state, ground_state_energy, pauli_to_sparse
 from .gates import GATE_REGISTRY, gate_matrix
 from .noise import (
@@ -37,6 +38,8 @@ __all__ = [
     "CliffordSimulator",
     "clifford_angle_index",
     "is_clifford_angle",
+    "CompiledPauliOperator",
+    "compiled_pauli_operator",
     "DensityMatrix",
     "DensityMatrixSimulator",
     "GroundStateResult",

@@ -12,6 +12,17 @@ estimators with the same interface are provided:
   shots at a tiny fraction of the cost.
 * :class:`SamplingEstimator` — literal bitstring sampling per qubit-wise
   commuting measurement basis, for small circuits and validation tests.
+
+Term-vector contract
+--------------------
+All estimators are thin noise layers over the compiled expectation engine
+(:mod:`repro.quantum.engine`): every :class:`EstimatorResult` carries
+``term_vector``, one estimate per Pauli term of the evaluated operator,
+aligned with ``term_basis`` — the operator's term order, i.e. exactly the
+order :meth:`PauliOperator.paulis` / a compiled engine reports.  Consumers
+such as :class:`~repro.core.mixed_hamiltonian.MixedHamiltonian` recombine
+per-task energies from this vector with a single matrix-vector product; the
+legacy dict view is still available via :attr:`EstimatorResult.term_values`.
 """
 
 from __future__ import annotations
@@ -21,6 +32,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .circuit import QuantumCircuit
+from .engine import compiled_pauli_operator
 from .pauli import PauliOperator, PauliString
 from .statevector import Statevector
 
@@ -36,12 +48,28 @@ __all__ = [
 
 @dataclass(frozen=True)
 class EstimatorResult:
-    """One expectation-value estimate and its shot cost."""
+    """One expectation-value estimate and its shot cost.
+
+    ``term_vector[i]`` is the estimated expectation value of
+    ``term_basis[i]``; the basis follows the evaluated operator's term order
+    (including zero-coefficient padded terms, which downstream recombination
+    needs), so consumers can combine it with any coefficient vector expressed
+    in the same order without dictionary lookups.
+    """
 
     value: float
     shots_used: int
     variance: float = 0.0
-    term_values: dict[PauliString, float] = field(default_factory=dict)
+    term_basis: tuple[PauliString, ...] = ()
+    term_vector: np.ndarray = field(default_factory=lambda: np.zeros(0), repr=False)
+
+    @property
+    def term_values(self) -> dict[PauliString, float]:
+        """Dict view of the term vector (compatibility/UX helper)."""
+        return {
+            pauli: float(value)
+            for pauli, value in zip(self.term_basis, self.term_vector)
+        }
 
 
 class BaseEstimator:
@@ -84,27 +112,25 @@ class BaseEstimator:
         raise NotImplementedError
 
 
+def _exact_term_vector(state: Statevector, operator: PauliOperator):
+    """(engine, exact term vector) with identity terms pinned to exactly 1."""
+    engine = compiled_pauli_operator(operator)
+    vector = engine.expectation_values(state)
+    vector[engine.identity_mask] = 1.0
+    return engine, vector
+
+
 class ExactEstimator(BaseEstimator):
     """Noiseless expectation values with §7.3 shot accounting."""
 
     def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
-        term_values: dict[PauliString, float] = {}
-        total = 0.0
-        for pauli, coeff in operator.items():
-            if coeff == 0:
-                continue
-            if pauli.is_identity:
-                term_values[pauli] = 1.0
-                total += coeff.real
-                continue
-            value = state.pauli_expectation(pauli)
-            term_values[pauli] = value
-            total += coeff.real * value
+        engine, vector = _exact_term_vector(state, operator)
         return EstimatorResult(
-            value=total,
+            value=float(engine.coefficients @ vector),
             shots_used=self.shots_for(operator),
             variance=0.0,
-            term_values=term_values,
+            term_basis=engine.paulis,
+            term_vector=vector,
         )
 
 
@@ -114,33 +140,27 @@ class ShotNoiseEstimator(BaseEstimator):
     For a Pauli string P with expectation value p = <P> measured with ``s``
     shots, the sample-mean variance is (1 - p^2) / s.  The per-term estimates
     are independent, so the Hamiltonian estimate carries the summed,
-    coefficient-weighted variance.
+    coefficient-weighted variance.  The Gaussian perturbations for all terms
+    are drawn in one vectorized call.
     """
 
     def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
-        term_values: dict[PauliString, float] = {}
-        total = 0.0
-        variance = 0.0
-        shots = self.shots_per_term
-        for pauli, coeff in operator.items():
-            if coeff == 0:
-                continue
-            if pauli.is_identity:
-                term_values[pauli] = 1.0
-                total += coeff.real
-                continue
-            exact = state.pauli_expectation(pauli)
-            term_variance = max(1.0 - exact ** 2, 0.0) / shots
-            noisy = exact + self.rng.normal(0.0, np.sqrt(term_variance)) if term_variance > 0 else exact
-            noisy = float(np.clip(noisy, -1.0, 1.0))
-            term_values[pauli] = noisy
-            total += coeff.real * noisy
-            variance += (coeff.real ** 2) * term_variance
+        engine, exact = _exact_term_vector(state, operator)
+        term_variance = np.where(
+            engine.identity_mask,
+            0.0,
+            np.clip(1.0 - exact ** 2, 0.0, None) / self.shots_per_term,
+        )
+        noisy = np.clip(
+            exact + self.rng.normal(0.0, np.sqrt(term_variance)), -1.0, 1.0
+        )
+        coefficients = engine.coefficients
         return EstimatorResult(
-            value=total,
+            value=float(coefficients @ noisy),
             shots_used=self.shots_for(operator),
-            variance=variance,
-            term_values=term_values,
+            variance=float((coefficients ** 2) @ term_variance),
+            term_basis=engine.paulis,
+            term_vector=noisy,
         )
 
 
@@ -152,6 +172,11 @@ class SamplingEstimator(BaseEstimator):
     """
 
     def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
+        # This estimator measures via basis rotation and bitstring sampling —
+        # only the operator's term order and coefficients are needed, so no
+        # engine is compiled.
+        paulis = tuple(operator.paulis())
+        coefficients = operator.coefficient_vector(paulis)
         groups = operator.group_qubit_wise_commuting()
         term_values: dict[PauliString, float] = {}
         shots_used = 0
@@ -177,16 +202,18 @@ class SamplingEstimator(BaseEstimator):
                 for qubit in pauli.support():
                     signs *= 1.0 - 2.0 * bit_table[:, qubit]
                 term_values[pauli] = float(signs.mean())
-        total = 0.0
-        for pauli, coeff in operator.items():
-            if coeff == 0:
-                continue
-            total += coeff.real * term_values.get(pauli, 1.0 if pauli.is_identity else 0.0)
+        vector = np.array(
+            [
+                term_values.get(pauli, 1.0 if pauli.is_identity else 0.0)
+                for pauli in paulis
+            ]
+        )
         return EstimatorResult(
-            value=total,
+            value=float(coefficients @ vector),
             shots_used=max(shots_used, self.shots_per_term),
             variance=0.0,
-            term_values=term_values,
+            term_basis=paulis,
+            term_vector=vector,
         )
 
 
@@ -233,7 +260,8 @@ class DensityMatrixEstimator(BaseEstimator):
     (gate-attached depolarising / decoherence channels, readout error folded
     into the Pauli expectations) and the shot ledger charges the same
     4096-per-term cost as every other estimator.  Sampling noise on top of the
-    noisy expectation can be enabled with ``add_shot_noise``.
+    noisy expectation can be enabled with ``add_shot_noise``.  All Pauli terms
+    are evaluated in one vectorized engine pass over the density matrix.
     """
 
     def __init__(
@@ -264,29 +292,27 @@ class DensityMatrixEstimator(BaseEstimator):
         else:
             rho = DensityMatrix.from_statevector(initial_state)
         state = self._simulator.run(circuit, rho)
+        engine = compiled_pauli_operator(operator)
+        vector = engine.expectation_values_density(state.data)
+        vector[engine.identity_mask] = 1.0
         readout = self.noise_model.readout_error
-        term_values: dict[PauliString, float] = {}
-        total = 0.0
-        for pauli, coeff in operator.items():
-            if coeff == 0:
-                continue
-            if pauli.is_identity:
-                term_values[pauli] = 1.0
-                total += coeff.real
-                continue
-            value = float(np.trace(state.data @ pauli.to_matrix()).real)
-            if readout > 0:
-                value *= (1.0 - 2.0 * readout) ** pauli.weight
-            if self.add_shot_noise:
-                variance = max(1.0 - value ** 2, 0.0) / self.shots_per_term
-                value = float(np.clip(value + self.rng.normal(0.0, np.sqrt(variance)), -1.0, 1.0))
-            term_values[pauli] = value
-            total += coeff.real * value
+        if readout > 0:
+            vector = vector * (1.0 - 2.0 * readout) ** engine.weights
+        if self.add_shot_noise:
+            term_variance = np.where(
+                engine.identity_mask,
+                0.0,
+                np.clip(1.0 - vector ** 2, 0.0, None) / self.shots_per_term,
+            )
+            vector = np.clip(
+                vector + self.rng.normal(0.0, np.sqrt(term_variance)), -1.0, 1.0
+            )
         result = EstimatorResult(
-            value=total,
+            value=float(engine.coefficients @ vector),
             shots_used=self.shots_for(operator),
             variance=0.0,
-            term_values=term_values,
+            term_basis=engine.paulis,
+            term_vector=vector,
         )
         self.total_shots += result.shots_used
         self.total_evaluations += 1

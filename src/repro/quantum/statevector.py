@@ -97,17 +97,20 @@ class Statevector:
         return float(abs(self.overlap(other)) ** 2)
 
     def expectation(self, operator: PauliOperator) -> float:
-        """Exact expectation value of a Hermitian Pauli operator."""
+        """Exact expectation value of a Hermitian Pauli operator.
+
+        Evaluates all terms in one vectorized pass through the compiled
+        expectation engine (:mod:`repro.quantum.engine`); the compiled tables
+        are cached on the operator, so repeated evaluations against different
+        states amortise the compile cost.  Beyond the engine's qubit cap
+        (where the O(terms × 2^n) tables would dwarf the state itself) the
+        factory transparently substitutes a per-term evaluator.
+        """
         if operator.num_qubits != self.num_qubits:
             raise ValueError("qubit-count mismatch")
-        tensor = self.tensor()
-        value = 0.0 + 0.0j
-        for pauli, coeff in operator.items():
-            if coeff == 0:
-                continue
-            transformed = apply_pauli_string(tensor, pauli.label)
-            value += coeff * np.vdot(tensor, transformed)
-        return float(value.real)
+        from .engine import compiled_pauli_operator  # local import to avoid a cycle
+
+        return compiled_pauli_operator(operator).expectation(self._data)
 
     def pauli_expectation(self, pauli: PauliString | str) -> float:
         """Expectation value of a single Pauli string."""
@@ -126,11 +129,12 @@ class Statevector:
         probabilities = self.probabilities()
         probabilities = probabilities / probabilities.sum()
         outcomes = rng.choice(probabilities.size, size=shots, p=probabilities)
-        counts: dict[str, int] = {}
-        for outcome in outcomes:
-            key = format(int(outcome), f"0{self.num_qubits}b")
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        unique, multiplicities = np.unique(outcomes, return_counts=True)
+        width = self.num_qubits
+        return {
+            format(int(outcome), f"0{width}b"): int(count)
+            for outcome, count in zip(unique, multiplicities)
+        }
 
     # -- evolution ----------------------------------------------------------------
 
