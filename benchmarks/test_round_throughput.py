@@ -1,0 +1,112 @@
+"""Micro-benchmark: batched round scheduling vs. sequential per-request rounds.
+
+Tracks the speedup of executing a whole controller round as stacked backend
+batches (the round scheduler gathering every cluster's asks into one
+dispatch) over the ``max_batch_size=1`` degenerate case that executes the
+same requests one at a time.  The workload is the ISSUE's reference shape:
+an 8-qubit, 16-task application (16 singleton clusters, so every round asks
+32 SPSA evaluations).
+
+Since batched execution is bit-identical per request regardless of grouping,
+the two modes must also produce identical step records — asserted below, so
+the speedup is measured on provably identical work.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.core import RoundScheduler, TreeVQAConfig, VQACluster, VQATask
+from repro.hamiltonians import transverse_field_ising_chain
+from repro.quantum import StatevectorBackend
+from repro.quantum.sampling import ExactEstimator
+
+NUM_QUBITS = 8
+NUM_TASKS = 16
+NUM_LAYERS = 3
+ROUNDS = 6
+MIN_SPEEDUP = 3.0
+
+
+def _make_tasks() -> list[VQATask]:
+    fields = np.linspace(0.6, 1.4, NUM_TASKS)
+    return [
+        VQATask(
+            name=f"tfim@{field:.3f}",
+            hamiltonian=transverse_field_ising_chain(NUM_QUBITS, float(field)),
+            scan_parameter=float(field),
+        )
+        for field in fields
+    ]
+
+
+def _make_clusters(tasks: list[VQATask], ansatz, estimator) -> list[VQACluster]:
+    config = TreeVQAConfig(
+        max_rounds=ROUNDS, warmup_iterations=0, window_size=2,
+        disable_automatic_splits=True, seed=0,
+    )
+    return [
+        VQACluster(
+            cluster_id=f"bench-{index}",
+            tasks=[task],
+            ansatz=ansatz,
+            optimizer=config.make_optimizer(),
+            estimator=estimator,
+            config=config,
+            initial_parameters=ansatz.zero_parameters(),
+        )
+        for index, task in enumerate(tasks)
+    ]
+
+
+def _run_rounds(scheduler: RoundScheduler, clusters: list[VQACluster]):
+    records = []
+    for _ in range(ROUNDS):
+        records.extend(record for _, record in scheduler.run_round(clusters))
+    return records
+
+
+def test_batched_rounds_at_least_3x_sequential():
+    tasks = _make_tasks()
+    ansatz = HardwareEfficientAnsatz(NUM_QUBITS, num_layers=NUM_LAYERS)
+    estimator = ExactEstimator(seed=0)
+
+    # Warm-up: compile every task's expectation engine (cached per operator,
+    # shared by both timed runs) and JIT-warm the NumPy paths.
+    warm = _make_clusters(tasks, ansatz, estimator)
+    RoundScheduler(StatevectorBackend(), estimator).run_round(warm)
+
+    sequential_clusters = _make_clusters(tasks, ansatz, estimator)
+    sequential = RoundScheduler(StatevectorBackend(), estimator, max_batch_size=1)
+    start = time.perf_counter()
+    sequential_records = _run_rounds(sequential, sequential_clusters)
+    sequential_seconds = time.perf_counter() - start
+
+    batched_clusters = _make_clusters(tasks, ansatz, estimator)
+    batched = RoundScheduler(StatevectorBackend(), estimator)
+    start = time.perf_counter()
+    batched_records = _run_rounds(batched, batched_clusters)
+    batched_seconds = time.perf_counter() - start
+
+    # Same seeds, bit-identical execution: the timed runs did identical work.
+    assert len(batched_records) == len(sequential_records) == ROUNDS * NUM_TASKS
+    for left, right in zip(batched_records, sequential_records):
+        assert left.mixed_loss == right.mixed_loss
+        np.testing.assert_array_equal(left.parameters, right.parameters)
+    assert batched.requests_executed == sequential.requests_executed
+
+    speedup = sequential_seconds / batched_seconds
+    per_round_sequential = 1e3 * sequential_seconds / ROUNDS
+    per_round_batched = 1e3 * batched_seconds / ROUNDS
+    print(
+        f"\nround throughput ({NUM_TASKS} tasks x {NUM_QUBITS} qubits, "
+        f"{ROUNDS} rounds): sequential {per_round_sequential:.1f} ms/round, "
+        f"batched {per_round_batched:.1f} ms/round, speedup {speedup:.1f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched rounds only {speedup:.2f}x faster than sequential "
+        f"(expected >= {MIN_SPEEDUP}x)"
+    )

@@ -8,6 +8,7 @@ from .mixed_hamiltonian import MixedHamiltonian, build_mixed_hamiltonian
 from .monitor import SlopeMonitor, SlopeReport, linear_regression_slope
 from .postprocess import PostProcessSelection, select_best_states
 from .results import BaselineResult, RunResult, TaskOutcome, TaskTrajectory, TreeVQAResult
+from .scheduler import RoundScheduler
 from .shots import (
     DEFAULT_SHOTS_PER_PAULI_TERM,
     ShotLedger,
@@ -46,6 +47,7 @@ __all__ = [
     "TaskOutcome",
     "TaskTrajectory",
     "TreeVQAResult",
+    "RoundScheduler",
     "DEFAULT_SHOTS_PER_PAULI_TERM",
     "ShotLedger",
     "ShotRecord",

@@ -155,7 +155,7 @@ class IndependentVQABaseline:
             return self.estimator.estimate(circuit, task.hamiltonian, initial_state).value
 
         for iteration in range(num_iterations):
-            step = optimizer.step(objective)
+            step = optimizer.run_step(objective)
             shots = step.num_evaluations * per_evaluation
             task_shots += shots
             self.ledger.charge(task.name, iteration + 1, shots)

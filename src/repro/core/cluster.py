@@ -1,12 +1,18 @@
 """The VQA cluster: joint optimisation of a set of similar tasks (paper §5.2).
 
 A cluster owns a subset of the application's tasks, their mixed Hamiltonian,
-one optimizer instance, and a slope monitor.  Each :meth:`VQACluster.step`
-performs one VQA iteration on the mixed Hamiltonian (Algorithm 2 line 5),
-recombines the measured Pauli-term expectation values into every member
-task's loss at zero extra quantum cost (line 6), feeds the slope monitor, and
-reports the shot charge.  :meth:`VQACluster.split` performs the spectral-
-clustering split of §5.2.5 with parameter inheritance.
+one optimizer instance, and a slope monitor.  One VQA iteration on the mixed
+Hamiltonian (Algorithm 2 line 5) is driven ask/tell: :meth:`VQACluster.ask`
+emits the :class:`~repro.quantum.backend.ExecutionRequest` list for the
+parameter points its optimizer wants evaluated, and :meth:`VQACluster.tell`
+consumes the estimator results — recombining the measured Pauli-term
+expectation values into every member task's loss at zero extra quantum cost
+(line 6), feeding the slope monitor, and reporting the shot charge — once
+the optimizer's iteration completes.  The round scheduler batches many
+clusters' asks into single backend dispatches; :meth:`VQACluster.step` keeps
+the self-contained sequential form (emitted requests are evaluated one at a
+time through the cluster's own estimator).  :meth:`VQACluster.split`
+performs the spectral-clustering split of §5.2.5 with parameter inheritance.
 """
 
 from __future__ import annotations
@@ -16,7 +22,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..ansatz.base import Ansatz
-from ..optimizers.base import IterativeOptimizer
+from ..optimizers.base import IterativeOptimizer, OptimizerStep
+from ..quantum.backend import ExecutionRequest
 from ..quantum.sampling import BaseEstimator, EstimatorResult
 from ..quantum.statevector import Statevector
 from .config import TreeVQAConfig
@@ -102,7 +109,9 @@ class VQACluster:
             raise ValueError("all tasks in a cluster must share the qubit count")
         if ansatz.num_qubits != tasks[0].num_qubits:
             raise ValueError("ansatz qubit count must match the tasks")
-        bitstrings = {task.initial_bitstring for task in tasks}
+        # Normalized comparison: a task with initial_bitstring=None and one
+        # with an explicit all-zeros bitstring share the same initial state.
+        bitstrings = {task.resolved_initial_bitstring for task in tasks}
         if len(bitstrings) != 1:
             raise ValueError("all tasks in a cluster must share the initial state")
 
@@ -129,10 +138,13 @@ class VQACluster:
             similarity_matrix([task.hamiltonian for task in tasks]) if len(tasks) > 1 else None
         )
         self._initial_state = tasks[0].initial_state()
+        self._initial_bitstring = tasks[0].resolved_initial_bitstring
         self._shots_per_evaluation = shots_per_evaluation(
             self.mixed.operator, config.shots_per_pauli_term
         )
         self._step_evaluations: list[tuple[np.ndarray, EstimatorResult]] = []
+        self._asked: list[np.ndarray] | None = None
+        self._step_in_progress = False
         self._parameters = np.asarray(initial_parameters, dtype=float).copy()
         if self._parameters.size != ansatz.num_parameters:
             raise ValueError(
@@ -176,18 +188,65 @@ class VQACluster:
 
     # -- optimisation --------------------------------------------------------------
 
-    def _objective(self, parameters: np.ndarray) -> float:
-        """Mixed-Hamiltonian loss charged to the quantum estimator.
+    def ask(self) -> list[ExecutionRequest]:
+        """Execution requests for the parameter points the optimizer wants next.
 
-        The full estimator result (one value per padded-basis term, in basis
-        order) is retained so :meth:`step` can recombine the member-task
-        energies from the measured term vector without re-preparing a state.
+        The first ask of an iteration opens a new step; keep alternating with
+        :meth:`tell` until it returns a completed :class:`ClusterStepRecord`
+        (SPSA completes in one ask/tell exchange, COBYLA asks one probe at a
+        time).  Requests carry the cluster's mixed operator and shared
+        initial state, so any execution backend can serve them.
         """
-        parameters = np.asarray(parameters, dtype=float)
-        circuit = self.ansatz.bound_circuit(parameters)
-        result = self.estimator.estimate(circuit, self.mixed.operator, self._initial_state)
-        self._step_evaluations.append((parameters.copy(), result))
-        return result.value
+        if self.retired:
+            raise RuntimeError(f"cluster {self.cluster_id} is retired")
+        if self._asked is not None:
+            raise RuntimeError("ask() called again before telling the previous results")
+        if not self._step_in_progress:
+            self._step_evaluations = []
+            self._step_in_progress = True
+        points = self.optimizer.ask()
+        self._asked = points
+        return [
+            ExecutionRequest(
+                circuit=self.ansatz.bound_circuit(point),
+                operator=self.mixed.operator,
+                initial_state=self._initial_state,
+                initial_bitstring=self._initial_bitstring,
+                tag=(self.cluster_id, self.iterations + 1, index),
+            )
+            for index, point in enumerate(points)
+        ]
+
+    def tell(self, results: list[EstimatorResult]) -> ClusterStepRecord | None:
+        """Report estimator results for the last ask, in request order.
+
+        Returns the completed step record, or None when the optimizer needs
+        more evaluations to finish its iteration.
+        """
+        if self._asked is None:
+            raise RuntimeError("tell() called without a preceding ask()")
+        if len(results) != len(self._asked):
+            raise ValueError(f"expected {len(self._asked)} results, got {len(results)}")
+        points, self._asked = self._asked, None
+        for point, result in zip(points, results):
+            self._step_evaluations.append((np.asarray(point, dtype=float).copy(), result))
+        step = self.optimizer.tell([float(result.value) for result in results])
+        if step is None:
+            return None
+        self._step_in_progress = False
+        return self._complete_step(step)
+
+    def abort_step(self) -> None:
+        """Abandon an in-progress step (e.g. the round's shot budget ran out).
+
+        The optimizer's pending iteration is cancelled and the cluster's
+        parameters stay at their last completed value, matching the
+        sequential controller's behaviour for clusters it never stepped.
+        """
+        self.optimizer.cancel()
+        self._asked = None
+        self._step_in_progress = False
+        self._step_evaluations = []
 
     def _evaluation_term_vector(self, result: EstimatorResult) -> np.ndarray | None:
         """Basis-ordered term vector from an estimator result.
@@ -219,16 +278,30 @@ class VQACluster:
     def step(self) -> ClusterStepRecord:
         """One VQA iteration on the mixed Hamiltonian (Algorithm 2, lines 5-10).
 
-        The member-task losses are recombined from the term vectors measured
-        by the optimizer's own objective evaluations (weighted to match the
+        Self-contained sequential form of the ask/tell cycle: each emitted
+        request is evaluated through the cluster's own estimator, one state
+        preparation per objective evaluation.  (The controller instead
+        batches many clusters' requests through the round scheduler.)  The
+        member-task losses are recombined from the term vectors measured by
+        the optimizer's own objective evaluations (weighted to match the
         optimizer's reported loss), so one step performs exactly
         ``num_evaluations`` state preparations — the separate
         individual-energy simulation of the per-term implementation is gone.
         """
-        if self.retired:
-            raise RuntimeError(f"cluster {self.cluster_id} is retired")
-        self._step_evaluations = []
-        step = self.optimizer.step(self._objective)
+        while True:
+            requests = self.ask()
+            results = [
+                self.estimator.estimate(
+                    request.circuit, request.operator, request.initial_state
+                )
+                for request in requests
+            ]
+            record = self.tell(results)
+            if record is not None:
+                return record
+
+    def _complete_step(self, step: OptimizerStep) -> ClusterStepRecord:
+        """Recombine, monitor, and account a completed optimizer iteration."""
         self._parameters = np.asarray(step.parameters, dtype=float)
         term_vectors = [
             self._evaluation_term_vector(result) for _, result in self._step_evaluations

@@ -13,6 +13,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from ..optimizers import COBYLA, SPSA, IterativeOptimizer
+from ..quantum.backend import BACKEND_REGISTRY, ExecutionBackend, make_execution_backend
 from ..quantum.sampling import BaseEstimator, ExactEstimator, SamplingEstimator, ShotNoiseEstimator
 from .shots import DEFAULT_SHOTS_PER_PAULI_TERM
 
@@ -49,7 +50,16 @@ class TreeVQAConfig:
         optimizer: ``"spsa"`` or ``"cobyla"`` (or supply ``optimizer_factory``).
         optimizer_kwargs: Keyword arguments forwarded to the optimizer.
         optimizer_factory: Optional callable overriding optimizer creation.
-        estimator: ``"exact"``, ``"shot_noise"`` or ``"sampling"``.
+        estimator: ``"exact"``, ``"shot_noise"`` or ``"sampling"`` (ignored
+            when ``estimator_factory`` is supplied).
+        backend: Execution backend for batched state preparation:
+            ``"statevector"`` (dense, batched) or ``"clifford"`` (stabilizer
+            fast path for π/2-multiple angles, dense fallback otherwise).
+        backend_factory: Optional callable overriding backend creation.
+        max_batch_size: Cap on requests per backend dispatch.  ``None``
+            executes each round's full request set in one batch; ``1`` is the
+            sequential degenerate case (bit-identical trajectories under the
+            exact estimator either way).
         forced_split_iteration: §9.1 study — force exactly one split at this
             cluster iteration.
         disable_automatic_splits: §9.1 study — suppress condition-based splits.
@@ -73,6 +83,9 @@ class TreeVQAConfig:
     optimizer_factory: Callable[[], IterativeOptimizer] | None = None
     estimator: str = "exact"
     estimator_factory: Callable[[], BaseEstimator] | None = None
+    backend: str = "statevector"
+    backend_factory: Callable[[], ExecutionBackend] | None = None
+    max_batch_size: int | None = None
     forced_split_iteration: int | None = None
     disable_automatic_splits: bool = False
     record_trajectory: bool = True
@@ -99,8 +112,15 @@ class TreeVQAConfig:
             raise ValueError("split_check_every must be >= 1")
         if self.optimizer_factory is None and self.optimizer not in _OPTIMIZERS:
             raise ValueError(f"unknown optimizer {self.optimizer!r}; choose from {sorted(_OPTIMIZERS)}")
-        if self.estimator not in _ESTIMATORS:
+        # Like the optimizer path, a supplied factory makes the name moot.
+        if self.estimator_factory is None and self.estimator not in _ESTIMATORS:
             raise ValueError(f"unknown estimator {self.estimator!r}; choose from {sorted(_ESTIMATORS)}")
+        if self.backend_factory is None and self.backend not in BACKEND_REGISTRY:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; choose from {sorted(BACKEND_REGISTRY)}"
+            )
+        if self.max_batch_size is not None and self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1 when set")
 
     # -- factories -------------------------------------------------------------
 
@@ -120,3 +140,9 @@ class TreeVQAConfig:
         return _ESTIMATORS[self.estimator](
             shots_per_term=self.shots_per_pauli_term, seed=self.seed
         )
+
+    def make_backend(self) -> ExecutionBackend:
+        """Construct the execution backend for batched rounds."""
+        if self.backend_factory is not None:
+            return self.backend_factory()
+        return make_execution_backend(self.backend)

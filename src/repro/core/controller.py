@@ -7,12 +7,17 @@ their split condition fires, until the global shot budget S_max is exhausted
 or the round limit is reached.  A final post-processing pass evaluates every
 task on every final cluster state and keeps the best answer (§5.3).
 
-All expectation values flow through the compiled Pauli engine
-(:mod:`repro.quantum.engine`): each cluster step measures its mixed
-Hamiltonian's full term vector in one vectorized pass and recombines every
-member task's energy with a matmul, and the final §5.3 pass evaluates the
-whole (task, cluster) grid through one batched engine call in
-:func:`~repro.core.postprocess.select_best_states`.
+Each round executes through the :class:`~repro.core.scheduler.RoundScheduler`:
+every active cluster's ask (the parameter points its optimizer wants
+evaluated) is gathered into one batched
+:class:`~repro.quantum.backend.ExecutionBackend` dispatch, and the results
+are told back in cluster order.  The backend prepares a whole round's states
+as stacked arrays (bit-identically to per-request execution, so
+``max_batch_size=1`` — the sequential degenerate case — yields the same
+trajectories under the exact estimator), and all expectation values flow
+through the compiled Pauli engine (:mod:`repro.quantum.engine`); the final
+§5.3 pass evaluates the whole (task, cluster) grid through one batched
+engine call in :func:`~repro.core.postprocess.select_best_states`.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from .cluster import VQACluster
 from .config import TreeVQAConfig
 from .postprocess import select_best_states
 from .results import TaskOutcome, TaskTrajectory, TreeVQAResult
+from .scheduler import RoundScheduler
 from .shots import ShotLedger
 from .task import VQATask
 from .tree import ExecutionTree
@@ -60,6 +66,10 @@ class TreeVQAController:
         self.config = config or TreeVQAConfig()
         self._initial_parameters = initial_parameters
         self.estimator = self.config.make_estimator()
+        self.backend = self.config.make_backend()
+        self.scheduler = RoundScheduler(
+            self.backend, self.estimator, max_batch_size=self.config.max_batch_size
+        )
         self.ledger = ShotLedger(shots_per_term=self.config.shots_per_pauli_term)
         self.tree = ExecutionTree()
         self.trajectories: dict[str, TaskTrajectory] = {
@@ -86,8 +96,7 @@ class TreeVQAController:
         """Group tasks by initial state into the level-1 clusters (§5.1)."""
         grouped: dict[str, list[VQATask]] = defaultdict(list)
         for task in self.tasks:
-            key = task.initial_bitstring or "0" * task.num_qubits
-            grouped[key].append(task)
+            grouped[task.resolved_initial_bitstring].append(task)
         clusters = []
         for root_index, (bitstring, group_tasks) in enumerate(sorted(grouped.items())):
             cluster = VQACluster(
@@ -126,22 +135,36 @@ class TreeVQAController:
         return self._finalize()
 
     def _run_round(self) -> None:
-        """Step every active cluster once, applying splits as they trigger.
+        """Step every active cluster once through one batched dispatch.
 
-        Each ``cluster.step()`` evaluates all (task, cluster) energies of the
-        round from the term vector measured by the cluster's final objective
-        evaluation — no per-term loops and no extra state preparations.
+        The scheduler gathers all active clusters' asks, executes them as
+        stacked backend batches, and reports completed steps back in cluster
+        order — so shot charging, trajectory recording, and the budget break
+        happen in exactly the order the sequential per-cluster loop used.
+        Splits are applied after the round's steps complete (a split decision
+        depends only on the splitting cluster's own state).
         """
-        next_clusters: list[VQACluster] = []
         pending = list(self.active_clusters)
-        for position, cluster in enumerate(pending):
-            record = cluster.step()
+
+        def on_record(cluster: VQACluster, record) -> bool:
             self.ledger.charge(cluster.cluster_id, self._rounds_completed, record.shots)
             self.tree.record_iteration(cluster.cluster_id, record.shots)
             if self.config.record_trajectory:
                 total = self.ledger.total
                 for task_name, energy in record.individual_losses.items():
                     self.trajectories[task_name].record(total, energy)
+            # A False return stops the round: clusters the scheduler has not
+            # told yet stay un-stepped, like the sequential loop's break.
+            return not self._budget_exhausted()
+
+        completed = self.scheduler.run_round(pending, on_record=on_record)
+        stepped = {cluster.cluster_id for cluster, _ in completed}
+        next_clusters: list[VQACluster] = []
+        for cluster in pending:
+            if cluster.cluster_id not in stepped:
+                # Not stepped this round (budget break); keep for finalize.
+                next_clusters.append(cluster)
+                continue
             decision = cluster.split_decision()
             if decision.should_split and cluster.num_tasks > 1:
                 children = cluster.split()
@@ -151,10 +174,6 @@ class TreeVQAController:
                 next_clusters.extend(children)
             else:
                 next_clusters.append(cluster)
-            if self._budget_exhausted():
-                # Keep the not-yet-stepped clusters for the final cluster set.
-                next_clusters.extend(pending[position + 1 :])
-                break
         self._clusters = next_clusters
 
     def _finalize(self) -> TreeVQAResult:

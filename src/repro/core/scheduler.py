@@ -1,0 +1,221 @@
+"""Batched round scheduling: gather every cluster's asks, execute, tell back.
+
+The paper's controller (§5.1, Algorithm 1) steps every active cluster once
+per round.  The steps are independent, so instead of simulating each
+cluster's objective evaluations one at a time, the :class:`RoundScheduler`
+collects the :class:`~repro.quantum.backend.ExecutionRequest` lists emitted
+by every cluster's :meth:`~repro.core.cluster.VQACluster.ask`, executes them
+through a single :class:`~repro.quantum.backend.ExecutionBackend` batch
+(chunked to ``max_batch_size``), converts the backend payloads into
+:class:`~repro.quantum.sampling.EstimatorResult` objects via the shared
+estimator's noise layer, and tells each cluster its slice.
+
+Ask/tell micro-cycles repeat until every cluster's optimizer completes its
+iteration: SPSA clusters finish in one cycle (their ± pair is asked at
+once), COBYLA clusters ask one probe per cycle and therefore ride along in
+batches of one request per cluster.
+
+``max_batch_size=1`` is the sequential degenerate case — one request per
+backend dispatch — and, because the batched statevector backend's stacked
+``matmul`` is bit-identical per request regardless of grouping, batched and
+sequential rounds produce bit-identical trajectories under the exact
+estimator.
+
+Estimators that can consume neither term vectors nor prepared states (the
+density-matrix estimator, custom scalar-only estimators) are driven through
+the legacy per-request :meth:`~repro.quantum.sampling.BaseEstimator.estimate`
+path, so every configuration keeps working — it just doesn't batch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
+
+from ..quantum.backend import ExecutionBackend, ExecutionRequest
+from ..quantum.sampling import BaseEstimator, EstimatorResult
+from ..quantum.statevector import Statevector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports config)
+    from .cluster import ClusterStepRecord, VQACluster
+
+__all__ = ["RoundScheduler"]
+
+
+def _request_state(request: ExecutionRequest) -> Statevector | None:
+    """Initial state for per-request estimation, honouring a bitstring-only
+    request the same way the backend path's state preparation does."""
+    if request.initial_state is not None or request.initial_bitstring is None:
+        return request.initial_state
+    return Statevector.computational_basis(
+        request.circuit.num_qubits, request.initial_bitstring
+    )
+
+
+class RoundScheduler:
+    """Execute whole controller rounds through one batched backend."""
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        estimator: BaseEstimator,
+        *,
+        max_batch_size: int | None = None,
+    ) -> None:
+        if max_batch_size is not None and max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1 when set")
+        self.backend = backend
+        self.estimator = estimator
+        self.max_batch_size = max_batch_size
+        #: Backend dispatches performed (0 when the estimator forces the
+        #: per-request path; the backend never ran then).
+        self.batches_executed = 0
+        #: Requests whose results were consumed — converted through the
+        #: estimator and told back.  After a mid-round budget stop this can
+        #: be less than the backend's own request count: dispatched work
+        #: whose consumer was aborted is never pushed through the estimator.
+        self.requests_executed = 0
+
+    # -- request execution ------------------------------------------------------
+
+    def execute(self, requests: Sequence[ExecutionRequest]) -> list[EstimatorResult]:
+        """Execute requests through the backend + estimator noise layer.
+
+        Results are returned in request order.  Requests are chunked to
+        ``max_batch_size`` per backend dispatch; estimators that cannot
+        consume backend payloads fall back to their per-request path.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        return self._convert(requests, self._dispatch(requests))
+
+    def _dispatch(self, requests: list[ExecutionRequest]):
+        """Run requests through the backend (None when the estimator cannot
+        consume backend payloads and must evaluate per request instead)."""
+        estimator = self.estimator
+        consumes_term_vectors = getattr(estimator, "consumes_term_vectors", False)
+        if not consumes_term_vectors and not getattr(estimator, "consumes_states", False):
+            return None
+        backend_results = []
+        for chunk in self._chunks(requests):
+            backend_results.extend(
+                self.backend.run_batch(chunk, need_states=not consumes_term_vectors)
+            )
+            self.batches_executed += 1
+        return backend_results
+
+    def _convert(self, requests, backend_results) -> list[EstimatorResult]:
+        """Turn backend payloads (or, lacking any, per-request evaluations)
+        into estimator results.  This is the step that touches the estimator's
+        noise model and shot counters, so callers invoke it per consumer in
+        consumption order — never for work that ends up discarded."""
+        estimator = self.estimator
+        self.requests_executed += len(requests)
+        if backend_results is None:
+            return [
+                estimator.estimate(
+                    request.circuit, request.operator, _request_state(request)
+                )
+                for request in requests
+            ]
+        return [
+            estimator.estimate_backend_result(result, request.operator)
+            for request, result in zip(requests, backend_results)
+        ]
+
+    def _chunks(self, requests: list[ExecutionRequest]) -> list[list[ExecutionRequest]]:
+        size = self.max_batch_size
+        if size is None or size >= len(requests):
+            return [requests]
+        return [requests[i : i + size] for i in range(0, len(requests), size)]
+
+    # -- round orchestration ----------------------------------------------------
+
+    def run_round(
+        self,
+        clusters: Sequence["VQACluster"],
+        *,
+        on_record: Callable[["VQACluster", "ClusterStepRecord"], bool] | None = None,
+    ) -> list[tuple["VQACluster", "ClusterStepRecord"]]:
+        """Step every cluster once through batched execution.
+
+        Completed steps are reported to ``on_record`` in strict cluster order
+        — the order the sequential controller stepped them — buffering any
+        cluster that finishes its optimizer iteration before a lower-indexed
+        one (possible when optimizers take different numbers of micro-cycles,
+        e.g. two COBYLA clusters whose scipy blocks terminate after different
+        probe counts).  Estimator conversion (noise draws, shot counters)
+        likewise happens per cluster in that order, just before the tell, so
+        the shared estimator never sees work that ends up discarded.
+
+        Returning False from ``on_record`` stops the round: clusters whose
+        steps have not been told yet are aborted un-stepped, exactly like the
+        sequential path's budget break.  With heterogeneous optimizers a
+        buffered higher-indexed cluster may already have completed its
+        iteration when the stop lands; that work happened — its optimizer
+        advanced and its shots were consumed — so the buffered record is
+        still reported (``on_record``'s return value is ignored for these
+        post-stop charges) rather than silently dropping charged work.
+        Returns the reported ``(cluster, record)`` pairs.
+        """
+        active = list(clusters)
+        pending: dict[int, list[ExecutionRequest]] = {
+            index: cluster.ask() for index, cluster in enumerate(active)
+        }
+        records: dict[int, ClusterStepRecord] = {}
+        reported: list[tuple[VQACluster, ClusterStepRecord]] = []
+        next_to_report = 0
+        stopped = False
+
+        def flush() -> None:
+            # Report the completed prefix in cluster order.
+            nonlocal next_to_report, stopped
+            while not stopped and next_to_report in records:
+                cluster, record = active[next_to_report], records[next_to_report]
+                reported.append((cluster, record))
+                next_to_report += 1
+                if on_record is not None and not on_record(cluster, record):
+                    stopped = True
+
+        while pending and not stopped:
+            ordered = sorted(pending)
+            flat: list[ExecutionRequest] = []
+            spans: dict[int, tuple[int, int]] = {}
+            for index in ordered:
+                spans[index] = (len(flat), len(flat) + len(pending[index]))
+                flat.extend(pending[index])
+            backend_results = self._dispatch(flat)
+            next_pending: dict[int, list[ExecutionRequest]] = {}
+            for index in ordered:
+                if stopped:
+                    active[index].abort_step()
+                    continue
+                low, high = spans[index]
+                results = self._convert(
+                    flat[low:high],
+                    None if backend_results is None else backend_results[low:high],
+                )
+                record = active[index].tell(results)
+                if record is None:
+                    next_pending[index] = active[index].ask()
+                else:
+                    records[index] = record
+                    flush()
+            if stopped:
+                for index in next_pending:
+                    active[index].abort_step()
+                break
+            pending = next_pending
+        # A stop can land while a higher-indexed cluster's completed step is
+        # still buffered for in-order reporting.  Its optimizer has already
+        # committed the iteration, so report (and thereby charge) it instead
+        # of leaving consumed shots and advanced parameters unaccounted.
+        for index in sorted(records):
+            if index < next_to_report:
+                continue
+            cluster, record = active[index], records[index]
+            reported.append((cluster, record))
+            if on_record is not None:
+                on_record(cluster, record)
+        return reported

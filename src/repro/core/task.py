@@ -56,6 +56,18 @@ class VQATask:
         return self.hamiltonian.num_qubits
 
     @property
+    def resolved_initial_bitstring(self) -> str:
+        """The initial bitstring with ``None`` normalized to all zeros.
+
+        Clustering boundaries compare this normalized form, so a task with
+        ``initial_bitstring=None`` and one with an explicit ``"0" * n`` land
+        in (and validate as) the same root group.
+        """
+        if self.initial_bitstring is None:
+            return "0" * self.num_qubits
+        return self.initial_bitstring
+
+    @property
     def num_pauli_terms(self) -> int:
         return self.hamiltonian.num_terms
 
@@ -67,9 +79,9 @@ class VQATask:
 
     def initial_state(self) -> Statevector:
         """The reference computational-basis state (|0...0> when unspecified)."""
-        if self.initial_bitstring is None:
-            return Statevector.zero_state(self.num_qubits)
-        return Statevector.computational_basis(self.num_qubits, self.initial_bitstring)
+        return Statevector.computational_basis(
+            self.num_qubits, self.resolved_initial_bitstring
+        )
 
     def error(self, energy: float) -> float:
         """Relative error |E_gs − E| / |E_gs| (paper §7.2)."""

@@ -152,7 +152,17 @@ def run_comparison(
     baseline = IndependentVQABaseline(
         suite.tasks, suite.ansatz, config, initial_parameters=initial_parameters
     ).run(iterations_per_task=baseline_iterations or config.max_rounds)
-    return BenchmarkComparison(suite=suite, treevqa=treevqa, baseline=baseline, config=config)
+    return BenchmarkComparison(
+        suite=suite,
+        treevqa=treevqa,
+        baseline=baseline,
+        config=config,
+        metadata={
+            "backend": controller.backend.name,
+            "backend_batches": controller.scheduler.batches_executed,
+            "requests_executed": controller.scheduler.requests_executed,
+        },
+    )
 
 
 #: The six VQE panels of Fig. 6 / Fig. 7 / Fig. 11.

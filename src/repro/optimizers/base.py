@@ -2,14 +2,31 @@
 
 TreeVQA drives its optimizer one *iteration* at a time so that the sliding-
 window slope monitor can inspect the loss after every iteration and trigger a
-cluster split (paper §5.2.2–5.2.3).  The interface therefore exposes
-:meth:`IterativeOptimizer.step` in addition to a conventional
-:meth:`IterativeOptimizer.minimize` loop.
+cluster split (paper §5.2.2–5.2.3).  Since the batched round scheduler needs
+to gather every cluster's pending evaluations *before* executing them, the
+interface is ask/tell:
+
+* :meth:`IterativeOptimizer.ask` returns the parameter points the optimizer
+  wants evaluated next (SPSA returns its ± perturbation pair at once);
+* :meth:`IterativeOptimizer.tell` receives the objective values and returns
+  the completed :class:`OptimizerStep` — or ``None`` when the optimizer needs
+  more evaluations to finish the iteration (COBYLA probes one point at a
+  time and therefore degrades gracefully to batches of one).
+
+Optimizers implemented against the legacy callback style only need to
+provide :meth:`IterativeOptimizer._step_impl`; the base class converts it to
+ask/tell with a worker-thread trampoline that suspends the callback at every
+objective evaluation.  The callback-only entry point
+:meth:`IterativeOptimizer.step` is deprecated — use :meth:`run_step` (the
+supported objective-driven wrapper) or ask/tell directly.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+import queue
+import threading
+import warnings
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,8 +62,80 @@ class OptimizerResult:
         return min(self.loss_history) if self.loss_history else self.loss
 
 
+class _StepCancelled(BaseException):
+    """Raised inside a trampolined step body to unwind a cancelled step."""
+
+
+class _StepTrampoline:
+    """Convert a callback-driven step body into an ask/tell exchange.
+
+    The body runs in a worker thread; each objective call posts the probe
+    point to the main thread and blocks until the value is told back.  The
+    exchange is strictly alternating (the main thread blocks while the worker
+    runs and vice versa), so there is no concurrency in the optimizer state —
+    just inverted control flow.
+    """
+
+    def __init__(self, body: Callable[[Objective], OptimizerStep]) -> None:
+        self._requests: queue.SimpleQueue = queue.SimpleQueue()
+        self._responses: queue.SimpleQueue = queue.SimpleQueue()
+        self._thread = threading.Thread(target=self._run, args=(body,), daemon=True)
+        self._message: tuple[str, object] | None = None
+
+    def _run(self, body: Callable[[Objective], OptimizerStep]) -> None:
+        try:
+            self._requests.put(("done", body(self._objective)))
+        except _StepCancelled:
+            self._requests.put(("cancelled", None))
+        except BaseException as error:  # noqa: BLE001 - re-raised on the caller side
+            self._requests.put(("error", error))
+
+    def _objective(self, point: np.ndarray) -> float:
+        self._requests.put(("point", np.asarray(point, dtype=float).copy()))
+        kind, value = self._responses.get()
+        if kind == "cancel":
+            raise _StepCancelled
+        return float(value)  # type: ignore[arg-type]
+
+    def _advance(self) -> tuple[str, object]:
+        message = self._requests.get()
+        if message[0] == "error":
+            raise message[1]  # type: ignore[misc]
+        return message
+
+    def current_point(self) -> np.ndarray | None:
+        """The probe the body is waiting on (None if it finished without one)."""
+        if self._message is None:
+            self._thread.start()
+            self._message = self._advance()
+        kind, payload = self._message
+        return payload if kind == "point" else None  # type: ignore[return-value]
+
+    def send_value(self, value: float) -> OptimizerStep | None:
+        """Resume the body with an objective value; return its step when done."""
+        self._responses.put(("value", value))
+        self._message = self._advance()
+        kind, payload = self._message
+        if kind == "done":
+            self._thread.join()
+            return payload  # type: ignore[return-value]
+        return None
+
+    def finish(self) -> OptimizerStep:
+        """Collect the step of a body that finished without pending probes."""
+        assert self._message is not None and self._message[0] == "done"
+        self._thread.join()
+        return self._message[1]  # type: ignore[return-value]
+
+    def cancel(self) -> None:
+        """Unwind a body blocked on an objective value."""
+        if self._message is not None and self._message[0] == "point":
+            self._responses.put(("cancel", None))
+            self._thread.join(timeout=5.0)
+
+
 class IterativeOptimizer:
-    """Base class: stateful, steppable optimizer."""
+    """Base class: stateful, steppable optimizer with an ask/tell interface."""
 
     #: number of objective evaluations consumed per step (the paper's
     #: N_evals-per-iter; 2 for SPSA's ± perturbation pair).
@@ -55,11 +144,14 @@ class IterativeOptimizer:
     def __init__(self) -> None:
         self._parameters: np.ndarray | None = None
         self._iteration = 0
+        self._pending: list[np.ndarray] | None = None
+        self._trampoline: _StepTrampoline | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
     def reset(self, initial_parameters: np.ndarray) -> None:
         """Start a new optimisation from ``initial_parameters``."""
+        self.cancel()
         self._parameters = np.asarray(initial_parameters, dtype=float).copy()
         self._iteration = 0
 
@@ -75,13 +167,90 @@ class IterativeOptimizer:
         """Number of completed iterations since the last reset."""
         return self._iteration
 
-    # -- to be provided by subclasses -------------------------------------------
+    # -- ask/tell -------------------------------------------------------------
+
+    def ask(self) -> list[np.ndarray]:
+        """Parameter points the optimizer wants evaluated next.
+
+        May return fewer points than a full iteration needs (COBYLA probes
+        one at a time): keep alternating ``ask``/``tell`` until ``tell``
+        returns a completed step.
+        """
+        if self._parameters is None:
+            raise RuntimeError("optimizer has not been reset with initial parameters")
+        if self._pending is not None:
+            raise RuntimeError("ask() called again before tell()")
+        points = [np.asarray(point, dtype=float).copy() for point in self._ask()]
+        self._pending = points
+        return [point.copy() for point in points]
+
+    def tell(self, values: Sequence[float]) -> OptimizerStep | None:
+        """Report objective values for the last ask; returns the step when done."""
+        if self._pending is None:
+            raise RuntimeError("tell() called without a preceding ask()")
+        values = [float(value) for value in values]
+        if len(values) != len(self._pending):
+            raise ValueError(
+                f"tell() expected {len(self._pending)} values, got {len(values)}"
+            )
+        pending, self._pending = self._pending, None
+        return self._tell(pending, values)
+
+    def cancel(self) -> None:
+        """Abandon an in-progress step (pending asks are discarded)."""
+        self._pending = None
+        if self._trampoline is not None:
+            self._trampoline.cancel()
+            self._trampoline = None
+        self._cancel()
+
+    # -- to be provided by subclasses ------------------------------------------
+
+    def _ask(self) -> list[np.ndarray]:
+        """Produce the next probe points.  Default: trampoline ``_step_impl``."""
+        if self._trampoline is None:
+            self._trampoline = _StepTrampoline(self._step_impl)
+        point = self._trampoline.current_point()
+        return [] if point is None else [point]
+
+    def _tell(self, points: list[np.ndarray], values: list[float]) -> OptimizerStep | None:
+        """Consume probe values.  Default: resume the trampolined step body."""
+        trampoline = self._trampoline
+        if trampoline is None:  # pragma: no cover - guarded by tell()
+            raise RuntimeError("no step in progress")
+        step = trampoline.send_value(values[0]) if points else trampoline.finish()
+        if step is not None:
+            self._trampoline = None
+        return step
+
+    def _step_impl(self, objective: Objective) -> OptimizerStep:
+        """Legacy callback-driven step body (COBYLA-style optimizers)."""
+        raise NotImplementedError(
+            "subclasses must implement _step_impl or override _ask/_tell"
+        )
+
+    def _cancel(self) -> None:
+        """Hook for subclasses to drop native per-step state on cancel."""
+
+    # -- objective-driven drivers ---------------------------------------------
+
+    def run_step(self, objective: Objective) -> OptimizerStep:
+        """Perform one iteration by evaluating ``objective`` as asked."""
+        while True:
+            points = self.ask()
+            step = self.tell([float(objective(point)) for point in points])
+            if step is not None:
+                return step
 
     def step(self, objective: Objective) -> OptimizerStep:
-        """Perform one iteration and return the new parameters and loss estimate."""
-        raise NotImplementedError
-
-    # -- convenience ---------------------------------------------------------------
+        """Deprecated callback-only entry point; use ask/tell or :meth:`run_step`."""
+        warnings.warn(
+            "IterativeOptimizer.step(objective) is deprecated; use ask()/tell() "
+            "(batched execution) or run_step(objective)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run_step(objective)
 
     def minimize(
         self,
@@ -98,7 +267,7 @@ class IterativeOptimizer:
         evaluations = 0
         last: OptimizerStep | None = None
         for _ in range(num_iterations):
-            last = self.step(objective)
+            last = self.run_step(objective)
             history.append(last.loss)
             evaluations += last.num_evaluations
             if callback is not None:

@@ -49,7 +49,10 @@ class COBYLA(IterativeOptimizer):
         self._trust_radius = self.initial_trust_radius
         self._best_loss = np.inf
 
-    def step(self, objective: Objective) -> OptimizerStep:
+    def _step_impl(self, objective: Objective) -> OptimizerStep:
+        # Runs through the base class's ask/tell trampoline: scipy's COBYLA is
+        # inherently callback-driven, so each objective call surfaces as an
+        # ask() of a single probe point — batches of one, by design.
         parameters = self.parameters
         evaluations = 0
         best_loss = np.inf

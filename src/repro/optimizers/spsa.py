@@ -48,6 +48,8 @@ class SPSA(IterativeOptimizer):
             stability_constant if stability_constant is not None else 0.1 * expected_iterations
         )
         self.rng = np.random.default_rng(seed)
+        self._delta: np.ndarray | None = None
+        self._c_k = perturbation
 
     # -- schedules ------------------------------------------------------------
 
@@ -61,24 +63,32 @@ class SPSA(IterativeOptimizer):
 
     # -- optimisation ------------------------------------------------------------
 
-    def step(self, objective: Objective) -> OptimizerStep:
+    def _ask(self) -> list[np.ndarray]:
+        """The ± perturbation pair for the current iterate, asked at once."""
         parameters = self.parameters
-        k = self._iteration
-        c_k = self.perturbation_at(k)
-        eta_k = self.learning_rate_at(k)
+        c_k = self.perturbation_at(self._iteration)
         delta = self.rng.choice([-1.0, 1.0], size=parameters.size)
-        loss_plus = float(objective(parameters + c_k * delta))
-        loss_minus = float(objective(parameters - c_k * delta))
-        gradient = (loss_plus - loss_minus) / (2.0 * c_k) * delta
-        new_parameters = parameters - eta_k * gradient
+        self._delta = delta
+        self._c_k = c_k
+        return [parameters + c_k * delta, parameters - c_k * delta]
+
+    def _tell(self, points: list[np.ndarray], values: list[float]) -> OptimizerStep:
+        loss_plus, loss_minus = values
+        eta_k = self.learning_rate_at(self._iteration)
+        gradient = (loss_plus - loss_minus) / (2.0 * self._c_k) * self._delta
+        new_parameters = self._parameters - eta_k * gradient
         self._parameters = new_parameters
         self._iteration += 1
+        self._delta = None
         return OptimizerStep(
             parameters=new_parameters.copy(),
             loss=0.5 * (loss_plus + loss_minus),
             num_evaluations=2,
             iteration=self._iteration,
         )
+
+    def _cancel(self) -> None:
+        self._delta = None
 
     def calibrate(
         self, objective: Objective, parameters: np.ndarray, target_step: float = 0.1, samples: int = 5

@@ -1,5 +1,13 @@
 """Quantum simulation substrate: Pauli algebra, circuits, and simulators."""
 
+from .backend import (
+    BackendResult,
+    CliffordBackend,
+    ExecutionBackend,
+    ExecutionRequest,
+    StatevectorBackend,
+    make_execution_backend,
+)
 from .circuit import Instruction, Parameter, ParameterExpression, QuantumCircuit
 from .clifford import CliffordSimulator, clifford_angle_index, is_clifford_angle
 from .density_matrix import DensityMatrix, DensityMatrixSimulator
@@ -31,6 +39,12 @@ from .sampling import (
 from .statevector import Statevector, StatevectorSimulator
 
 __all__ = [
+    "BackendResult",
+    "CliffordBackend",
+    "ExecutionBackend",
+    "ExecutionRequest",
+    "StatevectorBackend",
+    "make_execution_backend",
     "Instruction",
     "Parameter",
     "ParameterExpression",

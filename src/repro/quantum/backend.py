@@ -1,0 +1,376 @@
+"""Pluggable execution backends: batched state preparation and term evaluation.
+
+A TreeVQA round is a bag of independent circuit executions — every active
+cluster contributes the parameter points its optimizer asked for.  Executing
+those one at a time wastes most of the wall-clock on per-call overhead (gate
+matrix construction, tensordot bookkeeping, Python dispatch).  This module
+turns a whole round into a small number of linear-algebra dispatches:
+
+* :class:`ExecutionRequest` — one circuit execution to perform: a bound
+  circuit, the operator whose Pauli terms to measure, and the initial state.
+* :class:`ExecutionBackend` — the protocol: ``run_batch(requests)`` returns
+  one :class:`BackendResult` (an exact per-term expectation vector, plus the
+  prepared state on demand) per request, in request order.
+* :class:`StatevectorBackend` — groups requests by circuit *structure* (gate
+  names and qubit wirings) and evolves each group as one stacked
+  ``(batch, 2**n)`` array: every gate becomes a single batched ``matmul``
+  with per-request gate matrices.  Because NumPy's stacked ``matmul``
+  performs the same per-slice GEMM as the sequential ``tensordot`` path in
+  :meth:`~repro.quantum.statevector.Statevector.evolve`, the prepared
+  amplitudes are bit-identical to the per-request path and independent of how
+  requests are grouped into batches.
+* :class:`CliffordBackend` — auto-dispatches any request whose bound angles
+  are all multiples of π/2 (the CAFQA regime, paper §8.5) to the polynomial
+  stabilizer simulator, and forwards everything else to a dense fallback
+  backend.
+
+Backends compute *exact* expectation values; shot/sampling noise remains the
+estimator layer's job (see
+:meth:`~repro.quantum.sampling.BaseEstimator.estimate_backend_result`).
+Identity terms are pinned to exactly 1 in every returned term vector.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .circuit import QuantumCircuit
+from .clifford import CliffordSimulator, is_clifford_angle
+from .engine import compiled_pauli_operator
+from .gates import batched_rotation_matrices, gate_matrix
+from .pauli import PauliOperator, PauliString
+from .statevector import Statevector
+
+__all__ = [
+    "ExecutionRequest",
+    "BackendResult",
+    "ExecutionBackend",
+    "StatevectorBackend",
+    "CliffordBackend",
+    "BACKEND_REGISTRY",
+    "make_execution_backend",
+]
+
+
+@dataclass(frozen=True)
+class ExecutionRequest:
+    """One circuit execution: prepare a state and measure an operator's terms.
+
+    Attributes:
+        circuit: The fully bound circuit to execute.
+        operator: The Pauli operator whose term expectation values to report
+            (in the operator's term order).
+        initial_state: Optional starting state (defaults to ``|0...0>``).
+        initial_bitstring: The starting computational-basis label when known.
+            Lets the Clifford backend skip dense-state inspection; dense
+            backends ignore it when ``initial_state`` is given.
+        tag: Free-form correlation handle echoed back on the result.
+    """
+
+    circuit: QuantumCircuit
+    operator: PauliOperator
+    initial_state: Statevector | None = None
+    initial_bitstring: str | None = None
+    tag: object = None
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """Exact per-term expectation values for one executed request.
+
+    ``term_vector[i]`` is the exact expectation value of ``term_basis[i]``
+    (the request operator's term order, identity terms pinned to 1.0).
+    ``state`` carries the prepared statevector when the caller asked for it
+    and the backend produced one (the Clifford backend does not).
+    """
+
+    term_basis: tuple[PauliString, ...]
+    term_vector: np.ndarray
+    state: Statevector | None
+    backend_name: str
+    tag: object = None
+
+
+class ExecutionBackend:
+    """Protocol: execute a batch of requests through one dispatch."""
+
+    name = "abstract"
+
+    def run_batch(
+        self, requests: Sequence[ExecutionRequest], *, need_states: bool = False
+    ) -> list[BackendResult]:
+        """Execute ``requests`` and return results in request order.
+
+        ``need_states`` asks the backend to attach the prepared statevector to
+        each result (required by estimators that sample from states rather
+        than consuming exact term vectors).
+        """
+        raise NotImplementedError
+
+
+def _initial_amplitudes(request: ExecutionRequest, num_qubits: int) -> np.ndarray:
+    """Flat initial amplitudes for a request (defaults to ``|0...0>``)."""
+    if request.initial_state is not None:
+        if request.initial_state.num_qubits != num_qubits:
+            raise ValueError(
+                f"initial state has {request.initial_state.num_qubits} qubits, "
+                f"circuit has {num_qubits}"
+            )
+        return request.initial_state.data
+    if request.initial_bitstring is not None:
+        return Statevector.computational_basis(num_qubits, request.initial_bitstring).data
+    return Statevector.zero_state(num_qubits).data
+
+
+def _request_bitstring(request: ExecutionRequest) -> str | None:
+    """Computational-basis label of the request's initial state, if it is one."""
+    if request.initial_bitstring is not None:
+        return request.initial_bitstring
+    if request.initial_state is None:
+        return "0" * request.circuit.num_qubits
+    data = request.initial_state.data
+    nonzero = np.flatnonzero(data)
+    if nonzero.size == 1 and data[nonzero[0]] == 1.0:
+        return format(int(nonzero[0]), f"0{request.initial_state.num_qubits}b")
+    return None
+
+
+def _apply_gate_batched(
+    tensor: np.ndarray, matrices: np.ndarray, qubits: tuple[int, ...]
+) -> np.ndarray:
+    """Apply per-request k-qubit gate matrices across a stacked state tensor.
+
+    ``tensor`` has shape ``(batch,) + (2,) * n``; ``matrices`` has shape
+    ``(batch, 2**k, 2**k)``.  The stacked ``matmul`` performs one GEMM per
+    batch row with the same operand shapes as the sequential ``tensordot``
+    path, so each row's amplitudes are bit-identical to evolving that request
+    alone.
+    """
+    k = len(qubits)
+    batch = tensor.shape[0]
+    axes = [1 + q for q in qubits]
+    moved = np.moveaxis(tensor, axes, range(1, k + 1))
+    rest = moved.shape[k + 1 :]
+    arr = np.ascontiguousarray(moved).reshape(batch, 1 << k, -1)
+    out = np.matmul(matrices, arr)
+    out = out.reshape((batch,) + (2,) * k + rest)
+    return np.moveaxis(out, range(1, k + 1), axes)
+
+
+class StatevectorBackend(ExecutionBackend):
+    """Dense batched execution: one stacked array per circuit structure.
+
+    Requests sharing a gate sequence (names and qubit wirings — the common
+    case: every cluster of a controller round binds the same ansatz) are
+    evolved together; per-request angles become stacked gate matrices.
+    Requests with different structures still execute correctly, each group in
+    its own dispatch.
+    """
+
+    name = "statevector"
+
+    def __init__(self) -> None:
+        self.batches_run = 0
+        self.requests_run = 0
+
+    def run_batch(
+        self, requests: Sequence[ExecutionRequest], *, need_states: bool = False
+    ) -> list[BackendResult]:
+        requests = list(requests)
+        results: list[BackendResult | None] = [None] * len(requests)
+        groups: dict[tuple, list[int]] = {}
+        for index, request in enumerate(requests):
+            if not request.circuit.is_bound():
+                raise ValueError("execution requests need fully bound circuits")
+            structure = tuple(
+                (inst.gate, inst.qubits) for inst in request.circuit.instructions
+            )
+            groups.setdefault((request.circuit.num_qubits, structure), []).append(index)
+        for (num_qubits, _), indices in groups.items():
+            states = self._prepare_group([requests[i] for i in indices], num_qubits)
+            for row, index in enumerate(indices):
+                request = requests[index]
+                engine = compiled_pauli_operator(request.operator)
+                vector = engine.expectation_values(states[row])
+                vector[engine.identity_mask] = 1.0
+                results[index] = BackendResult(
+                    term_basis=engine.paulis,
+                    term_vector=vector,
+                    state=Statevector(states[row]) if need_states else None,
+                    backend_name=self.name,
+                    tag=request.tag,
+                )
+        self.batches_run += 1
+        self.requests_run += len(requests)
+        return results  # type: ignore[return-value]
+
+    def _prepare_group(
+        self, group: list[ExecutionRequest], num_qubits: int
+    ) -> np.ndarray:
+        """Evolve all requests of one circuit structure as a stacked array."""
+        batch = len(group)
+        dim = 1 << num_qubits
+        states = np.zeros((batch, dim), dtype=complex)
+        for row, request in enumerate(group):
+            states[row] = _initial_amplitudes(request, num_qubits)
+        tensor = states.reshape((batch,) + (2,) * num_qubits)
+        instructions = [request.circuit.instructions for request in group]
+        for position, first in enumerate(instructions[0]):
+            matrices = self._stacked_matrices(instructions, position, batch)
+            tensor = _apply_gate_batched(tensor, matrices, first.qubits)
+        return tensor.reshape(batch, dim)
+
+    @staticmethod
+    def _stacked_matrices(
+        instructions: list[list], position: int, batch: int
+    ) -> np.ndarray:
+        """Per-request gate matrices for one instruction position, stacked.
+
+        Single-angle rotation gates always go through the vectorized builder
+        — even for a batch of one or a shared angle — so the matrices are
+        the same elementwise computation regardless of how requests are
+        grouped.  That keeps batched and ``max_batch_size=1`` executions
+        bit-identical on any platform, independent of whether the vectorized
+        trig ufuncs happen to match the scalar libm used by
+        :func:`~repro.quantum.gates.gate_matrix`.
+        """
+        first = instructions[0][position]
+        if len(first.params) == 1:
+            same = all(
+                insts[position].params == first.params for insts in instructions
+            )
+            thetas = (
+                np.asarray([first.params[0]], dtype=float)
+                if same
+                else np.fromiter(
+                    (insts[position].params[0] for insts in instructions),
+                    dtype=float,
+                    count=batch,
+                )
+            )
+            matrices = batched_rotation_matrices(first.gate, thetas)
+            if matrices is not None:
+                if same:
+                    return np.repeat(matrices, batch, axis=0)
+                return matrices
+        if not first.params or all(
+            insts[position].params == first.params for insts in instructions
+        ):
+            matrix = gate_matrix(first.gate, *first.params)
+            return np.repeat(matrix[None, :, :], batch, axis=0)
+        return np.stack(
+            [
+                gate_matrix(insts[position].gate, *insts[position].params)
+                for insts in instructions
+            ]
+        )
+
+
+#: Gates the stabilizer simulator handles unconditionally.
+_CLIFFORD_FIXED_GATES = frozenset(
+    {"i", "h", "s", "sdg", "x", "y", "z", "cx", "cz", "swap"}
+)
+#: Rotation gates the stabilizer simulator handles at multiples of π/2.
+_CLIFFORD_ROTATION_GATES = frozenset({"rx", "ry", "rz", "p", "rzz"})
+
+
+class CliffordBackend(ExecutionBackend):
+    """Stabilizer fast path with dense fallback (paper §8.5, CAFQA regime).
+
+    Requests whose bound angles are all multiples of π/2 (and whose initial
+    state is a computational-basis state) are simulated in polynomial time by
+    :class:`~repro.quantum.clifford.CliffordSimulator`; everything else —
+    including any request for which the caller needs the prepared dense state
+    — is forwarded to the ``fallback`` backend.  The ``clifford_requests`` /
+    ``fallback_requests`` counters expose the routing for tests and
+    monitoring.
+    """
+
+    name = "clifford"
+
+    def __init__(self, fallback: ExecutionBackend | None = None) -> None:
+        self.fallback = fallback if fallback is not None else StatevectorBackend()
+        self.clifford_requests = 0
+        self.fallback_requests = 0
+
+    def run_batch(
+        self, requests: Sequence[ExecutionRequest], *, need_states: bool = False
+    ) -> list[BackendResult]:
+        requests = list(requests)
+        results: list[BackendResult | None] = [None] * len(requests)
+        fallback_indices: list[int] = []
+        for index, request in enumerate(requests):
+            if need_states or not self.is_clifford_request(request):
+                fallback_indices.append(index)
+                continue
+            results[index] = self._run_clifford(request)
+            self.clifford_requests += 1
+        if fallback_indices:
+            self.fallback_requests += len(fallback_indices)
+            forwarded = self.fallback.run_batch(
+                [requests[i] for i in fallback_indices], need_states=need_states
+            )
+            for index, result in zip(fallback_indices, forwarded):
+                results[index] = result
+        return results  # type: ignore[return-value]
+
+    @staticmethod
+    def is_clifford_request(request: ExecutionRequest) -> bool:
+        """True if the stabilizer simulator can execute this request."""
+        if _request_bitstring(request) is None:
+            return False
+        for inst in request.circuit.instructions:
+            if inst.gate in _CLIFFORD_FIXED_GATES:
+                continue
+            if inst.gate in _CLIFFORD_ROTATION_GATES and all(
+                isinstance(param, (int, float)) and is_clifford_angle(param)
+                for param in inst.params
+            ):
+                continue
+            return False
+        return True
+
+    def _run_clifford(self, request: ExecutionRequest) -> BackendResult:
+        num_qubits = request.circuit.num_qubits
+        bitstring = _request_bitstring(request)
+        assert bitstring is not None  # guaranteed by is_clifford_request
+        simulator = CliffordSimulator(num_qubits)
+        if "1" in bitstring:
+            preparation = QuantumCircuit(num_qubits, name="basis-prep")
+            for qubit, bit in enumerate(bitstring):
+                if bit == "1":
+                    preparation.x(qubit)
+            simulator.apply_circuit(preparation)
+        simulator.apply_circuit(request.circuit)
+        engine = compiled_pauli_operator(request.operator)
+        vector = np.array(
+            [
+                1.0 if pauli.is_identity else simulator.pauli_expectation(pauli)
+                for pauli in engine.paulis
+            ]
+        )
+        return BackendResult(
+            term_basis=engine.paulis,
+            term_vector=vector,
+            state=None,
+            backend_name=self.name,
+            tag=request.tag,
+        )
+
+
+BACKEND_REGISTRY: dict[str, type[ExecutionBackend]] = {
+    "statevector": StatevectorBackend,
+    "clifford": CliffordBackend,
+}
+
+
+def make_execution_backend(name: str) -> ExecutionBackend:
+    """Construct a registered execution backend by name."""
+    if name not in BACKEND_REGISTRY:
+        raise ValueError(
+            f"unknown backend {name!r}; choose from {sorted(BACKEND_REGISTRY)}"
+        )
+    return BACKEND_REGISTRY[name]()

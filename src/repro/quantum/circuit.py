@@ -278,17 +278,25 @@ class QuantumCircuit:
         if missing:
             names = ", ".join(p.name for p in missing)
             raise ValueError(f"missing values for parameters: {names}")
+        # Binding happens once per objective evaluation of every optimizer
+        # step, so substitute directly into fresh Instruction tuples instead
+        # of re-running append()'s construction-time validation; instructions
+        # without parameters are immutable and shared with the template.
         bound = QuantumCircuit(self.num_qubits, name=self.name)
+        instructions = bound._instructions
         for inst in self._instructions:
-            params: list[ParamValue] = []
-            for p in inst.params:
-                if isinstance(p, Parameter):
-                    params.append(float(mapping[p]))
-                elif isinstance(p, ParameterExpression):
-                    params.append(p.evaluate(float(mapping[p.parameter])))
-                else:
-                    params.append(p)
-            bound.append(inst.gate, inst.qubits, params)
+            if not inst.params:
+                instructions.append(inst)
+                continue
+            params = tuple(
+                float(mapping[p])
+                if isinstance(p, Parameter)
+                else p.evaluate(float(mapping[p.parameter]))
+                if isinstance(p, ParameterExpression)
+                else p
+                for p in inst.params
+            )
+            instructions.append(Instruction(inst.gate, inst.qubits, params))
         return bound
 
     def _as_mapping(

@@ -73,7 +73,28 @@ class EstimatorResult:
 
 
 class BaseEstimator:
-    """Common machinery: run the circuit, account shots, return an estimate."""
+    """Common machinery: run the circuit, account shots, return an estimate.
+
+    Estimators are the *noise layer* between execution backends and
+    consumers: an :class:`~repro.quantum.backend.ExecutionBackend` produces
+    exact per-term expectation values (and, on demand, prepared states), and
+    :meth:`estimate_backend_result` turns that payload into an
+    :class:`EstimatorResult` with this estimator's noise model and shot
+    accounting.  The capability flags tell the scheduler which payload to
+    request: ``consumes_term_vectors`` estimators work from exact term
+    vectors (any backend, including Clifford); ``consumes_states`` estimators
+    need the prepared statevector; estimators with neither flag (e.g. the
+    density-matrix estimator, which must re-execute the circuit under its
+    noise model) are driven through the per-request :meth:`estimate` path.
+    """
+
+    #: Can build an EstimatorResult from a backend's exact term vector.
+    consumes_term_vectors = False
+    #: Can build an EstimatorResult from a backend-prepared statevector.
+    #: Both flags are opt-in: a custom estimator that advertises nothing is
+    #: safely driven through per-request estimate() calls, whatever it
+    #: overrides internally.
+    consumes_states = False
 
     def __init__(self, shots_per_term: int = 4096, seed: int | None = None) -> None:
         if shots_per_term < 1:
@@ -103,6 +124,32 @@ class BaseEstimator:
         self.total_evaluations += 1
         return result
 
+    def estimate_backend_result(self, result, operator: PauliOperator) -> EstimatorResult:
+        """Estimate <H> from an execution-backend result, charging shots.
+
+        ``result`` is a :class:`~repro.quantum.backend.BackendResult`.  The
+        exact term vector is preferred when this estimator can consume one;
+        otherwise the prepared state is used.  Shot accounting matches
+        :meth:`estimate` exactly.
+        """
+        if self.consumes_term_vectors and result.term_vector is not None:
+            estimate = self._estimate_from_term_vector(operator, result.term_vector)
+        elif result.state is not None:
+            estimate = self._estimate_state(result.state, operator)
+        else:
+            raise ValueError(
+                f"{type(self).__name__} cannot consume a backend result without "
+                "a prepared state; request need_states=True or use estimate()"
+            )
+        self.total_shots += estimate.shots_used
+        self.total_evaluations += 1
+        return estimate
+
+    def _estimate_from_term_vector(
+        self, operator: PauliOperator, term_vector: np.ndarray
+    ) -> EstimatorResult:
+        raise NotImplementedError
+
     def shots_for(self, operator: PauliOperator) -> int:
         """Shot cost charged for one evaluation of ``operator``."""
         non_identity = sum(1 for p, c in operator.items() if not p.is_identity and c != 0)
@@ -123,8 +170,19 @@ def _exact_term_vector(state: Statevector, operator: PauliOperator):
 class ExactEstimator(BaseEstimator):
     """Noiseless expectation values with §7.3 shot accounting."""
 
+    consumes_term_vectors = True
+    consumes_states = True
+
     def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
         engine, vector = _exact_term_vector(state, operator)
+        return self._estimate_from_term_vector(operator, vector)
+
+    def _estimate_from_term_vector(
+        self, operator: PauliOperator, term_vector: np.ndarray
+    ) -> EstimatorResult:
+        engine = compiled_pauli_operator(operator)
+        vector = np.asarray(term_vector, dtype=float).copy()
+        vector[engine.identity_mask] = 1.0
         return EstimatorResult(
             value=float(engine.coefficients @ vector),
             shots_used=self.shots_for(operator),
@@ -144,8 +202,19 @@ class ShotNoiseEstimator(BaseEstimator):
     are drawn in one vectorized call.
     """
 
+    consumes_term_vectors = True
+    consumes_states = True
+
     def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
-        engine, exact = _exact_term_vector(state, operator)
+        _, exact = _exact_term_vector(state, operator)
+        return self._estimate_from_term_vector(operator, exact)
+
+    def _estimate_from_term_vector(
+        self, operator: PauliOperator, term_vector: np.ndarray
+    ) -> EstimatorResult:
+        engine = compiled_pauli_operator(operator)
+        exact = np.asarray(term_vector, dtype=float).copy()
+        exact[engine.identity_mask] = 1.0
         term_variance = np.where(
             engine.identity_mask,
             0.0,
@@ -170,6 +239,9 @@ class SamplingEstimator(BaseEstimator):
     Intended for validation on small systems; cost grows with the number of
     commuting groups rather than with the number of terms.
     """
+
+    #: Sampling needs the prepared state (basis rotations), not term vectors.
+    consumes_states = True
 
     def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
         # This estimator measures via basis rotation and bitstring sampling —
@@ -263,6 +335,12 @@ class DensityMatrixEstimator(BaseEstimator):
     noisy expectation can be enabled with ``add_shot_noise``.  All Pauli terms
     are evaluated in one vectorized engine pass over the density matrix.
     """
+
+    #: Noise is applied during circuit execution, so neither a backend's
+    #: exact term vector nor a noiselessly prepared pure state is usable —
+    #: the scheduler drives this estimator through per-request estimate().
+    consumes_term_vectors = False
+    consumes_states = False
 
     def __init__(
         self,

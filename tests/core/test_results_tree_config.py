@@ -165,3 +165,31 @@ class TestTreeVQAConfig:
         )
         assert config.make_optimizer().learning_rate == 9.0
         assert config.make_estimator().shots_per_term == 7
+
+    def test_factory_skips_name_validation(self):
+        # Regression: a supplied estimator_factory makes the name moot, just
+        # like the optimizer_factory path always has.
+        config = TreeVQAConfig(
+            optimizer="my-optimizer", optimizer_factory=lambda: SPSA(),
+            estimator="my-estimator", estimator_factory=lambda: ExactEstimator(),
+        )
+        assert isinstance(config.make_optimizer(), SPSA)
+        assert isinstance(config.make_estimator(), ExactEstimator)
+        with pytest.raises(ValueError):
+            TreeVQAConfig(estimator="my-estimator")
+
+    def test_backend_knobs(self):
+        from repro.quantum import CliffordBackend, StatevectorBackend
+
+        assert isinstance(TreeVQAConfig().make_backend(), StatevectorBackend)
+        assert isinstance(TreeVQAConfig(backend="clifford").make_backend(), CliffordBackend)
+        custom = TreeVQAConfig(backend_factory=lambda: CliffordBackend())
+        assert isinstance(custom.make_backend(), CliffordBackend)
+        assert isinstance(
+            TreeVQAConfig(backend="hypervisor", backend_factory=StatevectorBackend).make_backend(),
+            StatevectorBackend,
+        )
+        with pytest.raises(ValueError):
+            TreeVQAConfig(backend="hypervisor")
+        with pytest.raises(ValueError):
+            TreeVQAConfig(max_batch_size=0)

@@ -1,0 +1,331 @@
+"""Tests for the batched round scheduler and controller-level parity.
+
+The headline contract of the execution-backend refactor: batched execution
+is a pure refactor of observable behaviour.  With the exact estimator, a
+batched controller run reproduces the sequential (``max_batch_size=1``) run's
+trajectories bit-for-bit, and both match the legacy per-request
+``cluster.step()`` path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.core import (
+    RoundScheduler,
+    TreeVQAConfig,
+    TreeVQAController,
+    VQACluster,
+    VQATask,
+)
+from repro.hamiltonians import transverse_field_ising_chain
+from repro.quantum import StatevectorBackend
+from repro.quantum.sampling import ExactEstimator
+
+
+def make_cluster(tasks, ansatz, config, estimator=None):
+    return VQACluster(
+        cluster_id="test",
+        tasks=tasks,
+        ansatz=ansatz,
+        optimizer=config.make_optimizer(),
+        estimator=estimator if estimator is not None else config.make_estimator(),
+        config=config,
+        initial_parameters=ansatz.zero_parameters(),
+    )
+
+
+class TestRoundScheduler:
+    def test_round_matches_sequential_cluster_step(
+        self, tfim_tasks, small_ansatz, fast_config
+    ):
+        # Same seeds, two identical clusters: one stepped through the batched
+        # scheduler, one through the self-contained sequential step().
+        batched = make_cluster(tfim_tasks, small_ansatz, fast_config)
+        sequential = make_cluster(tfim_tasks, small_ansatz, fast_config)
+        scheduler = RoundScheduler(StatevectorBackend(), batched.estimator)
+        for _ in range(5):
+            (_, record_batched), = scheduler.run_round([batched])
+            record_sequential = sequential.step()
+            assert record_batched.mixed_loss == record_sequential.mixed_loss
+            assert record_batched.individual_losses == record_sequential.individual_losses
+            assert record_batched.shots == record_sequential.shots
+            np.testing.assert_array_equal(
+                record_batched.parameters, record_sequential.parameters
+            )
+
+    def test_cobyla_cluster_completes_via_micro_cycles(
+        self, tfim_tasks, small_ansatz
+    ):
+        config = TreeVQAConfig(
+            max_rounds=5, warmup_iterations=0, window_size=2,
+            optimizer="cobyla", optimizer_kwargs={"evaluations_per_step": 4}, seed=0,
+        )
+        cluster = make_cluster(tfim_tasks, small_ansatz, config)
+        scheduler = RoundScheduler(StatevectorBackend(), cluster.estimator)
+        completed = scheduler.run_round([cluster])
+        assert len(completed) == 1
+        record = completed[0][1]
+        assert record.num_evaluations >= 2
+        assert cluster.iterations == 1
+        # One probe per micro-cycle: at least num_evaluations dispatches.
+        assert scheduler.batches_executed >= record.num_evaluations
+
+    def test_mixed_spsa_and_cobyla_clusters_in_one_round(self, tfim_tasks, small_ansatz):
+        spsa_config = TreeVQAConfig(max_rounds=5, warmup_iterations=0, window_size=2, seed=0)
+        cobyla_config = TreeVQAConfig(
+            max_rounds=5, warmup_iterations=0, window_size=2,
+            optimizer="cobyla", optimizer_kwargs={"evaluations_per_step": 3}, seed=0,
+        )
+        estimator = ExactEstimator(seed=0)
+        fast = make_cluster(tfim_tasks[:2], small_ansatz, spsa_config, estimator)
+        slow = make_cluster(tfim_tasks[2:], small_ansatz, cobyla_config, estimator)
+        scheduler = RoundScheduler(StatevectorBackend(), estimator)
+        completed = scheduler.run_round([fast, slow])
+        assert {cluster.cluster_id for cluster, _ in completed} == {"test"}
+        assert fast.iterations == 1 and slow.iterations == 1
+
+    def test_on_record_stop_leaves_later_clusters_unstepped(
+        self, tfim_tasks, small_ansatz, fast_config
+    ):
+        estimator = ExactEstimator(seed=0)
+        first = make_cluster(tfim_tasks[:1], small_ansatz, fast_config, estimator)
+        second = make_cluster(tfim_tasks[1:], small_ansatz, fast_config, estimator)
+        initial = second.parameters
+        scheduler = RoundScheduler(StatevectorBackend(), estimator)
+        completed = scheduler.run_round(
+            [first, second], on_record=lambda cluster, record: False
+        )
+        assert len(completed) == 1 and completed[0][0] is first
+        assert second.iterations == 0
+        np.testing.assert_array_equal(second.parameters, initial)
+        # The estimator only saw the reported cluster's evaluations: the
+        # aborted cluster's backend work is never pushed through the noise
+        # layer, so shot counters match the sequential loop's accounting.
+        assert estimator.total_evaluations == 2
+        # The aborted cluster can still start a fresh step afterwards.
+        record = second.step()
+        assert record.iteration == 1
+
+    def test_records_reported_in_cluster_order_across_micro_cycles(
+        self, tfim_tasks, small_ansatz
+    ):
+        # Cluster 0 needs several COBYLA micro-cycles; cluster 1 (SPSA)
+        # completes in the first.  Reporting must still follow cluster order,
+        # like the sequential per-cluster loop.
+        cobyla_config = TreeVQAConfig(
+            max_rounds=5, warmup_iterations=0, window_size=2,
+            optimizer="cobyla", optimizer_kwargs={"evaluations_per_step": 5}, seed=0,
+        )
+        spsa_config = TreeVQAConfig(max_rounds=5, warmup_iterations=0, window_size=2, seed=0)
+        estimator = ExactEstimator(seed=0)
+        slow = make_cluster(tfim_tasks[:1], small_ansatz, cobyla_config, estimator)
+        fast = make_cluster(tfim_tasks[1:], small_ansatz, spsa_config, estimator)
+        scheduler = RoundScheduler(StatevectorBackend(), estimator)
+        completed = scheduler.run_round([slow, fast])
+        assert [cluster for cluster, _ in completed] == [slow, fast]
+
+    def test_max_batch_size_chunks_dispatches(self, tfim_tasks, small_ansatz, fast_config):
+        estimator = ExactEstimator(seed=0)
+        clusters = [
+            make_cluster([task], small_ansatz, fast_config, estimator)
+            for task in tfim_tasks
+        ]
+        backend = StatevectorBackend()
+        scheduler = RoundScheduler(backend, estimator, max_batch_size=2)
+        scheduler.run_round(clusters)
+        # 3 SPSA clusters ask 6 requests; chunks of 2 -> 3 dispatches.
+        assert scheduler.requests_executed == 6
+        assert backend.batches_run == 3
+
+    def test_scalar_only_estimator_uses_legacy_path(self, tfim_tasks, small_ansatz, fast_config):
+        # The capability flags are opt-in: a custom estimator that resets
+        # them to the BaseEstimator defaults is driven per-request, whatever
+        # it implements internally.
+        class ScalarOnly(ExactEstimator):
+            consumes_term_vectors = False
+            consumes_states = False
+
+        estimator = ScalarOnly(seed=0)
+        cluster = make_cluster(tfim_tasks, small_ansatz, fast_config, estimator)
+        backend = StatevectorBackend()
+        scheduler = RoundScheduler(backend, estimator)
+        (_, record), = scheduler.run_round([cluster])
+        assert backend.batches_run == 0  # never touched the backend
+        assert scheduler.batches_executed == 0  # the counter means backend dispatches
+        assert record.num_evaluations == 2
+        assert estimator.total_evaluations == 2
+
+    def test_buffered_completed_step_is_charged_after_stop(
+        self, tfim_tasks, small_ansatz, fast_config
+    ):
+        # Cluster 1 completes its iteration in one micro-cycle while cluster 0
+        # needs two; the stop fires at cluster 0's record, with cluster 1's
+        # completed record still buffered for in-order reporting.  Completed
+        # work must be charged, not silently dropped.
+        from repro.optimizers.base import IterativeOptimizer, OptimizerStep
+
+        class FixedCycles(IterativeOptimizer):
+            def __init__(self, cycles):
+                super().__init__()
+                self.cycles = cycles
+                self._done = 0
+
+            def _ask(self):
+                return [self.parameters]
+
+            def _tell(self, points, values):
+                self._done += 1
+                if self._done < self.cycles:
+                    return None
+                self._done = 0
+                self._iteration += 1
+                return OptimizerStep(
+                    parameters=self.parameters,
+                    loss=values[0],
+                    num_evaluations=self.cycles,
+                    iteration=self._iteration,
+                )
+
+        estimator = ExactEstimator(seed=0)
+
+        def build(tasks, cycles):
+            return VQACluster(
+                cluster_id=f"cycles-{cycles}",
+                tasks=tasks,
+                ansatz=small_ansatz,
+                optimizer=FixedCycles(cycles),
+                estimator=estimator,
+                config=fast_config,
+                initial_parameters=small_ansatz.zero_parameters(),
+            )
+
+        slow = build(tfim_tasks[:1], cycles=2)
+        fast = build(tfim_tasks[1:], cycles=1)
+        charged = []
+        completed = RoundScheduler(StatevectorBackend(), estimator).run_round(
+            [slow, fast],
+            on_record=lambda cluster, record: charged.append(cluster.cluster_id) and False,
+        )
+        # Reported in cluster order; the buffered fast cluster's record is
+        # charged even though the stop fired at the slow cluster's record.
+        assert [cluster for cluster, _ in completed] == [slow, fast]
+        assert charged == ["cycles-2", "cycles-1"]
+        assert fast.iterations == 1
+
+    def test_wrong_arity_tell_leaves_cluster_usable(self, tfim_tasks, small_ansatz, fast_config):
+        cluster = make_cluster(tfim_tasks, small_ansatz, fast_config)
+        requests = cluster.ask()
+        results = [
+            cluster.estimator.estimate(r.circuit, r.operator, r.initial_state)
+            for r in requests
+        ]
+        with pytest.raises(ValueError):
+            cluster.tell(results[:1])
+        # The pending ask survives a failed tell; retrying with the full
+        # result set completes the step.
+        record = cluster.tell(results)
+        assert record is not None and record.iteration == 1
+
+    def test_invalid_max_batch_size(self):
+        with pytest.raises(ValueError):
+            RoundScheduler(StatevectorBackend(), ExactEstimator(), max_batch_size=0)
+
+
+class TestControllerParity:
+    def _run(self, tasks, ansatz, **config_kwargs):
+        config = TreeVQAConfig(
+            max_rounds=40, warmup_iterations=5, window_size=4, epsilon_split=1e-3,
+            optimizer_kwargs={"learning_rate": 0.3, "perturbation": 0.15}, seed=3,
+            **config_kwargs,
+        )
+        return TreeVQAController(tasks, ansatz, config).run()
+
+    def test_batched_run_is_bit_identical_to_batch_size_one(
+        self, tfim_tasks, small_ansatz
+    ):
+        batched = self._run(tfim_tasks, small_ansatz)
+        sequential = self._run(tfim_tasks, small_ansatz, max_batch_size=1)
+        assert batched.total_rounds == sequential.total_rounds
+        assert batched.total_shots == sequential.total_shots
+        for name in batched.trajectories:
+            left = batched.trajectories[name]
+            right = sequential.trajectories[name]
+            assert left.cumulative_shots == right.cumulative_shots
+            assert left.energies == right.energies  # bit-for-bit
+        for left, right in zip(batched.outcomes, sequential.outcomes):
+            assert left.energy == right.energy
+            assert left.source == right.source
+
+    def test_clifford_backend_run_matches_statevector_on_generic_angles(
+        self, tfim_tasks, small_ansatz
+    ):
+        # Generic (non-Clifford) angles: every request falls back to the
+        # dense batched path, so the runs agree exactly.
+        dense = self._run(tfim_tasks, small_ansatz)
+        clifford = self._run(tfim_tasks, small_ansatz, backend="clifford")
+        for name in dense.trajectories:
+            assert dense.trajectories[name].energies == clifford.trajectories[name].energies
+
+    def test_shot_budget_respected_with_multiple_root_clusters(self, small_ansatz):
+        tasks = [
+            VQATask("a", transverse_field_ising_chain(4, 0.9), initial_bitstring="0000"),
+            VQATask("b", transverse_field_ising_chain(4, 1.0), initial_bitstring="0011"),
+            VQATask("c", transverse_field_ising_chain(4, 1.1), initial_bitstring="1111"),
+        ]
+        per_step = 2 * 7 * 4096
+        config = TreeVQAConfig(max_rounds=100, max_total_shots=4 * per_step, seed=0)
+        controller = TreeVQAController(tasks, small_ansatz, config)
+        result = controller.run()
+        # Round 1 charges three cluster steps; round 2 stops as soon as the
+        # first cluster's step exhausts the budget, leaving the other two
+        # clusters un-stepped (exactly like the sequential loop's break).
+        assert result.total_shots == 4 * per_step
+        assert result.total_rounds == 2
+        iteration_counts = sorted(c.iterations for c in controller._clusters)
+        assert iteration_counts == [1, 1, 2]
+
+    def test_scheduler_counters_exposed(self, tfim_tasks, small_ansatz, fast_config):
+        controller = TreeVQAController(tfim_tasks, small_ansatz, fast_config)
+        result = controller.run()
+        # Every objective evaluation is exactly one backend request (the TFIM
+        # tasks share all 7 non-identity terms, so every cluster's evaluation
+        # charges the same 7-term cost regardless of splits).
+        per_evaluation = 7 * fast_config.shots_per_pauli_term
+        expected_requests = result.total_shots // per_evaluation
+        assert controller.scheduler.requests_executed == expected_requests
+        assert controller.backend.requests_run == expected_requests
+
+
+class TestInitialBitstringNormalization:
+    def test_none_and_explicit_zero_bitstring_share_a_cluster(self, small_ansatz, fast_config):
+        # Regression: these two tasks used to land in the same root group in
+        # the controller but then fail VQACluster's shared-initial-state
+        # check ({None, "0000"} has length 2).
+        tasks = [
+            VQATask("implicit", transverse_field_ising_chain(4, 0.9)),
+            VQATask("explicit", transverse_field_ising_chain(4, 1.1), initial_bitstring="0000"),
+        ]
+        cluster = make_cluster(tasks, small_ansatz, fast_config)
+        assert cluster.num_tasks == 2
+        controller = TreeVQAController(tasks, small_ansatz, fast_config)
+        assert len(controller.active_clusters) == 1
+        assert sorted(controller.active_clusters[0].task_names) == ["explicit", "implicit"]
+
+    def test_resolved_initial_bitstring_property(self):
+        implicit = VQATask("implicit", transverse_field_ising_chain(3, 1.0))
+        explicit = VQATask(
+            "explicit", transverse_field_ising_chain(3, 1.0), initial_bitstring="010"
+        )
+        assert implicit.resolved_initial_bitstring == "000"
+        assert explicit.resolved_initial_bitstring == "010"
+
+    def test_distinct_bitstrings_still_rejected(self, small_ansatz, fast_config):
+        tasks = [
+            VQATask("a", transverse_field_ising_chain(4, 1.0), initial_bitstring="0000"),
+            VQATask("b", transverse_field_ising_chain(4, 1.1), initial_bitstring="1111"),
+        ]
+        with pytest.raises(ValueError):
+            make_cluster(tasks, small_ansatz, fast_config)

@@ -33,14 +33,14 @@ class TestSPSA:
             calls.append(x.copy())
             return quadratic(x)
 
-        step = spsa.step(objective)
+        step = spsa.run_step(objective)
         assert len(calls) == 2
         assert step.num_evaluations == 2
         assert step.iteration == 1
 
     def test_requires_reset_before_step(self):
         with pytest.raises(RuntimeError):
-            SPSA().step(quadratic)
+            SPSA().run_step(quadratic)
 
     def test_minimize_converges_on_quadratic(self):
         spsa = SPSA(learning_rate=0.3, perturbation=0.1, seed=2, expected_iterations=200)
@@ -83,7 +83,7 @@ class TestCOBYLA:
     def test_step_counts_evaluations(self):
         cobyla = COBYLA(evaluations_per_step=6)
         cobyla.reset(np.zeros(2))
-        step = cobyla.step(quadratic)
+        step = cobyla.run_step(quadratic)
         assert step.num_evaluations >= 2
         assert step.iteration == 1
 
@@ -98,7 +98,7 @@ class TestCOBYLA:
         cobyla.reset(np.full(2, 3.0))
         best = np.inf
         for _ in range(20):
-            cobyla.step(quadratic)
+            cobyla.run_step(quadratic)
             value = quadratic(cobyla.parameters)
             assert value <= best + 1e-9
             best = min(best, value)
@@ -106,13 +106,90 @@ class TestCOBYLA:
     def test_trust_radius_decays(self):
         cobyla = COBYLA(initial_trust_radius=0.5, trust_decay=0.5)
         cobyla.reset(np.zeros(2))
-        cobyla.step(quadratic)
-        cobyla.step(quadratic)
+        cobyla.run_step(quadratic)
+        cobyla.run_step(quadratic)
         assert cobyla._trust_radius < 0.5
 
     def test_reset_restores_trust_radius(self):
         cobyla = COBYLA(initial_trust_radius=0.5, trust_decay=0.5)
         cobyla.reset(np.zeros(2))
-        cobyla.step(quadratic)
+        cobyla.run_step(quadratic)
         cobyla.reset(np.zeros(2))
         assert cobyla._trust_radius == 0.5
+
+
+class TestAskTell:
+    def test_spsa_asks_perturbation_pair_at_once(self):
+        spsa = SPSA(seed=0, perturbation=0.1)
+        spsa.reset(np.zeros(3))
+        points = spsa.ask()
+        assert len(points) == 2
+        # The pair is symmetric about the current iterate.
+        np.testing.assert_allclose(points[0] + points[1], np.zeros(3), atol=1e-12)
+        step = spsa.tell([quadratic(p) for p in points])
+        assert step is not None and step.iteration == 1
+
+    def test_spsa_ask_tell_matches_run_step(self):
+        driven, manual = SPSA(seed=5), SPSA(seed=5)
+        driven.reset(np.zeros(3))
+        manual.reset(np.zeros(3))
+        for _ in range(10):
+            expected = driven.run_step(quadratic)
+            step = manual.tell([quadratic(p) for p in manual.ask()])
+        np.testing.assert_array_equal(step.parameters, expected.parameters)
+        assert step.loss == expected.loss
+
+    def test_cobyla_asks_one_probe_at_a_time(self):
+        cobyla = COBYLA(evaluations_per_step=4)
+        cobyla.reset(np.full(2, 3.0))
+        step = None
+        cycles = 0
+        while step is None:
+            points = cobyla.ask()
+            assert len(points) <= 1
+            step = cobyla.tell([quadratic(p) for p in points])
+            cycles += 1
+        assert cycles == step.num_evaluations >= 2
+
+    def test_cobyla_ask_tell_matches_run_step(self):
+        driven, manual = COBYLA(evaluations_per_step=4), COBYLA(evaluations_per_step=4)
+        driven.reset(np.full(2, 3.0))
+        manual.reset(np.full(2, 3.0))
+        for _ in range(5):
+            expected = driven.run_step(quadratic)
+            step = None
+            while step is None:
+                step = manual.tell([quadratic(p) for p in manual.ask()])
+        np.testing.assert_allclose(step.parameters, expected.parameters)
+        assert step.num_evaluations == expected.num_evaluations
+
+    def test_protocol_misuse_raises(self):
+        spsa = SPSA(seed=0)
+        with pytest.raises(RuntimeError):
+            spsa.ask()  # not reset
+        spsa.reset(np.zeros(2))
+        with pytest.raises(RuntimeError):
+            spsa.tell([0.0, 0.0])  # tell without ask
+        points = spsa.ask()
+        with pytest.raises(RuntimeError):
+            spsa.ask()  # double ask
+        with pytest.raises(ValueError):
+            spsa.tell([1.0])  # wrong arity
+
+    def test_cancel_discards_pending_step(self):
+        for optimizer in (SPSA(seed=0), COBYLA(evaluations_per_step=4)):
+            optimizer.reset(np.zeros(2))
+            optimizer.ask()
+            optimizer.cancel()
+            assert optimizer.iteration == 0
+            step = None
+            while step is None:
+                step = optimizer.tell([quadratic(p) for p in optimizer.ask()])
+            assert step.iteration == 1
+
+    def test_step_objective_entry_point_is_deprecated(self):
+        spsa = SPSA(seed=0)
+        spsa.reset(np.zeros(2))
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            step = spsa.step(quadratic)
+        assert step.iteration == 1

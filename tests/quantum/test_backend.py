@@ -1,0 +1,227 @@
+"""Tests for the execution backends: batching parity and Clifford dispatch."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.quantum import (
+    CliffordBackend,
+    ExecutionRequest,
+    PauliOperator,
+    QuantumCircuit,
+    StatevectorBackend,
+    Statevector,
+    make_execution_backend,
+)
+from repro.quantum.engine import compiled_pauli_operator
+from repro.quantum.sampling import ExactEstimator, ShotNoiseEstimator
+
+
+def _random_operator(num_qubits: int, num_terms: int, seed: int) -> PauliOperator:
+    rng = np.random.default_rng(seed)
+    labels = set()
+    while len(labels) < num_terms:
+        labels.add("".join(rng.choice(list("IXYZ"), size=num_qubits)))
+    return PauliOperator(num_qubits, dict(zip(sorted(labels), rng.normal(size=num_terms))))
+
+
+def _legacy_term_vector(circuit, operator, initial_state):
+    """The per-request path the backends replace: evolve + engine."""
+    state = (initial_state or Statevector.zero_state(circuit.num_qubits)).evolve(circuit)
+    engine = compiled_pauli_operator(operator)
+    vector = engine.expectation_values(state)
+    vector[engine.identity_mask] = 1.0
+    return vector
+
+
+def _requests(num_qubits=4, batch=6, seed=0, clifford_angles=False):
+    rng = np.random.default_rng(seed)
+    ansatz = HardwareEfficientAnsatz(num_qubits, num_layers=2)
+    operator = _random_operator(num_qubits, 8, seed)
+    requests = []
+    for _ in range(batch):
+        if clifford_angles:
+            params = (math.pi / 2) * rng.integers(0, 4, size=ansatz.num_parameters)
+        else:
+            params = rng.normal(0.0, 0.7, size=ansatz.num_parameters)
+        requests.append(
+            ExecutionRequest(
+                circuit=ansatz.bound_circuit(params),
+                operator=operator,
+                initial_state=Statevector.zero_state(num_qubits),
+            )
+        )
+    return requests
+
+
+class TestStatevectorBackend:
+    def test_batched_matches_per_request_path(self):
+        requests = _requests()
+        results = StatevectorBackend().run_batch(requests)
+        for request, result in zip(requests, results):
+            expected = _legacy_term_vector(
+                request.circuit, request.operator, request.initial_state
+            )
+            np.testing.assert_allclose(result.term_vector, expected, rtol=0, atol=1e-12)
+            assert result.backend_name == "statevector"
+            assert result.term_basis == tuple(request.operator.paulis())
+
+    def test_batching_is_grouping_invariant(self):
+        # The acceptance contract: stacked execution is bit-identical to
+        # one-request-at-a-time execution, so batch composition never shows
+        # up in the numbers.
+        backend = StatevectorBackend()
+        requests = _requests(batch=8, seed=3)
+        together = backend.run_batch(requests)
+        alone = [backend.run_batch([request])[0] for request in requests]
+        for batched, single in zip(together, alone):
+            np.testing.assert_array_equal(batched.term_vector, single.term_vector)
+
+    def test_mixed_circuit_structures_in_one_batch(self):
+        shallow = HardwareEfficientAnsatz(3, num_layers=1)
+        deep = HardwareEfficientAnsatz(3, num_layers=3)
+        operator = _random_operator(3, 5, seed=1)
+        rng = np.random.default_rng(1)
+        requests = [
+            ExecutionRequest(ansatz.bound_circuit(rng.normal(size=ansatz.num_parameters)), operator)
+            for ansatz in (shallow, deep, shallow, deep)
+        ]
+        results = StatevectorBackend().run_batch(requests)
+        for request, result in zip(requests, results):
+            expected = _legacy_term_vector(request.circuit, request.operator, None)
+            np.testing.assert_allclose(result.term_vector, expected, rtol=0, atol=1e-12)
+
+    def test_initial_bitstring_without_dense_state(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1)
+        operator = PauliOperator.from_terms([("ZZI", 1.0), ("IIZ", 1.0)])
+        result = StatevectorBackend().run_batch(
+            [ExecutionRequest(circuit, operator, initial_bitstring="001")]
+        )[0]
+        # Qubit 2 starts in |1>: <IIZ> = -1; the Bell pair on 0,1 gives <ZZI> = 1.
+        np.testing.assert_allclose(result.term_vector, [1.0, -1.0], atol=1e-12)
+
+    def test_states_attached_on_demand(self):
+        requests = _requests(batch=2)
+        backend = StatevectorBackend()
+        without = backend.run_batch(requests)
+        with_states = backend.run_batch(requests, need_states=True)
+        assert all(result.state is None for result in without)
+        for request, result in zip(requests, with_states):
+            expected = request.initial_state.evolve(request.circuit)
+            assert result.state is not None
+            np.testing.assert_array_equal(result.state.data, expected.data)
+
+    def test_unbound_circuit_rejected(self):
+        ansatz = HardwareEfficientAnsatz(2, num_layers=1)
+        operator = _random_operator(2, 3, seed=0)
+        with pytest.raises(ValueError):
+            StatevectorBackend().run_batch([ExecutionRequest(ansatz.circuit, operator)])
+
+
+class TestCliffordBackend:
+    def test_clifford_angles_route_to_stabilizer_simulator(self):
+        backend = CliffordBackend()
+        requests = _requests(clifford_angles=True, batch=4, seed=2)
+        results = backend.run_batch(requests)
+        assert backend.clifford_requests == 4
+        assert backend.fallback_requests == 0
+        assert all(result.backend_name == "clifford" for result in results)
+
+    def test_non_clifford_angles_fall_back(self):
+        backend = CliffordBackend()
+        mixed = _requests(clifford_angles=True, batch=2, seed=4) + _requests(
+            clifford_angles=False, batch=2, seed=5
+        )
+        results = backend.run_batch(mixed)
+        assert backend.clifford_requests == 2
+        assert backend.fallback_requests == 2
+        assert [result.backend_name for result in results] == [
+            "clifford", "clifford", "statevector", "statevector",
+        ]
+
+    def test_three_way_parity_on_clifford_circuits(self):
+        # Random Clifford-angle circuits must agree across the stabilizer
+        # backend, the dense batched backend, and the per-request legacy path.
+        requests = _requests(clifford_angles=True, batch=6, seed=6)
+        clifford = CliffordBackend().run_batch(requests)
+        dense = StatevectorBackend().run_batch(requests)
+        for request, stab, dns in zip(requests, clifford, dense):
+            legacy = _legacy_term_vector(
+                request.circuit, request.operator, request.initial_state
+            )
+            np.testing.assert_allclose(stab.term_vector, legacy, atol=1e-9)
+            np.testing.assert_allclose(dns.term_vector, legacy, atol=1e-9)
+
+    def test_nonzero_initial_bitstring(self):
+        circuit = QuantumCircuit(3).cx(0, 1)
+        operator = PauliOperator.from_terms([("ZII", 1.0), ("IZI", 1.0), ("IIZ", 1.0)])
+        backend = CliffordBackend()
+        result = backend.run_batch(
+            [ExecutionRequest(circuit, operator, initial_bitstring="101")]
+        )[0]
+        assert backend.clifford_requests == 1
+        # |101> -> CX(0,1) -> |111>: every Z expectation is -1.
+        np.testing.assert_allclose(result.term_vector, [-1.0, -1.0, -1.0])
+
+    def test_superposition_initial_state_falls_back(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        operator = PauliOperator.from_terms([("ZZ", 1.0)])
+        plus = Statevector(np.full(4, 0.5))
+        backend = CliffordBackend()
+        backend.run_batch([ExecutionRequest(circuit, operator, initial_state=plus)])
+        assert backend.clifford_requests == 0
+        assert backend.fallback_requests == 1
+
+    def test_need_states_forces_dense_execution(self):
+        backend = CliffordBackend()
+        requests = _requests(clifford_angles=True, batch=2, seed=7)
+        results = backend.run_batch(requests, need_states=True)
+        assert backend.clifford_requests == 0
+        assert all(result.state is not None for result in results)
+
+
+class TestEstimatorBackendResults:
+    def test_exact_estimator_matches_legacy_estimate(self):
+        requests = _requests(batch=3, seed=8)
+        backend_results = StatevectorBackend().run_batch(requests)
+        from_backend = ExactEstimator(seed=0)
+        legacy = ExactEstimator(seed=0)
+        for request, backend_result in zip(requests, backend_results):
+            via_backend = from_backend.estimate_backend_result(
+                backend_result, request.operator
+            )
+            direct = legacy.estimate(request.circuit, request.operator, request.initial_state)
+            assert via_backend.value == direct.value
+            assert via_backend.shots_used == direct.shots_used
+            np.testing.assert_array_equal(via_backend.term_vector, direct.term_vector)
+        assert from_backend.total_shots == legacy.total_shots
+        assert from_backend.total_evaluations == legacy.total_evaluations
+
+    def test_shot_noise_estimator_consumes_term_vectors(self):
+        requests = _requests(batch=2, seed=9)
+        backend_results = StatevectorBackend().run_batch(requests)
+        estimator = ShotNoiseEstimator(shots_per_term=256, seed=1)
+        result = estimator.estimate_backend_result(backend_results[0], requests[0].operator)
+        assert result.variance > 0
+        assert estimator.total_evaluations == 1
+
+    def test_estimator_without_payload_raises(self):
+        requests = _requests(clifford_angles=True, batch=1, seed=10)
+        clifford_result = CliffordBackend().run_batch(requests)[0]
+
+        class ScalarOnly(ExactEstimator):
+            consumes_term_vectors = False
+
+        with pytest.raises(ValueError):
+            ScalarOnly().estimate_backend_result(clifford_result, requests[0].operator)
+
+
+def test_make_execution_backend_registry():
+    assert isinstance(make_execution_backend("statevector"), StatevectorBackend)
+    assert isinstance(make_execution_backend("clifford"), CliffordBackend)
+    with pytest.raises(ValueError):
+        make_execution_backend("tensor-network")
