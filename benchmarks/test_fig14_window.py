@@ -2,6 +2,13 @@
 
 from __future__ import annotations
 
+import pytest
+
+#: Experiment-figure regeneration dominates the tier-1 wall-clock; the
+#: default CI job skips these (-m "not slow") and a scheduled full-suite
+#: job runs everything.
+pytestmark = pytest.mark.slow
+
 from repro.evaluation.experiments import format_figure14, run_figure14
 
 

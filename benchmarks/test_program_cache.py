@@ -1,0 +1,228 @@
+"""Micro-benchmark: compile-once circuit programs vs. the PR 2 batched path.
+
+The PR 2 round scheduler already stacked a whole round into per-gate GEMMs,
+but rebuilt its inputs every round: one freshly bound circuit per parameter
+point (``ansatz.bound_circuit`` in ``VQACluster.ask``), one structure-key
+recomputation and regrouping pass per dispatch, and one per-gate Python scan
+over the batch to stack gate matrices.  The program path compiles the ansatz
+once — instruction tape, parameter-slot mapping, per-gate dispatch plan —
+and executes each round straight from the stacked parameter matrix.
+
+The baseline below is the *frozen PR 2 implementation* (the backend's
+``run_batch``/``_prepare_group``/``_stacked_matrices`` as merged in PR 2,
+kept verbatim as a reference class) driven by legacy bound-circuit requests
+(``use_circuit_programs=False``), i.e. exactly the per-round work the PR 2
+scheduler performed.  Since both paths are bit-identical per request, the
+speedup is measured on provably identical work — asserted below.
+
+Workload: the ISSUE's reference shape, a 16-task × 8-qubit application
+(16 singleton SPSA clusters, 32 evaluations per round).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.core import RoundScheduler, TreeVQAConfig, VQACluster, VQATask
+from repro.hamiltonians import transverse_field_ising_chain
+from repro.quantum import ExecutionBackend, StatevectorBackend
+from repro.quantum.backend import _initial_amplitudes
+from repro.quantum.engine import compiled_pauli_operator
+from repro.quantum.gates import batched_rotation_matrices, gate_matrix
+from repro.quantum.program import apply_gate_batched
+from repro.quantum.sampling import ExactEstimator
+from repro.quantum.statevector import Statevector
+
+NUM_QUBITS = 8
+NUM_TASKS = 16
+NUM_LAYERS = 3
+ROUNDS = 6
+MIN_SPEEDUP = 1.5
+
+
+class PR2StatevectorBackend(ExecutionBackend):
+    """The PR 2 batched backend, frozen verbatim as the benchmark baseline.
+
+    Per dispatch it re-derives every request's structure tuple, regroups,
+    and scans the batch per gate position to stack matrices — the work the
+    program path precomputes once.  Kept here (not in the library) so the
+    benchmark keeps measuring against the same baseline as the programs
+    layer evolves.
+    """
+
+    name = "statevector-pr2"
+
+    def __init__(self) -> None:
+        self.batches_run = 0
+        self.requests_run = 0
+
+    def run_batch(self, requests, *, need_states=False):
+        requests = list(requests)
+        results = [None] * len(requests)
+        groups = {}
+        for index, request in enumerate(requests):
+            if not request.circuit.is_bound():
+                raise ValueError("execution requests need fully bound circuits")
+            structure = tuple(
+                (inst.gate, inst.qubits) for inst in request.circuit.instructions
+            )
+            groups.setdefault((request.circuit.num_qubits, structure), []).append(index)
+        for (num_qubits, _), indices in groups.items():
+            states = self._prepare_group([requests[i] for i in indices], num_qubits)
+            for row, index in enumerate(indices):
+                request = requests[index]
+                engine = compiled_pauli_operator(request.operator)
+                vector = engine.expectation_values(states[row])
+                vector[engine.identity_mask] = 1.0
+                from repro.quantum.backend import BackendResult
+
+                results[index] = BackendResult(
+                    term_basis=engine.paulis,
+                    term_vector=vector,
+                    state=Statevector(states[row]) if need_states else None,
+                    backend_name=self.name,
+                    tag=request.tag,
+                )
+        self.batches_run += 1
+        self.requests_run += len(requests)
+        return results
+
+    def _prepare_group(self, group, num_qubits):
+        batch = len(group)
+        dim = 1 << num_qubits
+        states = np.zeros((batch, dim), dtype=complex)
+        for row, request in enumerate(group):
+            states[row] = _initial_amplitudes(request, num_qubits)
+        tensor = states.reshape((batch,) + (2,) * num_qubits)
+        instructions = [request.circuit.instructions for request in group]
+        for position, first in enumerate(instructions[0]):
+            matrices = self._stacked_matrices(instructions, position, batch)
+            tensor = apply_gate_batched(tensor, matrices, first.qubits)
+        return tensor.reshape(batch, dim)
+
+    @staticmethod
+    def _stacked_matrices(instructions, position, batch):
+        first = instructions[0][position]
+        if len(first.params) == 1:
+            same = all(
+                insts[position].params == first.params for insts in instructions
+            )
+            thetas = (
+                np.asarray([first.params[0]], dtype=float)
+                if same
+                else np.fromiter(
+                    (insts[position].params[0] for insts in instructions),
+                    dtype=float,
+                    count=batch,
+                )
+            )
+            matrices = batched_rotation_matrices(first.gate, thetas)
+            if matrices is not None:
+                if same:
+                    return np.repeat(matrices, batch, axis=0)
+                return matrices
+        if not first.params or all(
+            insts[position].params == first.params for insts in instructions
+        ):
+            matrix = gate_matrix(first.gate, *first.params)
+            return np.repeat(matrix[None, :, :], batch, axis=0)
+        return np.stack(
+            [
+                gate_matrix(insts[position].gate, *insts[position].params)
+                for insts in instructions
+            ]
+        )
+
+
+def _make_tasks() -> list[VQATask]:
+    fields = np.linspace(0.6, 1.4, NUM_TASKS)
+    return [
+        VQATask(
+            name=f"tfim@{field:.3f}",
+            hamiltonian=transverse_field_ising_chain(NUM_QUBITS, float(field)),
+            scan_parameter=float(field),
+        )
+        for field in fields
+    ]
+
+
+def _make_clusters(tasks, ansatz, estimator, *, use_programs: bool):
+    config = TreeVQAConfig(
+        max_rounds=ROUNDS, warmup_iterations=0, window_size=2,
+        disable_automatic_splits=True, seed=0, use_circuit_programs=use_programs,
+    )
+    return [
+        VQACluster(
+            cluster_id=f"bench-{index}",
+            tasks=[task],
+            ansatz=ansatz,
+            optimizer=config.make_optimizer(),
+            estimator=estimator,
+            config=config,
+            initial_parameters=ansatz.zero_parameters(),
+        )
+        for index, task in enumerate(tasks)
+    ]
+
+
+def _run_rounds(scheduler: RoundScheduler, clusters: list[VQACluster]):
+    records = []
+    for _ in range(ROUNDS):
+        records.extend(record for _, record in scheduler.run_round(clusters))
+    return records
+
+
+def _timed(backend, tasks, ansatz, estimator, *, use_programs: bool):
+    clusters = _make_clusters(tasks, ansatz, estimator, use_programs=use_programs)
+    scheduler = RoundScheduler(backend, estimator)
+    start = time.perf_counter()
+    records = _run_rounds(scheduler, clusters)
+    return time.perf_counter() - start, records
+
+
+def test_program_rounds_at_least_1_5x_pr2_batched():
+    tasks = _make_tasks()
+    ansatz = HardwareEfficientAnsatz(NUM_QUBITS, num_layers=NUM_LAYERS)
+    estimator = ExactEstimator(seed=0)
+
+    # Warm-up: compile the expectation engines, the circuit program, and
+    # JIT-warm the NumPy paths for both backends.
+    _timed(PR2StatevectorBackend(), tasks, ansatz, estimator, use_programs=False)
+    _timed(StatevectorBackend(), tasks, ansatz, estimator, use_programs=True)
+
+    # Best-of-3 per mode to shield the asserted ratio from scheduler jitter.
+    pr2_seconds, pr2_records = min(
+        (
+            _timed(PR2StatevectorBackend(), tasks, ansatz, estimator, use_programs=False)
+            for _ in range(3)
+        ),
+        key=lambda pair: pair[0],
+    )
+    program_seconds, program_records = min(
+        (
+            _timed(StatevectorBackend(), tasks, ansatz, estimator, use_programs=True)
+            for _ in range(3)
+        ),
+        key=lambda pair: pair[0],
+    )
+
+    # Same seeds, bit-identical execution: the timed runs did identical work.
+    assert len(program_records) == len(pr2_records) == ROUNDS * NUM_TASKS
+    for left, right in zip(program_records, pr2_records):
+        assert left.mixed_loss == right.mixed_loss
+        np.testing.assert_array_equal(left.parameters, right.parameters)
+
+    speedup = pr2_seconds / program_seconds
+    print(
+        f"\nprogram-cache round throughput ({NUM_TASKS} tasks x {NUM_QUBITS} "
+        f"qubits, {ROUNDS} rounds): PR2 batched "
+        f"{1e3 * pr2_seconds / ROUNDS:.1f} ms/round, program path "
+        f"{1e3 * program_seconds / ROUNDS:.1f} ms/round, speedup {speedup:.2f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"program path only {speedup:.2f}x faster than the PR 2 batched path "
+        f"(expected >= {MIN_SPEEDUP}x)"
+    )

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..quantum.circuit import QuantumCircuit
+from ..quantum.program import CircuitProgram, compile_circuit_program
 from ..quantum.statevector import Statevector
 
 __all__ = ["Ansatz"]
@@ -26,6 +27,7 @@ class Ansatz:
         self.num_qubits = num_qubits
         self.name = name
         self._circuit: QuantumCircuit | None = None
+        self._program: CircuitProgram | None = None
 
     # -- to be provided by subclasses ------------------------------------------
 
@@ -46,6 +48,20 @@ class Ansatz:
     def num_parameters(self) -> int:
         """Number of free parameters."""
         return self.circuit.num_parameters
+
+    def program(self) -> CircuitProgram:
+        """Compile-once executable program for the ansatz circuit.
+
+        Compiled through the persistent program cache (structurally identical
+        ansatz instances share one program) and memoised on the instance, so
+        every cluster round reuses the same instruction tape and dispatch
+        plan instead of binding fresh circuits.  Parameter slots are ordered
+        like :attr:`circuit.parameters` — exactly the order
+        :meth:`bound_circuit` binds a vector in.
+        """
+        if self._program is None:
+            self._program = compile_circuit_program(self.circuit)
+        return self._program
 
     def bound_circuit(self, parameters: np.ndarray) -> QuantumCircuit:
         """Bind a parameter vector (ordered like ``circuit.parameters``)."""

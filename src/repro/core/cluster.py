@@ -139,6 +139,10 @@ class VQACluster:
         )
         self._initial_state = tasks[0].initial_state()
         self._initial_bitstring = tasks[0].resolved_initial_bitstring
+        # Compile the ansatz once into a reusable execution program (cached
+        # persistently on the circuit structure): ask() then ships
+        # (program, parameter-row) payloads instead of freshly bound circuits.
+        self._program = ansatz.program() if config.use_circuit_programs else None
         self._shots_per_evaluation = shots_per_evaluation(
             self.mixed.operator, config.shots_per_pauli_term
         )
@@ -206,6 +210,19 @@ class VQACluster:
             self._step_in_progress = True
         points = self.optimizer.ask()
         self._asked = points
+        if self._program is not None:
+            return [
+                ExecutionRequest(
+                    circuit=None,
+                    operator=self.mixed.operator,
+                    initial_state=self._initial_state,
+                    initial_bitstring=self._initial_bitstring,
+                    tag=(self.cluster_id, self.iterations + 1, index),
+                    program=self._program,
+                    parameters=point,
+                )
+                for index, point in enumerate(points)
+            ]
         return [
             ExecutionRequest(
                 circuit=self.ansatz.bound_circuit(point),
@@ -292,7 +309,7 @@ class VQACluster:
             requests = self.ask()
             results = [
                 self.estimator.estimate(
-                    request.circuit, request.operator, request.initial_state
+                    request.resolve_circuit(), request.operator, request.initial_state
                 )
                 for request in requests
             ]

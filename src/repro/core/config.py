@@ -60,6 +60,19 @@ class TreeVQAConfig:
             executes each round's full request set in one batch; ``1`` is the
             sequential degenerate case (bit-identical trajectories under the
             exact estimator either way).
+        use_circuit_programs: Compile each cluster's ansatz once into a
+            reusable :class:`~repro.quantum.program.CircuitProgram` and ask
+            with (program, parameter-row) payloads instead of freshly bound
+            circuits (bit-identical results; set False to force the legacy
+            bound-circuit request path).
+        program_cache_size: LRU capacity of the persistent (process-wide)
+            circuit-program cache.  ``None`` (default) leaves the current
+            process-wide limit untouched; a value is applied via
+            :func:`~repro.quantum.program.set_program_cache_limit` when a
+            controller is constructed.  See
+            :func:`~repro.quantum.program.program_cache_stats` for hit/miss
+            statistics (a per-run delta is attached to every controller
+            result under ``metadata["program_cache"]``).
         forced_split_iteration: §9.1 study — force exactly one split at this
             cluster iteration.
         disable_automatic_splits: §9.1 study — suppress condition-based splits.
@@ -86,6 +99,8 @@ class TreeVQAConfig:
     backend: str = "statevector"
     backend_factory: Callable[[], ExecutionBackend] | None = None
     max_batch_size: int | None = None
+    use_circuit_programs: bool = True
+    program_cache_size: int | None = None
     forced_split_iteration: int | None = None
     disable_automatic_splits: bool = False
     record_trajectory: bool = True
@@ -121,6 +136,8 @@ class TreeVQAConfig:
             )
         if self.max_batch_size is not None and self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1 when set")
+        if self.program_cache_size is not None and self.program_cache_size < 1:
+            raise ValueError("program_cache_size must be >= 1 when set")
 
     # -- factories -------------------------------------------------------------
 

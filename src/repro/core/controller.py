@@ -27,6 +27,7 @@ from collections import defaultdict
 import numpy as np
 
 from ..ansatz.base import Ansatz
+from ..quantum.program import program_cache_stats, set_program_cache_limit
 from .cluster import VQACluster
 from .config import TreeVQAConfig
 from .postprocess import select_best_states
@@ -65,6 +66,14 @@ class TreeVQAController:
         self.ansatz = ansatz
         self.config = config or TreeVQAConfig()
         self._initial_parameters = initial_parameters
+        # The program cache is process-wide; the knob (when set) adjusts its
+        # LRU capacity for this and subsequent runs.  Stats are snapshotted
+        # here so the result metadata reports this run's cache activity, not
+        # the process-cumulative counters (concurrent controllers in one
+        # process still share the cache, and their activity is not separable).
+        if self.config.program_cache_size is not None:
+            set_program_cache_limit(self.config.program_cache_size)
+        self._program_cache_baseline = program_cache_stats()
         self.estimator = self.config.make_estimator()
         self.backend = self.config.make_backend()
         self.scheduler = RoundScheduler(
@@ -176,6 +185,16 @@ class TreeVQAController:
                 next_clusters.append(cluster)
         self._clusters = next_clusters
 
+    def _program_cache_delta(self) -> dict[str, int]:
+        """This run's program-cache activity (counters since construction;
+        ``size``/``limit`` are reported as-is)."""
+        stats = program_cache_stats()
+        baseline = self._program_cache_baseline
+        return {
+            key: stats[key] - baseline[key] if key in ("hits", "misses", "evictions") else stats[key]
+            for key in stats
+        }
+
     def _finalize(self) -> TreeVQAResult:
         """Post-processing (§5.3) and result assembly."""
         final_clusters = self.active_clusters or self._clusters
@@ -200,6 +219,7 @@ class TreeVQAController:
                 "num_final_clusters": len(final_clusters),
                 "num_splits": self.tree.num_splits,
                 "tree_depth_levels": self.tree.depth_levels(),
+                "program_cache": self._program_cache_delta(),
             },
             tree=self.tree,
         )

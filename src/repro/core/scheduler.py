@@ -48,7 +48,7 @@ def _request_state(request: ExecutionRequest) -> Statevector | None:
     if request.initial_state is not None or request.initial_bitstring is None:
         return request.initial_state
     return Statevector.computational_basis(
-        request.circuit.num_qubits, request.initial_bitstring
+        request.num_qubits, request.initial_bitstring
     )
 
 
@@ -113,9 +113,12 @@ class RoundScheduler:
         estimator = self.estimator
         self.requests_executed += len(requests)
         if backend_results is None:
+            # Per-request estimation needs actual circuits; program requests
+            # materialise (and cache) theirs here — this path only runs for
+            # estimators that cannot consume backend payloads.
             return [
                 estimator.estimate(
-                    request.circuit, request.operator, _request_state(request)
+                    request.resolve_circuit(), request.operator, _request_state(request)
                 )
                 for request in requests
             ]

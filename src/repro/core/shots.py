@@ -65,22 +65,33 @@ class ShotRecord:
 
 @dataclass
 class ShotLedger:
-    """Accumulates shot charges and exposes per-source / cumulative totals."""
+    """Accumulates shot charges and exposes per-source / cumulative totals.
+
+    A running total is maintained incrementally, so :attr:`total` and
+    :meth:`charge` are O(1) — the controller consults the total after every
+    recorded charge (budget checks, trajectory x-axes), which made the old
+    sum-over-records implementation quadratic over a run.
+    """
 
     shots_per_term: int = DEFAULT_SHOTS_PER_PAULI_TERM
     records: list[ShotRecord] = field(default_factory=list)
+    _total: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self) -> None:
+        self._total = sum(record.shots for record in self.records)
 
     @property
     def total(self) -> int:
         """Total shots charged so far."""
-        return sum(record.shots for record in self.records)
+        return self._total
 
     def charge(self, source: str, iteration: int, shots: int) -> int:
         """Record a charge and return the new total."""
         if shots < 0:
             raise ValueError("shots must be non-negative")
         self.records.append(ShotRecord(source=source, iteration=iteration, shots=shots))
-        return self.total
+        self._total += shots
+        return self._total
 
     def charge_evaluations(
         self, source: str, iteration: int, operator: PauliOperator | int, num_evaluations: int

@@ -29,6 +29,14 @@ from .noise import (
 )
 from .pauli import PauliOperator, PauliString, pauli_matrix
 from .pauli_propagation import PauliPropagationConfig, PauliPropagationSimulator
+from .program import (
+    CircuitProgram,
+    clear_program_cache,
+    compile_circuit_program,
+    program_cache_stats,
+    program_for_bound_circuit,
+    set_program_cache_limit,
+)
 from .sampling import (
     BaseEstimator,
     EstimatorResult,
@@ -78,6 +86,12 @@ __all__ = [
     "pauli_matrix",
     "PauliPropagationConfig",
     "PauliPropagationSimulator",
+    "CircuitProgram",
+    "clear_program_cache",
+    "compile_circuit_program",
+    "program_cache_stats",
+    "program_for_bound_circuit",
+    "set_program_cache_limit",
     "BaseEstimator",
     "EstimatorResult",
     "ExactEstimator",

@@ -6,19 +6,24 @@ those one at a time wastes most of the wall-clock on per-call overhead (gate
 matrix construction, tensordot bookkeeping, Python dispatch).  This module
 turns a whole round into a small number of linear-algebra dispatches:
 
-* :class:`ExecutionRequest` — one circuit execution to perform: a bound
-  circuit, the operator whose Pauli terms to measure, and the initial state.
+* :class:`ExecutionRequest` — one circuit execution to perform: either a
+  fully bound circuit, or a compiled
+  :class:`~repro.quantum.program.CircuitProgram` reference plus the parameter
+  row to execute it at (the hot path — no circuit objects), together with the
+  operator whose Pauli terms to measure and the initial state.
 * :class:`ExecutionBackend` — the protocol: ``run_batch(requests)`` returns
   one :class:`BackendResult` (an exact per-term expectation vector, plus the
   prepared state on demand) per request, in request order.
-* :class:`StatevectorBackend` — groups requests by circuit *structure* (gate
-  names and qubit wirings) and evolves each group as one stacked
-  ``(batch, 2**n)`` array: every gate becomes a single batched ``matmul``
-  with per-request gate matrices.  Because NumPy's stacked ``matmul``
-  performs the same per-slice GEMM as the sequential ``tensordot`` path in
-  :meth:`~repro.quantum.statevector.Statevector.evolve`, the prepared
-  amplitudes are bit-identical to the per-request path and independent of how
-  requests are grouped into batches.
+* :class:`StatevectorBackend` — resolves every request to a (program,
+  parameter-row) pair — program requests directly, bound circuits compiled on
+  first sight through the persistent program cache — groups them by program
+  fingerprint, and executes each group as one stacked ``(batch, 2**n)``
+  dispatch straight from the stacked parameter matrix.  Because the program's
+  stacked ``matmul`` performs the same per-slice GEMM as the sequential
+  ``tensordot`` path in :meth:`~repro.quantum.statevector.Statevector.evolve`
+  (and rotation matrices come from the same vectorized builders), the
+  prepared amplitudes are bit-identical to the per-request path and
+  independent of how requests are grouped into batches.
 * :class:`CliffordBackend` — auto-dispatches any request whose bound angles
   are all multiples of π/2 (the CAFQA regime, paper §8.5) to the polynomial
   stabilizer simulator, and forwards everything else to a dense fallback
@@ -33,15 +38,15 @@ Identity terms are pinned to exactly 1 in every returned term vector.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .circuit import QuantumCircuit
 from .clifford import CliffordSimulator, is_clifford_angle
 from .engine import compiled_pauli_operator
-from .gates import batched_rotation_matrices, gate_matrix
 from .pauli import PauliOperator, PauliString
+from .program import CircuitProgram, program_for_bound_circuit
 from .statevector import Statevector
 
 __all__ = [
@@ -59,8 +64,13 @@ __all__ = [
 class ExecutionRequest:
     """One circuit execution: prepare a state and measure an operator's terms.
 
+    A request carries either a fully bound ``circuit`` (the legacy path,
+    compiled onto the program path on first sight) or a ``program`` reference
+    plus the ``parameters`` row to execute it at (the hot path — no circuit
+    object is ever built for dense batched execution).
+
     Attributes:
-        circuit: The fully bound circuit to execute.
+        circuit: The fully bound circuit to execute (None for program requests).
         operator: The Pauli operator whose term expectation values to report
             (in the operator's term order).
         initial_state: Optional starting state (defaults to ``|0...0>``).
@@ -68,13 +78,68 @@ class ExecutionRequest:
             Lets the Clifford backend skip dense-state inspection; dense
             backends ignore it when ``initial_state`` is given.
         tag: Free-form correlation handle echoed back on the result.
+        program: Compiled circuit program to execute (exclusive with
+            ``circuit``).
+        parameters: Parameter row for ``program`` (required with it).
     """
 
-    circuit: QuantumCircuit
+    circuit: QuantumCircuit | None
     operator: PauliOperator
     initial_state: Statevector | None = None
     initial_bitstring: str | None = None
     tag: object = None
+    program: CircuitProgram | None = None
+    #: compare=False keeps the generated __eq__/__hash__ usable: an ndarray
+    #: field would make equality raise and the request unhashable.
+    parameters: np.ndarray | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.program is None:
+            if self.circuit is None:
+                raise ValueError("an execution request needs a circuit or a program")
+            if self.parameters is not None:
+                raise ValueError("parameters require a program")
+            return
+        if self.circuit is not None:
+            raise ValueError("give either a circuit or a program, not both")
+        if self.parameters is None:
+            raise ValueError("program requests need a parameter row")
+        row = np.asarray(self.parameters, dtype=float).ravel()
+        if row.size != self.program.num_parameters:
+            raise ValueError(
+                f"program expects {self.program.num_parameters} parameters, "
+                f"got {row.size}"
+            )
+        object.__setattr__(self, "parameters", row)
+
+    @property
+    def num_qubits(self) -> int:
+        """Qubit count of the execution (circuit- or program-defined)."""
+        if self.circuit is not None:
+            return self.circuit.num_qubits
+        return self.program.num_qubits
+
+    def resolve_circuit(self) -> QuantumCircuit:
+        """The bound circuit for this request, materialised (and cached) for
+        program requests.  Only per-request fallback paths need this; batched
+        dense execution never builds circuit objects."""
+        if self.circuit is not None:
+            return self.circuit
+        cached = self.__dict__.get("_resolved_circuit")
+        if cached is None:
+            cached = self.program.bind(self.parameters)
+            object.__setattr__(self, "_resolved_circuit", cached)
+        return cached
+
+    def bound_instruction_params(self):
+        """Lazily yield ``(gate, qubits, params)`` triples of the execution,
+        without materialising circuit objects for program requests."""
+        if self.program is not None:
+            return self.program.bound_instruction_params(self.parameters)
+        return (
+            (inst.gate, inst.qubits, inst.params)
+            for inst in self.circuit._instructions
+        )
 
 
 @dataclass(frozen=True)
@@ -125,49 +190,41 @@ def _initial_amplitudes(request: ExecutionRequest, num_qubits: int) -> np.ndarra
     return Statevector.zero_state(num_qubits).data
 
 
+#: Tolerance for recognising a unit-modulus basis-state amplitude.
+_BASIS_AMPLITUDE_ATOL = 1e-9
+
+
 def _request_bitstring(request: ExecutionRequest) -> str | None:
-    """Computational-basis label of the request's initial state, if it is one."""
+    """Computational-basis label of the request's initial state, if it is one.
+
+    A basis state carrying a global phase (e.g. amplitude −1 or i after an
+    evolved preparation) still counts: Pauli expectation values are invariant
+    under global phases, so such states are safe to route to phase-oblivious
+    simulators.  Only the modulus of the single nonzero amplitude is checked
+    (with tolerance for normalisation round-off).
+    """
     if request.initial_bitstring is not None:
         return request.initial_bitstring
     if request.initial_state is None:
-        return "0" * request.circuit.num_qubits
+        return "0" * request.num_qubits
     data = request.initial_state.data
     nonzero = np.flatnonzero(data)
-    if nonzero.size == 1 and data[nonzero[0]] == 1.0:
+    if nonzero.size == 1 and abs(abs(data[nonzero[0]]) - 1.0) <= _BASIS_AMPLITUDE_ATOL:
         return format(int(nonzero[0]), f"0{request.initial_state.num_qubits}b")
     return None
 
 
-def _apply_gate_batched(
-    tensor: np.ndarray, matrices: np.ndarray, qubits: tuple[int, ...]
-) -> np.ndarray:
-    """Apply per-request k-qubit gate matrices across a stacked state tensor.
-
-    ``tensor`` has shape ``(batch,) + (2,) * n``; ``matrices`` has shape
-    ``(batch, 2**k, 2**k)``.  The stacked ``matmul`` performs one GEMM per
-    batch row with the same operand shapes as the sequential ``tensordot``
-    path, so each row's amplitudes are bit-identical to evolving that request
-    alone.
-    """
-    k = len(qubits)
-    batch = tensor.shape[0]
-    axes = [1 + q for q in qubits]
-    moved = np.moveaxis(tensor, axes, range(1, k + 1))
-    rest = moved.shape[k + 1 :]
-    arr = np.ascontiguousarray(moved).reshape(batch, 1 << k, -1)
-    out = np.matmul(matrices, arr)
-    out = out.reshape((batch,) + (2,) * k + rest)
-    return np.moveaxis(out, range(1, k + 1), axes)
-
-
 class StatevectorBackend(ExecutionBackend):
-    """Dense batched execution: one stacked array per circuit structure.
+    """Dense batched execution: one stacked dispatch per circuit program.
 
-    Requests sharing a gate sequence (names and qubit wirings — the common
-    case: every cluster of a controller round binds the same ansatz) are
-    evolved together; per-request angles become stacked gate matrices.
-    Requests with different structures still execute correctly, each group in
-    its own dispatch.
+    Every request is resolved to a (program, parameter-row) pair: program
+    requests carry theirs; bound-circuit requests are compiled on first sight
+    through the persistent program cache (requests sharing a gate sequence
+    and qubit wirings — the common case: every cluster of a controller round
+    binds the same ansatz — share one cached program).  Each program group is
+    then executed straight from its stacked parameter matrix; requests with
+    different structures still execute correctly, each group in its own
+    dispatch.
     """
 
     name = "statevector"
@@ -175,98 +232,62 @@ class StatevectorBackend(ExecutionBackend):
     def __init__(self) -> None:
         self.batches_run = 0
         self.requests_run = 0
+        #: Requests that arrived on the program path (no circuit object).
+        self.program_requests = 0
+
+    @staticmethod
+    def _resolve_program(
+        request: ExecutionRequest,
+    ) -> tuple[CircuitProgram, np.ndarray]:
+        if request.program is not None:
+            return request.program, request.parameters
+        if not request.circuit.is_bound():
+            raise ValueError("execution requests need fully bound circuits")
+        return program_for_bound_circuit(request.circuit)
 
     def run_batch(
         self, requests: Sequence[ExecutionRequest], *, need_states: bool = False
     ) -> list[BackendResult]:
         requests = list(requests)
         results: list[BackendResult | None] = [None] * len(requests)
+        rows: list[np.ndarray | None] = [None] * len(requests)
         groups: dict[tuple, list[int]] = {}
+        programs: dict[tuple, CircuitProgram] = {}
         for index, request in enumerate(requests):
-            if not request.circuit.is_bound():
-                raise ValueError("execution requests need fully bound circuits")
-            structure = tuple(
-                (inst.gate, inst.qubits) for inst in request.circuit.instructions
+            program, row = self._resolve_program(request)
+            if request.program is not None:
+                self.program_requests += 1
+            key = program.fingerprint
+            programs.setdefault(key, program)
+            groups.setdefault(key, []).append(index)
+            rows[index] = row
+        for key, indices in groups.items():
+            program = programs[key]
+            num_qubits = program.num_qubits
+            initial = np.empty((len(indices), 1 << num_qubits), dtype=complex)
+            for slot, index in enumerate(indices):
+                initial[slot] = _initial_amplitudes(requests[index], num_qubits)
+            parameter_matrix = (
+                np.stack([rows[index] for index in indices])
+                if program.num_parameters
+                else np.zeros((len(indices), 0))
             )
-            groups.setdefault((request.circuit.num_qubits, structure), []).append(index)
-        for (num_qubits, _), indices in groups.items():
-            states = self._prepare_group([requests[i] for i in indices], num_qubits)
-            for row, index in enumerate(indices):
+            states = program.execute(parameter_matrix, initial)
+            for slot, index in enumerate(indices):
                 request = requests[index]
                 engine = compiled_pauli_operator(request.operator)
-                vector = engine.expectation_values(states[row])
+                vector = engine.expectation_values(states[slot])
                 vector[engine.identity_mask] = 1.0
                 results[index] = BackendResult(
                     term_basis=engine.paulis,
                     term_vector=vector,
-                    state=Statevector(states[row]) if need_states else None,
+                    state=Statevector(states[slot]) if need_states else None,
                     backend_name=self.name,
                     tag=request.tag,
                 )
         self.batches_run += 1
         self.requests_run += len(requests)
         return results  # type: ignore[return-value]
-
-    def _prepare_group(
-        self, group: list[ExecutionRequest], num_qubits: int
-    ) -> np.ndarray:
-        """Evolve all requests of one circuit structure as a stacked array."""
-        batch = len(group)
-        dim = 1 << num_qubits
-        states = np.zeros((batch, dim), dtype=complex)
-        for row, request in enumerate(group):
-            states[row] = _initial_amplitudes(request, num_qubits)
-        tensor = states.reshape((batch,) + (2,) * num_qubits)
-        instructions = [request.circuit.instructions for request in group]
-        for position, first in enumerate(instructions[0]):
-            matrices = self._stacked_matrices(instructions, position, batch)
-            tensor = _apply_gate_batched(tensor, matrices, first.qubits)
-        return tensor.reshape(batch, dim)
-
-    @staticmethod
-    def _stacked_matrices(
-        instructions: list[list], position: int, batch: int
-    ) -> np.ndarray:
-        """Per-request gate matrices for one instruction position, stacked.
-
-        Single-angle rotation gates always go through the vectorized builder
-        — even for a batch of one or a shared angle — so the matrices are
-        the same elementwise computation regardless of how requests are
-        grouped.  That keeps batched and ``max_batch_size=1`` executions
-        bit-identical on any platform, independent of whether the vectorized
-        trig ufuncs happen to match the scalar libm used by
-        :func:`~repro.quantum.gates.gate_matrix`.
-        """
-        first = instructions[0][position]
-        if len(first.params) == 1:
-            same = all(
-                insts[position].params == first.params for insts in instructions
-            )
-            thetas = (
-                np.asarray([first.params[0]], dtype=float)
-                if same
-                else np.fromiter(
-                    (insts[position].params[0] for insts in instructions),
-                    dtype=float,
-                    count=batch,
-                )
-            )
-            matrices = batched_rotation_matrices(first.gate, thetas)
-            if matrices is not None:
-                if same:
-                    return np.repeat(matrices, batch, axis=0)
-                return matrices
-        if not first.params or all(
-            insts[position].params == first.params for insts in instructions
-        ):
-            matrix = gate_matrix(first.gate, *first.params)
-            return np.repeat(matrix[None, :, :], batch, axis=0)
-        return np.stack(
-            [
-                gate_matrix(insts[position].gate, *insts[position].params)
-                for insts in instructions
-            ]
-        )
 
 
 #: Gates the stabilizer simulator handles unconditionally.
@@ -281,12 +302,14 @@ class CliffordBackend(ExecutionBackend):
     """Stabilizer fast path with dense fallback (paper §8.5, CAFQA regime).
 
     Requests whose bound angles are all multiples of π/2 (and whose initial
-    state is a computational-basis state) are simulated in polynomial time by
-    :class:`~repro.quantum.clifford.CliffordSimulator`; everything else —
-    including any request for which the caller needs the prepared dense state
-    — is forwarded to the ``fallback`` backend.  The ``clifford_requests`` /
-    ``fallback_requests`` counters expose the routing for tests and
-    monitoring.
+    state is a computational-basis state, up to a global phase) are simulated
+    in polynomial time by :class:`~repro.quantum.clifford.CliffordSimulator`;
+    everything else — including any request for which the caller needs the
+    prepared dense state — is forwarded to the ``fallback`` backend.  Program
+    requests are routed from their parameter rows without materialising
+    circuits; only stabilizer-simulated requests bind one.  The
+    ``clifford_requests`` / ``fallback_requests`` counters expose the routing
+    for tests and monitoring.
     """
 
     name = "clifford"
@@ -322,19 +345,19 @@ class CliffordBackend(ExecutionBackend):
         """True if the stabilizer simulator can execute this request."""
         if _request_bitstring(request) is None:
             return False
-        for inst in request.circuit.instructions:
-            if inst.gate in _CLIFFORD_FIXED_GATES:
+        for gate, _, params in request.bound_instruction_params():
+            if gate in _CLIFFORD_FIXED_GATES:
                 continue
-            if inst.gate in _CLIFFORD_ROTATION_GATES and all(
+            if gate in _CLIFFORD_ROTATION_GATES and all(
                 isinstance(param, (int, float)) and is_clifford_angle(param)
-                for param in inst.params
+                for param in params
             ):
                 continue
             return False
         return True
 
     def _run_clifford(self, request: ExecutionRequest) -> BackendResult:
-        num_qubits = request.circuit.num_qubits
+        num_qubits = request.num_qubits
         bitstring = _request_bitstring(request)
         assert bitstring is not None  # guaranteed by is_clifford_request
         simulator = CliffordSimulator(num_qubits)
@@ -344,7 +367,7 @@ class CliffordBackend(ExecutionBackend):
                 if bit == "1":
                     preparation.x(qubit)
             simulator.apply_circuit(preparation)
-        simulator.apply_circuit(request.circuit)
+        simulator.apply_circuit(request.resolve_circuit())
         engine = compiled_pauli_operator(request.operator)
         vector = np.array(
             [

@@ -166,6 +166,9 @@ class CompiledPauliOperator:
         self._prefactors = np.power(1j, y_counts)
         self._weights = weights
         self._identity_mask = weights == 0
+        self._num_measured_terms = int(
+            np.count_nonzero(~self._identity_mask & (self._coefficients != 0))
+        )
 
     # -- properties -----------------------------------------------------------
 
@@ -196,6 +199,11 @@ class CompiledPauliOperator:
     def identity_mask(self) -> np.ndarray:
         """Boolean mask of all-identity terms (copy)."""
         return self._identity_mask.copy()
+
+    @property
+    def num_measured_terms(self) -> int:
+        """Terms that cost shots: non-identity with nonzero coefficient."""
+        return self._num_measured_terms
 
     @classmethod
     def from_operator(cls, operator: PauliOperator) -> "CompiledPauliOperator":
@@ -279,6 +287,9 @@ class _PerTermPauliEvaluator:
         weights = np.array([p.weight for p in terms], dtype=np.int64)
         self._weights = weights
         self._identity_mask = weights == 0
+        self._num_measured_terms = int(
+            np.count_nonzero(~self._identity_mask & (self._coefficients != 0))
+        )
 
     num_qubits = property(lambda self: self._num_qubits)
     num_terms = property(lambda self: len(self._paulis))
@@ -286,6 +297,7 @@ class _PerTermPauliEvaluator:
     coefficients = property(lambda self: self._coefficients.copy())
     weights = property(lambda self: self._weights.copy())
     identity_mask = property(lambda self: self._identity_mask.copy())
+    num_measured_terms = property(lambda self: self._num_measured_terms)
 
     def expectation_values(self, state) -> np.ndarray:
         from .statevector import apply_pauli_string  # deferred: cycle-free at call time

@@ -1,0 +1,484 @@
+"""Compile-once circuit programs: parameterized circuits as executable tapes.
+
+A TreeVQA round executes the *same ansatz structure* thousands of times with
+different angles.  The PR 2 batched backend already stacked those executions
+into per-gate GEMMs, but every round still rebuilt its inputs from scratch:
+one freshly bound :class:`~repro.quantum.circuit.QuantumCircuit` per parameter
+point, one structure-key recomputation per request, and one per-gate Python
+scan over the batch to stack gate matrices.  This module compiles a circuit
+**once** into a :class:`CircuitProgram` — the instruction tape, qubit
+wirings, parameter-slot mapping, and a precomputed per-gate dispatch plan —
+so a whole batch of executions becomes ``program.execute(parameter_matrix,
+initial_amplitudes)`` with no circuit objects on the hot path.
+
+Compilation happens through a small persistent (process-wide, LRU-bounded)
+cache:
+
+* :func:`compile_circuit_program` — compile a *parameterized* template
+  circuit; symbolic parameters become program slots (ordered like
+  ``circuit.parameters``, i.e. exactly the order
+  :meth:`~repro.ansatz.base.Ansatz.bound_circuit` binds), affine
+  :class:`~repro.quantum.circuit.ParameterExpression` factors are folded into
+  per-slot ``scale``/``offset`` pairs.  Structurally identical circuits (two
+  instances of the same ansatz shape) share one cached program.
+* :func:`program_for_bound_circuit` — compile the *structure* of an
+  already-bound circuit (every rotation angle promoted to a slot) and extract
+  its parameter row.  This is how legacy bound-circuit execution requests are
+  folded onto the program path on first sight: requests sharing a gate/wiring
+  sequence share one cached program, reproducing the PR 2 grouping exactly.
+
+Bit-identity contract
+---------------------
+The program path must reproduce the legacy bound-circuit batched path
+bit-for-bit (and therefore, transitively, sequential
+:meth:`~repro.quantum.statevector.Statevector.evolve` execution — see the
+PR 2 invariant).  Three facts make that hold:
+
+* gate matrices for single-angle rotation gates are built with the *same*
+  :func:`~repro.quantum.gates.batched_rotation_matrices` elementwise ufuncs
+  the legacy path used for every group size (including one);
+* affine slot evaluation computes ``scale * value + offset`` with the same
+  two IEEE-754 operations, in the same order, as
+  :meth:`ParameterExpression.evaluate` did scalar-wise (bare parameters are
+  passed through untouched, exactly like ``float(mapping[p])``);
+* gate application uses the same stacked ``matmul`` with the same operand
+  shapes as the legacy group path.
+
+``tests/quantum/test_backend.py::TestCircuitProgram`` and
+``tests/core/test_scheduler.py::TestControllerParity`` verify the contract.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from .circuit import Instruction, Parameter, ParameterExpression, QuantumCircuit
+from .gates import batched_rotation_matrices, gate_matrix
+
+__all__ = [
+    "CircuitProgram",
+    "compile_circuit_program",
+    "program_for_bound_circuit",
+    "apply_gate_batched",
+    "program_cache_stats",
+    "clear_program_cache",
+    "set_program_cache_limit",
+]
+
+#: Dispatch-plan kinds precomputed per tape entry.
+_FIXED = 0  #: every parameter is a constant — one precomputed matrix, repeated
+_ROTATION = 1  #: single slotted angle with a vectorized matrix builder
+_GENERIC = 2  #: slotted parameters without a vectorized builder — per-row build
+
+#: Parameter-spec tags (first element of a spec tuple).
+_CONST = "c"  #: ("c", value)
+_SLOT = "s"  #: ("s", slot_index, scale, offset)
+
+
+def apply_gate_batched(
+    tensor: np.ndarray, matrices: np.ndarray, qubits: tuple[int, ...]
+) -> np.ndarray:
+    """Apply per-request k-qubit gate matrices across a stacked state tensor.
+
+    ``tensor`` has shape ``(batch,) + (2,) * n``; ``matrices`` has shape
+    ``(batch, 2**k, 2**k)``.  The stacked ``matmul`` performs one GEMM per
+    batch row with the same operand shapes as the sequential ``tensordot``
+    path, so each row's amplitudes are bit-identical to evolving that request
+    alone (the PR 2 invariant — do not change this without re-verifying
+    bit-identity against :meth:`Statevector.evolve`).
+    """
+    k = len(qubits)
+    batch = tensor.shape[0]
+    axes = [1 + q for q in qubits]
+    moved = np.moveaxis(tensor, axes, range(1, k + 1))
+    rest = moved.shape[k + 1 :]
+    arr = np.ascontiguousarray(moved).reshape(batch, 1 << k, -1)
+    out = np.matmul(matrices, arr)
+    out = out.reshape((batch,) + (2,) * k + rest)
+    return np.moveaxis(out, range(1, k + 1), axes)
+
+
+def _moveaxis_order(ndim: int, source: Sequence[int], destination: Sequence[int]) -> tuple[int, ...]:
+    """The transpose order :func:`np.moveaxis` uses for these source/destination
+    axes — precomputed once per tape entry so gate application skips the
+    per-call axis normalisation (``a.transpose(order)`` is exactly what
+    ``np.moveaxis`` performs, so amplitudes are untouched)."""
+    order = [axis for axis in range(ndim) if axis not in source]
+    for dest, src in sorted(zip(destination, source)):
+        order.insert(dest, src)
+    return tuple(order)
+
+
+@dataclass(frozen=True)
+class _TapeEntry:
+    """One precompiled gate application of a program's instruction tape."""
+
+    gate: str
+    qubits: tuple[int, ...]
+    kind: int
+    specs: tuple[tuple, ...]
+    matrix: np.ndarray | None
+    #: transpose order bringing the gate's qubit axes to positions 1..k
+    forward: tuple[int, ...] = ()
+    #: transpose order moving them back after the matmul
+    backward: tuple[int, ...] = ()
+
+
+def _evaluate_spec(spec: tuple, row: np.ndarray) -> float:
+    """Scalar parameter value for one spec — mirrors the legacy bind() math."""
+    if spec[0] == _CONST:
+        return spec[1]
+    _, slot, scale, offset = spec
+    value = float(row[slot])
+    if scale == 1.0 and offset == 0.0:
+        return value
+    return scale * value + offset
+
+
+class CircuitProgram:
+    """A compiled, reusable execution plan for one circuit structure.
+
+    Programs are immutable and shareable: one program serves every parameter
+    point of every round of every cluster with the same circuit structure.
+    Obtain them through :func:`compile_circuit_program` /
+    :func:`program_for_bound_circuit` so structurally identical circuits share
+    one cached instance.
+    """
+
+    __slots__ = ("_tape", "_num_qubits", "_num_parameters", "_fingerprint", "name")
+
+    def __init__(
+        self,
+        num_qubits: int,
+        tape: tuple[_TapeEntry, ...],
+        num_parameters: int,
+        fingerprint: tuple,
+        name: str = "program",
+    ) -> None:
+        self._num_qubits = num_qubits
+        self._tape = tape
+        self._num_parameters = num_parameters
+        self._fingerprint = fingerprint
+        self.name = name
+
+    # -- properties -----------------------------------------------------------
+
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def num_parameters(self) -> int:
+        """Number of parameter slots one execution row must provide."""
+        return self._num_parameters
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self._tape)
+
+    @property
+    def fingerprint(self) -> tuple:
+        """Hashable structure key: programs with equal fingerprints execute
+        identically and may be batched together."""
+        return self._fingerprint
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitProgram(name={self.name!r}, num_qubits={self._num_qubits}, "
+            f"instructions={len(self._tape)}, parameters={self._num_parameters})"
+        )
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, parameters: np.ndarray, initial: np.ndarray) -> np.ndarray:
+        """Evolve a whole batch of parameter rows as one stacked array.
+
+        ``parameters`` is ``(batch, num_parameters)`` (a single row is
+        accepted); ``initial`` is the stacked ``(batch, 2**n)`` initial
+        amplitudes.  Returns the prepared ``(batch, 2**n)`` amplitudes,
+        bit-identical per row to binding and evolving each row alone.
+        """
+        rows = np.asarray(parameters, dtype=float)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.shape[1] != self._num_parameters:
+            raise ValueError(
+                f"program expects {self._num_parameters} parameters per row, "
+                f"got {rows.shape[1]}"
+            )
+        batch = rows.shape[0]
+        dim = 1 << self._num_qubits
+        if initial.shape != (batch, dim):
+            raise ValueError(
+                f"initial amplitudes must have shape {(batch, dim)}, got {initial.shape}"
+            )
+        shape = (batch,) + (2,) * self._num_qubits
+        tensor = initial.reshape(shape)
+        for entry in self._tape:
+            # Identical math to apply_gate_batched, with the moveaxis
+            # transpose orders precomputed at compile time.
+            matrices = self._entry_matrices(entry, rows, batch)
+            k = len(entry.qubits)
+            moved = tensor.transpose(entry.forward)
+            arr = np.ascontiguousarray(moved).reshape(batch, 1 << k, -1)
+            out = np.matmul(matrices, arr)
+            tensor = out.reshape(shape).transpose(entry.backward)
+        return tensor.reshape(batch, dim)
+
+    def _entry_matrices(
+        self, entry: _TapeEntry, rows: np.ndarray, batch: int
+    ) -> np.ndarray:
+        """Stacked ``(batch, 2**k, 2**k)`` gate matrices for one tape entry."""
+        if entry.kind == _FIXED:
+            return np.repeat(entry.matrix[None, :, :], batch, axis=0)
+        if entry.kind == _ROTATION:
+            _, slot, scale, offset = entry.specs[0]
+            thetas = rows[:, slot]
+            if scale != 1.0 or offset != 0.0:
+                thetas = scale * thetas + offset
+            return batched_rotation_matrices(entry.gate, thetas)
+        return np.stack(
+            [
+                gate_matrix(
+                    entry.gate, *(_evaluate_spec(spec, rows[row]) for spec in entry.specs)
+                )
+                for row in range(batch)
+            ]
+        )
+
+    # -- materialisation ------------------------------------------------------
+
+    def bound_instruction_params(self, parameters: np.ndarray) -> Iterator[tuple]:
+        """Yield ``(gate, qubits, params)`` per tape entry, slots evaluated.
+
+        Lets callers inspect a program execution (e.g. the Clifford backend's
+        angle routing) without building circuit objects.  Lazy so consumers
+        that reject early (routing checks) never evaluate the full tape.
+        """
+        row = np.asarray(parameters, dtype=float).ravel()
+        for entry in self._tape:
+            yield (
+                entry.gate,
+                entry.qubits,
+                tuple(_evaluate_spec(spec, row) for spec in entry.specs),
+            )
+
+    def bind(self, parameters: np.ndarray) -> QuantumCircuit:
+        """Materialise a fully bound :class:`QuantumCircuit` for one row.
+
+        Only needed by per-request fallback paths (estimators that must
+        re-execute circuits, the stabilizer simulator); batched dense
+        execution goes through :meth:`execute` without circuit objects.
+        """
+        row = np.asarray(parameters, dtype=float).ravel()
+        if row.size != self._num_parameters:
+            raise ValueError(
+                f"program expects {self._num_parameters} parameters, got {row.size}"
+            )
+        circuit = QuantumCircuit(self._num_qubits, name=self.name)
+        instructions = circuit._instructions
+        for gate, qubits, params in self.bound_instruction_params(row):
+            instructions.append(Instruction(gate, qubits, params))
+        return circuit
+
+
+# -- compilation ----------------------------------------------------------------
+
+
+def _param_spec(param, slot_index: dict[Parameter, int]) -> tuple:
+    """Spec tuple for one instruction parameter of a template circuit."""
+    if isinstance(param, Parameter):
+        return (_SLOT, slot_index[param], 1.0, 0.0)
+    if isinstance(param, ParameterExpression):
+        return (_SLOT, slot_index[param.parameter], float(param.scale), float(param.offset))
+    return (_CONST, float(param))
+
+
+def _entry_kind_and_matrix(
+    gate: str, specs: tuple[tuple, ...]
+) -> tuple[int, np.ndarray | None]:
+    """Classify one instruction into a dispatch-plan kind.
+
+    The classification mirrors the legacy per-group stacking logic exactly:
+    all-constant parameters use one precomputed matrix (single-angle rotation
+    gates still built via the vectorized builder, so constants and slots run
+    the same elementwise computation); a single slotted angle with a
+    vectorized builder becomes one builder call over the whole batch; anything
+    else falls back to per-row ``gate_matrix``.
+    """
+    if all(spec[0] == _CONST for spec in specs):
+        if len(specs) == 1:
+            stacked = batched_rotation_matrices(gate, np.array([specs[0][1]]))
+            if stacked is not None:
+                return _FIXED, stacked[0]
+        return _FIXED, gate_matrix(gate, *(spec[1] for spec in specs))
+    if (
+        len(specs) == 1
+        and specs[0][0] == _SLOT
+        and batched_rotation_matrices(gate, np.zeros(1)) is not None
+    ):
+        return _ROTATION, None
+    return _GENERIC, None
+
+
+def _compile(
+    num_qubits: int,
+    entries: Sequence[tuple[str, tuple[int, ...], tuple[tuple, ...]]],
+    num_parameters: int,
+    name: str,
+) -> CircuitProgram:
+    """Build a program from ``(gate, qubits, specs)`` entries."""
+    tape = []
+    ndim = num_qubits + 1
+    for gate, qubits, specs in entries:
+        kind, matrix = _entry_kind_and_matrix(gate, specs)
+        axes = tuple(1 + qubit for qubit in qubits)
+        inner = tuple(range(1, len(qubits) + 1))
+        tape.append(
+            _TapeEntry(
+                gate=gate,
+                qubits=qubits,
+                kind=kind,
+                specs=specs,
+                matrix=matrix,
+                forward=_moveaxis_order(ndim, axes, inner),
+                backward=_moveaxis_order(ndim, inner, axes),
+            )
+        )
+    fingerprint = (
+        num_qubits,
+        num_parameters,
+        tuple((gate, qubits, specs) for gate, qubits, specs in entries),
+    )
+    return CircuitProgram(
+        num_qubits, tuple(tape), num_parameters, fingerprint, name=name
+    )
+
+
+# -- persistent program cache ---------------------------------------------------
+
+_DEFAULT_CACHE_LIMIT = 256
+
+_cache: OrderedDict[tuple, CircuitProgram] = OrderedDict()
+_cache_limit = _DEFAULT_CACHE_LIMIT
+_cache_hits = 0
+_cache_misses = 0
+_cache_evictions = 0
+
+
+def _cache_lookup(key: tuple) -> CircuitProgram | None:
+    global _cache_hits
+    program = _cache.get(key)
+    if program is not None:
+        _cache_hits += 1
+        _cache.move_to_end(key)
+    return program
+
+
+def _cache_store(key: tuple, program: CircuitProgram) -> None:
+    global _cache_misses, _cache_evictions
+    _cache_misses += 1
+    _cache[key] = program
+    while len(_cache) > _cache_limit:
+        _cache.popitem(last=False)
+        _cache_evictions += 1
+
+
+def program_cache_stats() -> dict[str, int]:
+    """Current persistent-cache statistics (hits/misses/evictions/size/limit)."""
+    return {
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+        "evictions": _cache_evictions,
+        "size": len(_cache),
+        "limit": _cache_limit,
+    }
+
+
+def clear_program_cache() -> None:
+    """Drop every cached program and reset the statistics."""
+    global _cache_hits, _cache_misses, _cache_evictions
+    _cache.clear()
+    _cache_hits = _cache_misses = _cache_evictions = 0
+
+
+def set_program_cache_limit(limit: int) -> None:
+    """Set the maximum number of cached programs (LRU eviction beyond it)."""
+    global _cache_limit, _cache_evictions
+    if limit < 1:
+        raise ValueError("program cache limit must be >= 1")
+    _cache_limit = limit
+    while len(_cache) > _cache_limit:
+        _cache.popitem(last=False)
+        _cache_evictions += 1
+
+
+def compile_circuit_program(circuit: QuantumCircuit) -> CircuitProgram:
+    """Compile a (possibly parameterized) template circuit into a program.
+
+    Symbolic parameters become program slots ordered like
+    ``circuit.parameters`` — the same order :meth:`QuantumCircuit.bind`
+    consumes a value sequence in — so an optimizer's parameter vectors feed
+    :meth:`CircuitProgram.execute` directly.  The compiled program is cached
+    on the circuit's structure fingerprint: structurally identical circuits
+    (any two instances of the same ansatz shape) share one program across
+    clusters, rounds, and controller runs.
+    """
+    slot_index = {param: slot for slot, param in enumerate(circuit._parameters)}
+    entries = tuple(
+        (
+            inst.gate,
+            inst.qubits,
+            tuple(_param_spec(param, slot_index) for param in inst.params),
+        )
+        for inst in circuit._instructions
+    )
+    key = ("template", circuit.num_qubits, len(slot_index), entries)
+    cached = _cache_lookup(key)
+    if cached is not None:
+        return cached
+    program = _compile(circuit.num_qubits, entries, len(slot_index), name=circuit.name)
+    _cache_store(key, program)
+    return program
+
+
+def program_for_bound_circuit(
+    circuit: QuantumCircuit,
+) -> tuple[CircuitProgram, np.ndarray]:
+    """Program + parameter row for an already-bound circuit.
+
+    Every parameter of every parametric instruction is promoted to a program
+    slot (tape order), so bound circuits sharing a gate/wiring sequence share
+    one cached program regardless of their angles — exactly the grouping the
+    batched backend used before programs existed.  Returns the shared program
+    and this circuit's extracted parameter row.
+    """
+    if not circuit.is_bound():
+        raise ValueError(
+            "program_for_bound_circuit needs a fully bound circuit; "
+            "compile parameterized templates with compile_circuit_program"
+        )
+    structure = []
+    values: list[float] = []
+    slot = 0
+    for inst in circuit._instructions:
+        if inst.params:
+            specs = tuple(
+                (_SLOT, slot + offset, 1.0, 0.0) for offset in range(len(inst.params))
+            )
+            slot += len(inst.params)
+            values.extend(inst.params)
+        else:
+            specs = ()
+        structure.append((inst.gate, inst.qubits, specs))
+    entries = tuple(structure)
+    key = ("bound", circuit.num_qubits, slot, entries)
+    program = _cache_lookup(key)
+    if program is None:
+        program = _compile(circuit.num_qubits, entries, slot, name=circuit.name)
+        _cache_store(key, program)
+    return program, np.asarray(values, dtype=float)

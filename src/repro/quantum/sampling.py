@@ -152,8 +152,15 @@ class BaseEstimator:
 
     def shots_for(self, operator: PauliOperator) -> int:
         """Shot cost charged for one evaluation of ``operator``."""
-        non_identity = sum(1 for p, c in operator.items() if not p.is_identity and c != 0)
-        return self.shots_per_term * max(non_identity, 1)
+        return self.shots_per_term * max(
+            compiled_pauli_operator(operator).num_measured_terms, 1
+        )
+
+    def _shots_from_engine(self, engine) -> int:
+        """Shot cost from an engine already in hand — skips the operator
+        fingerprint revalidation :func:`compiled_pauli_operator` performs, so
+        per-result accounting on the hot path stays O(1)."""
+        return self.shots_per_term * max(engine.num_measured_terms, 1)
 
     def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
         raise NotImplementedError
@@ -185,7 +192,7 @@ class ExactEstimator(BaseEstimator):
         vector[engine.identity_mask] = 1.0
         return EstimatorResult(
             value=float(engine.coefficients @ vector),
-            shots_used=self.shots_for(operator),
+            shots_used=self._shots_from_engine(engine),
             variance=0.0,
             term_basis=engine.paulis,
             term_vector=vector,
@@ -226,7 +233,7 @@ class ShotNoiseEstimator(BaseEstimator):
         coefficients = engine.coefficients
         return EstimatorResult(
             value=float(coefficients @ noisy),
-            shots_used=self.shots_for(operator),
+            shots_used=self._shots_from_engine(engine),
             variance=float((coefficients ** 2) @ term_variance),
             term_basis=engine.paulis,
             term_vector=noisy,
@@ -387,7 +394,7 @@ class DensityMatrixEstimator(BaseEstimator):
             )
         result = EstimatorResult(
             value=float(engine.coefficients @ vector),
-            shots_used=self.shots_for(operator),
+            shots_used=self._shots_from_engine(engine),
             variance=0.0,
             term_basis=engine.paulis,
             term_vector=vector,

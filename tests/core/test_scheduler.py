@@ -140,6 +140,85 @@ class TestRoundScheduler:
         assert scheduler.requests_executed == 6
         assert backend.batches_run == 3
 
+    def test_program_round_bit_identical_to_legacy_and_sequential(
+        self, tfim_tasks, small_ansatz
+    ):
+        # The tentpole regression: mixed circuit structures (two ansatz
+        # depths) and heterogeneous optimizers (SPSA + COBYLA) in one round,
+        # run three ways — program path, legacy bound-circuit path, and the
+        # max_batch_size=1 sequential degenerate case — must produce
+        # bit-identical step records under the exact estimator.
+        deep_ansatz = HardwareEfficientAnsatz(4, num_layers=2)
+
+        def run(use_programs: bool, max_batch_size: int | None = None):
+            estimator = ExactEstimator(seed=0)
+            spsa_config = TreeVQAConfig(
+                max_rounds=5, warmup_iterations=0, window_size=2, seed=0,
+                use_circuit_programs=use_programs,
+            )
+            cobyla_config = TreeVQAConfig(
+                max_rounds=5, warmup_iterations=0, window_size=2,
+                optimizer="cobyla", optimizer_kwargs={"evaluations_per_step": 3},
+                seed=0, use_circuit_programs=use_programs,
+            )
+            clusters = [
+                VQACluster(
+                    "spsa-shallow", tfim_tasks[:2], small_ansatz,
+                    spsa_config.make_optimizer(), estimator, spsa_config,
+                    small_ansatz.zero_parameters(),
+                ),
+                VQACluster(
+                    "cobyla-deep", tfim_tasks[2:], deep_ansatz,
+                    cobyla_config.make_optimizer(), estimator, cobyla_config,
+                    deep_ansatz.zero_parameters(),
+                ),
+            ]
+            backend = StatevectorBackend()
+            scheduler = RoundScheduler(
+                backend, estimator, max_batch_size=max_batch_size
+            )
+            records = []
+            for _ in range(3):
+                records.extend(record for _, record in scheduler.run_round(clusters))
+            return records, backend
+
+        programs, program_backend = run(True)
+        legacy, legacy_backend = run(False)
+        sequential, _ = run(True, max_batch_size=1)
+        assert program_backend.program_requests > 0
+        assert legacy_backend.program_requests == 0
+        assert len(programs) == len(legacy) == len(sequential) == 6
+        for left, right in zip(programs, legacy):
+            assert left.mixed_loss == right.mixed_loss
+            assert left.individual_losses == right.individual_losses
+            np.testing.assert_array_equal(left.parameters, right.parameters)
+        for left, right in zip(programs, sequential):
+            assert left.mixed_loss == right.mixed_loss
+            np.testing.assert_array_equal(left.parameters, right.parameters)
+
+    def test_scalar_only_estimator_with_program_requests(
+        self, tfim_tasks, small_ansatz, fast_config
+    ):
+        # Estimators that consume neither term vectors nor states force the
+        # per-request estimate() path; program requests must materialise
+        # their circuits there and reproduce the legacy result exactly.
+        class ScalarOnly(ExactEstimator):
+            consumes_term_vectors = False
+            consumes_states = False
+
+        estimator = ScalarOnly(seed=0)
+        probe = make_cluster(tfim_tasks, small_ansatz, fast_config, estimator)
+        assert probe.ask()[0].circuit is None  # clusters really emit program requests
+        cluster = make_cluster(tfim_tasks, small_ansatz, fast_config, estimator)
+        backend = StatevectorBackend()
+        scheduler = RoundScheduler(backend, estimator)
+        (_, record), = scheduler.run_round([cluster])
+        assert backend.batches_run == 0  # never touched the backend
+        reference = make_cluster(tfim_tasks, small_ansatz, fast_config, ExactEstimator(seed=0))
+        expected = reference.step()
+        assert record.mixed_loss == expected.mixed_loss
+        np.testing.assert_array_equal(record.parameters, expected.parameters)
+
     def test_scalar_only_estimator_uses_legacy_path(self, tfim_tasks, small_ansatz, fast_config):
         # The capability flags are opt-in: a custom estimator that resets
         # them to the BaseEstimator defaults is driven per-request, whatever
@@ -219,7 +298,7 @@ class TestRoundScheduler:
         cluster = make_cluster(tfim_tasks, small_ansatz, fast_config)
         requests = cluster.ask()
         results = [
-            cluster.estimator.estimate(r.circuit, r.operator, r.initial_state)
+            cluster.estimator.estimate(r.resolve_circuit(), r.operator, r.initial_state)
             for r in requests
         ]
         with pytest.raises(ValueError):
@@ -258,6 +337,25 @@ class TestControllerParity:
         for left, right in zip(batched.outcomes, sequential.outcomes):
             assert left.energy == right.energy
             assert left.source == right.source
+
+    def test_program_run_is_bit_identical_to_legacy_bound_circuits(
+        self, tfim_tasks, small_ansatz
+    ):
+        programs = self._run(tfim_tasks, small_ansatz)
+        legacy = self._run(tfim_tasks, small_ansatz, use_circuit_programs=False)
+        assert programs.total_shots == legacy.total_shots
+        for name in programs.trajectories:
+            left = programs.trajectories[name]
+            right = legacy.trajectories[name]
+            assert left.cumulative_shots == right.cumulative_shots
+            assert left.energies == right.energies  # bit-for-bit
+        for left, right in zip(programs.outcomes, legacy.outcomes):
+            assert left.energy == right.energy
+            assert left.source == right.source
+        cache = programs.metadata["program_cache"]
+        # The run compiled (or re-used) the ansatz program through the
+        # persistent cache: at least one lookup happened during this run.
+        assert cache["hits"] + cache["misses"] >= 1
 
     def test_clifford_backend_run_matches_statevector_on_generic_angles(
         self, tfim_tasks, small_ansatz

@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 from repro.core import (
     DEFAULT_SHOTS_PER_PAULI_TERM,
     ShotLedger,
+    ShotRecord,
     VQATask,
     build_mixed_hamiltonian,
     coefficient_l1_distance,
@@ -98,6 +99,25 @@ class TestShotAccounting:
     def test_ledger_rejects_negative(self):
         with pytest.raises(ValueError):
             ShotLedger().charge("a", 1, -5)
+
+    def test_ledger_total_is_a_running_total(self):
+        # Regression: total used to re-sum the full record list on every
+        # call (and charge() returned it), making the controller's
+        # per-record budget checks quadratic over a run.  The running total
+        # must stay consistent with the records under many charges.
+        ledger = ShotLedger()
+        expected = 0
+        for index in range(1000):
+            expected += index
+            assert ledger.charge("s", index, index) == expected
+        assert ledger.total == expected == sum(r.shots for r in ledger.records)
+        assert ledger.cumulative_totals()[-1] == expected
+
+    def test_ledger_prepopulated_records_total(self):
+        records = [ShotRecord("a", 1, 10), ShotRecord("b", 1, 5)]
+        ledger = ShotLedger(records=records)
+        assert ledger.total == 15
+        assert ledger.charge("c", 2, 1) == 16
 
 
 class TestSimilarity:

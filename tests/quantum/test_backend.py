@@ -11,11 +11,17 @@ from repro.ansatz import HardwareEfficientAnsatz
 from repro.quantum import (
     CliffordBackend,
     ExecutionRequest,
+    Parameter,
     PauliOperator,
     QuantumCircuit,
     StatevectorBackend,
     Statevector,
+    clear_program_cache,
+    compile_circuit_program,
     make_execution_backend,
+    program_cache_stats,
+    program_for_bound_circuit,
+    set_program_cache_limit,
 )
 from repro.quantum.engine import compiled_pauli_operator
 from repro.quantum.sampling import ExactEstimator, ShotNoiseEstimator
@@ -122,6 +128,181 @@ class TestStatevectorBackend:
             StatevectorBackend().run_batch([ExecutionRequest(ansatz.circuit, operator)])
 
 
+def _program_requests(ansatz, operator, points, **kwargs):
+    program = compile_circuit_program(ansatz.circuit)
+    return [
+        ExecutionRequest(None, operator, program=program, parameters=point, **kwargs)
+        for point in points
+    ]
+
+
+class TestCircuitProgram:
+    """The tentpole contract: the program path reproduces the legacy
+    bound-circuit path bit-for-bit, grouping-independently."""
+
+    def test_program_path_bit_identical_to_bound_circuit_path(self):
+        ansatz = HardwareEfficientAnsatz(4, num_layers=2)
+        operator = _random_operator(4, 8, seed=0)
+        rng = np.random.default_rng(0)
+        points = [rng.normal(0.0, 0.7, ansatz.num_parameters) for _ in range(6)]
+        via_programs = StatevectorBackend().run_batch(
+            _program_requests(ansatz, operator, points), need_states=True
+        )
+        via_circuits = StatevectorBackend().run_batch(
+            [ExecutionRequest(ansatz.bound_circuit(p), operator) for p in points],
+            need_states=True,
+        )
+        for point, left, right in zip(points, via_programs, via_circuits):
+            np.testing.assert_array_equal(left.term_vector, right.term_vector)
+            np.testing.assert_array_equal(left.state.data, right.state.data)
+            sequential = Statevector.zero_state(4).evolve(ansatz.bound_circuit(point))
+            np.testing.assert_array_equal(left.state.data, sequential.data)
+
+    def test_program_grouping_invariant(self):
+        ansatz = HardwareEfficientAnsatz(3, num_layers=2)
+        operator = _random_operator(3, 6, seed=1)
+        rng = np.random.default_rng(1)
+        points = [rng.normal(size=ansatz.num_parameters) for _ in range(5)]
+        requests = _program_requests(ansatz, operator, points)
+        backend = StatevectorBackend()
+        together = backend.run_batch(requests)
+        alone = [backend.run_batch([request])[0] for request in requests]
+        for batched, single in zip(together, alone):
+            np.testing.assert_array_equal(batched.term_vector, single.term_vector)
+
+    def test_affine_parameter_expressions_bit_identical(self):
+        # QAOA-style circuit: shared parameters entering several gates through
+        # scale/offset expressions.
+        gamma, beta = Parameter("gamma"), Parameter("beta")
+        circuit = QuantumCircuit(3)
+        circuit.h(0).h(1).h(2)
+        circuit.rzz(2.0 * gamma, 0, 1).rzz(2.0 * gamma, 1, 2)
+        circuit.rx(2.0 * beta, 0).rx(beta + 0.25, 1).rx(-beta, 2)
+        operator = _random_operator(3, 5, seed=2)
+        program = compile_circuit_program(circuit)
+        assert program.num_parameters == 2
+        rng = np.random.default_rng(2)
+        points = [rng.normal(size=2) for _ in range(4)]
+        via_programs = StatevectorBackend().run_batch(
+            [
+                ExecutionRequest(None, operator, program=program, parameters=p)
+                for p in points
+            ],
+            need_states=True,
+        )
+        for point, result in zip(points, via_programs):
+            sequential = Statevector.zero_state(3).evolve(circuit.bind(point))
+            np.testing.assert_array_equal(result.state.data, sequential.data)
+
+    def test_mixed_program_and_circuit_requests_in_one_batch(self):
+        shallow = HardwareEfficientAnsatz(3, num_layers=1)
+        deep = HardwareEfficientAnsatz(3, num_layers=3)
+        operator = _random_operator(3, 5, seed=3)
+        rng = np.random.default_rng(3)
+        requests = []
+        for ansatz in (shallow, deep):
+            point = rng.normal(size=ansatz.num_parameters)
+            requests.extend(_program_requests(ansatz, operator, [point]))
+            requests.append(
+                ExecutionRequest(
+                    ansatz.bound_circuit(rng.normal(size=ansatz.num_parameters)),
+                    operator,
+                )
+            )
+        results = StatevectorBackend().run_batch(requests, need_states=True)
+        for request, result in zip(requests, results):
+            expected = _legacy_term_vector(request.resolve_circuit(), operator, None)
+            np.testing.assert_allclose(result.term_vector, expected, rtol=0, atol=1e-12)
+
+    def test_persistent_cache_shared_across_ansatz_instances(self):
+        clear_program_cache()
+        first = compile_circuit_program(HardwareEfficientAnsatz(3, num_layers=2).circuit)
+        second = compile_circuit_program(HardwareEfficientAnsatz(3, num_layers=2).circuit)
+        assert first is second  # structurally identical circuits share one program
+        stats = program_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 1
+
+    def test_bound_circuits_compiled_on_first_sight(self):
+        clear_program_cache()
+        ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        operator = _random_operator(3, 4, seed=4)
+        rng = np.random.default_rng(4)
+        backend = StatevectorBackend()
+        for _ in range(3):
+            backend.run_batch(
+                [
+                    ExecutionRequest(
+                        ansatz.bound_circuit(rng.normal(size=ansatz.num_parameters)),
+                        operator,
+                    )
+                    for _ in range(2)
+                ]
+            )
+        stats = program_cache_stats()
+        # One structure: compiled once, every later request is a cache hit.
+        assert stats["misses"] == 1
+        assert stats["hits"] == 5
+        assert backend.program_requests == 0
+
+    def test_cache_lru_eviction_and_limit(self):
+        clear_program_cache()
+        set_program_cache_limit(1)
+        try:
+            compile_circuit_program(HardwareEfficientAnsatz(2, num_layers=1).circuit)
+            compile_circuit_program(HardwareEfficientAnsatz(2, num_layers=2).circuit)
+            stats = program_cache_stats()
+            assert stats["size"] == 1
+            assert stats["evictions"] == 1
+            with pytest.raises(ValueError):
+                set_program_cache_limit(0)
+        finally:
+            set_program_cache_limit(256)
+
+    def test_program_bind_matches_circuit_bind(self):
+        ansatz = HardwareEfficientAnsatz(3, num_layers=2)
+        program = compile_circuit_program(ansatz.circuit)
+        point = np.random.default_rng(5).normal(size=ansatz.num_parameters)
+        bound = ansatz.bound_circuit(point)
+        materialised = program.bind(point)
+        assert [
+            (inst.gate, inst.qubits, inst.params) for inst in bound.instructions
+        ] == [
+            (inst.gate, inst.qubits, inst.params) for inst in materialised.instructions
+        ]
+
+    def test_bound_structure_programs_group_across_angles(self):
+        ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        rng = np.random.default_rng(6)
+        first, row_first = program_for_bound_circuit(
+            ansatz.bound_circuit(rng.normal(size=ansatz.num_parameters))
+        )
+        second, row_second = program_for_bound_circuit(
+            ansatz.bound_circuit(rng.normal(size=ansatz.num_parameters))
+        )
+        assert first is second  # same structure, different angles: one program
+        assert not np.array_equal(row_first, row_second)
+        with pytest.raises(ValueError):
+            program_for_bound_circuit(ansatz.circuit)  # still parameterized
+
+    def test_request_validation(self):
+        ansatz = HardwareEfficientAnsatz(2, num_layers=1)
+        operator = _random_operator(2, 3, seed=7)
+        program = compile_circuit_program(ansatz.circuit)
+        point = np.zeros(ansatz.num_parameters)
+        with pytest.raises(ValueError):
+            ExecutionRequest(None, operator)  # neither circuit nor program
+        with pytest.raises(ValueError):
+            ExecutionRequest(
+                ansatz.bound_circuit(point), operator, program=program, parameters=point
+            )  # both
+        with pytest.raises(ValueError):
+            ExecutionRequest(None, operator, program=program)  # missing parameters
+        with pytest.raises(ValueError):
+            ExecutionRequest(None, operator, program=program, parameters=np.zeros(3))
+        with pytest.raises(ValueError):
+            ExecutionRequest(ansatz.bound_circuit(point), operator, parameters=point)
+
+
 class TestCliffordBackend:
     def test_clifford_angles_route_to_stabilizer_simulator(self):
         backend = CliffordBackend()
@@ -166,6 +347,65 @@ class TestCliffordBackend:
         assert backend.clifford_requests == 1
         # |101> -> CX(0,1) -> |111>: every Z expectation is -1.
         np.testing.assert_allclose(result.term_vector, [-1.0, -1.0, -1.0])
+
+    @pytest.mark.parametrize("phase", [-1.0, 1j, np.exp(0.25j)])
+    def test_phase_shifted_basis_state_routes_to_stabilizer(self, phase):
+        # Regression: a basis state carrying a global phase (e.g. amplitude −1
+        # after an evolved preparation) used to fail the exact `== 1.0` check
+        # and silently fall back to dense simulation.  Pauli expectations are
+        # phase-invariant, so these states are stabilizer-safe.
+        circuit = QuantumCircuit(3).cx(0, 1)
+        operator = PauliOperator.from_terms([("ZII", 1.0), ("IZI", 1.0), ("IIZ", 1.0)])
+        amplitudes = np.zeros(8, dtype=complex)
+        amplitudes[0b101] = phase
+        backend = CliffordBackend()
+        result = backend.run_batch(
+            [ExecutionRequest(circuit, operator, initial_state=Statevector(amplitudes))]
+        )[0]
+        assert backend.clifford_requests == 1
+        assert backend.fallback_requests == 0
+        # |101> -> CX(0,1) -> |111>: every Z expectation is -1, phase or not.
+        np.testing.assert_allclose(result.term_vector, [-1.0, -1.0, -1.0])
+
+    def test_subnormalised_single_amplitude_still_falls_back(self):
+        # A lone amplitude that is not unit-modulus is not a basis state.
+        circuit = QuantumCircuit(2).cx(0, 1)
+        operator = PauliOperator.from_terms([("ZZ", 1.0)])
+        amplitudes = np.zeros(4, dtype=complex)
+        amplitudes[2] = 0.5
+        backend = CliffordBackend()
+        backend.run_batch(
+            [ExecutionRequest(circuit, operator, initial_state=Statevector(amplitudes))]
+        )
+        assert backend.clifford_requests == 0
+        assert backend.fallback_requests == 1
+
+    def test_program_requests_route_through_stabilizer(self):
+        ansatz = HardwareEfficientAnsatz(4, num_layers=2)
+        operator = _random_operator(4, 8, seed=11)
+        rng = np.random.default_rng(11)
+        points = [
+            (math.pi / 2) * rng.integers(0, 4, size=ansatz.num_parameters).astype(float)
+            for _ in range(3)
+        ]
+        backend = CliffordBackend()
+        results = backend.run_batch(_program_requests(ansatz, operator, points))
+        assert backend.clifford_requests == 3
+        assert backend.fallback_requests == 0
+        for point, result in zip(points, results):
+            legacy = _legacy_term_vector(ansatz.bound_circuit(point), operator, None)
+            np.testing.assert_allclose(result.term_vector, legacy, atol=1e-9)
+
+    def test_program_requests_with_generic_angles_fall_back(self):
+        ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        operator = _random_operator(3, 5, seed=12)
+        rng = np.random.default_rng(12)
+        points = [rng.normal(size=ansatz.num_parameters) for _ in range(2)]
+        backend = CliffordBackend()
+        results = backend.run_batch(_program_requests(ansatz, operator, points))
+        assert backend.clifford_requests == 0
+        assert backend.fallback_requests == 2
+        assert all(result.backend_name == "statevector" for result in results)
 
     def test_superposition_initial_state_falls_back(self):
         circuit = QuantumCircuit(2).cx(0, 1)
