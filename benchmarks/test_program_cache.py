@@ -29,7 +29,7 @@ from repro.ansatz import HardwareEfficientAnsatz
 from repro.core import RoundScheduler, TreeVQAConfig, VQACluster, VQATask
 from repro.hamiltonians import transverse_field_ising_chain
 from repro.quantum import ExecutionBackend, StatevectorBackend
-from repro.quantum.backend import _initial_amplitudes
+from repro.quantum.backend import request_initial_amplitudes
 from repro.quantum.engine import compiled_pauli_operator
 from repro.quantum.gates import batched_rotation_matrices, gate_matrix
 from repro.quantum.program import apply_gate_batched
@@ -95,7 +95,7 @@ class PR2StatevectorBackend(ExecutionBackend):
         dim = 1 << num_qubits
         states = np.zeros((batch, dim), dtype=complex)
         for row, request in enumerate(group):
-            states[row] = _initial_amplitudes(request, num_qubits)
+            states[row] = request_initial_amplitudes(request, num_qubits)
         tensor = states.reshape((batch,) + (2,) * num_qubits)
         instructions = [request.circuit.instructions for request in group]
         for position, first in enumerate(instructions[0]):

@@ -24,6 +24,7 @@ import numpy as np
 from ..ansatz.base import Ansatz
 from ..optimizers.base import IterativeOptimizer, OptimizerStep
 from ..quantum.backend import ExecutionRequest
+from ..quantum.density_matrix import validate_density_matrix_qubits
 from ..quantum.sampling import BaseEstimator, EstimatorResult
 from ..quantum.statevector import Statevector
 from .config import TreeVQAConfig
@@ -114,6 +115,14 @@ class VQACluster:
         bitstrings = {task.resolved_initial_bitstring for task in tasks}
         if len(bitstrings) != 1:
             raise ValueError("all tasks in a cluster must share the initial state")
+        if (config.backend == "density_matrix" and config.backend_factory is None) or (
+            config.estimator == "density_matrix" and config.estimator_factory is None
+        ):
+            # Either density-matrix path (batched backend or per-request
+            # estimator): fail at cluster wiring time with an actionable
+            # message instead of deep inside evolution (or after a huge
+            # allocation) on the first round.
+            validate_density_matrix_qubits(ansatz.num_qubits)
 
         self.cluster_id = cluster_id
         self.tasks = list(tasks)

@@ -14,7 +14,14 @@ from dataclasses import dataclass, field
 
 from ..optimizers import COBYLA, SPSA, IterativeOptimizer
 from ..quantum.backend import BACKEND_REGISTRY, ExecutionBackend, make_execution_backend
-from ..quantum.sampling import BaseEstimator, ExactEstimator, SamplingEstimator, ShotNoiseEstimator
+from ..quantum.noise import NoiseModel, get_backend_profile
+from ..quantum.sampling import (
+    BaseEstimator,
+    DensityMatrixEstimator,
+    ExactEstimator,
+    SamplingEstimator,
+    ShotNoiseEstimator,
+)
 from .shots import DEFAULT_SHOTS_PER_PAULI_TERM
 
 __all__ = ["TreeVQAConfig"]
@@ -24,6 +31,7 @@ _ESTIMATORS: dict[str, type[BaseEstimator]] = {
     "exact": ExactEstimator,
     "shot_noise": ShotNoiseEstimator,
     "sampling": SamplingEstimator,
+    "density_matrix": DensityMatrixEstimator,
 }
 
 
@@ -50,12 +58,23 @@ class TreeVQAConfig:
         optimizer: ``"spsa"`` or ``"cobyla"`` (or supply ``optimizer_factory``).
         optimizer_kwargs: Keyword arguments forwarded to the optimizer.
         optimizer_factory: Optional callable overriding optimizer creation.
-        estimator: ``"exact"``, ``"shot_noise"`` or ``"sampling"`` (ignored
-            when ``estimator_factory`` is supplied).
+        estimator: ``"exact"``, ``"shot_noise"``, ``"sampling"`` or
+            ``"density_matrix"`` (noisy simulation under the resolved noise
+            model; ignored when ``estimator_factory`` is supplied).
         backend: Execution backend for batched state preparation:
-            ``"statevector"`` (dense, batched) or ``"clifford"`` (stabilizer
-            fast path for π/2-multiple angles, dense fallback otherwise).
+            ``"statevector"`` (dense, batched), ``"clifford"`` (stabilizer
+            fast path for π/2-multiple angles, dense fallback otherwise) or
+            ``"density_matrix"`` (batched noisy ``U ρ U†`` execution under
+            the resolved noise model — pair it with
+            ``estimator="density_matrix"`` so noisy rounds batch).
         backend_factory: Optional callable overriding backend creation.
+        noise_model: Explicit :class:`~repro.quantum.noise.NoiseModel` for the
+            density-matrix backend/estimator (exclusive with
+            ``noise_profile``; None means noiseless).
+        noise_profile: Name of a synthetic backend calibration profile
+            (``"hanoi"``, ``"cairo"``, ...; see
+            :data:`~repro.quantum.noise.BACKEND_PROFILES`) converted to a
+            noise model at construction time.
         max_batch_size: Cap on requests per backend dispatch.  ``None``
             executes each round's full request set in one batch; ``1`` is the
             sequential degenerate case (bit-identical trajectories under the
@@ -98,6 +117,8 @@ class TreeVQAConfig:
     estimator_factory: Callable[[], BaseEstimator] | None = None
     backend: str = "statevector"
     backend_factory: Callable[[], ExecutionBackend] | None = None
+    noise_model: NoiseModel | None = None
+    noise_profile: str | None = None
     max_batch_size: int | None = None
     use_circuit_programs: bool = True
     program_cache_size: int | None = None
@@ -134,6 +155,27 @@ class TreeVQAConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose from {sorted(BACKEND_REGISTRY)}"
             )
+        if self.noise_model is not None and self.noise_profile is not None:
+            raise ValueError("give noise_model or noise_profile, not both")
+        if self.noise_profile is not None:
+            # Resolve eagerly: an unknown profile fails here, at configuration
+            # time, with the available names listed.
+            get_backend_profile(self.noise_profile)
+        if self.noise_model is not None or self.noise_profile is not None:
+            # Only the density-matrix *estimator* ever consumes the noise
+            # model (the scheduler keeps noisy backend payloads away from
+            # exact estimators), so without one the run would silently be
+            # noiseless.  Factories are trusted to read resolve_noise_model().
+            noise_aware_estimator = (
+                self.estimator_factory is not None or self.estimator == "density_matrix"
+            )
+            if not noise_aware_estimator:
+                raise ValueError(
+                    "noise_model/noise_profile have no effect with "
+                    f"estimator={self.estimator!r}; use "
+                    "estimator='density_matrix' (plus backend='density_matrix' "
+                    "to batch noisy rounds)"
+                )
         if self.max_batch_size is not None and self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1 when set")
         if self.program_cache_size is not None and self.program_cache_size < 1:
@@ -150,16 +192,41 @@ class TreeVQAConfig:
             kwargs["seed"] = self.seed
         return _OPTIMIZERS[self.optimizer](**kwargs)
 
+    def resolve_noise_model(self) -> NoiseModel | None:
+        """The configured noise model: explicit, profile-derived, or None."""
+        if self.noise_model is not None:
+            return self.noise_model
+        if self.noise_profile is not None:
+            return get_backend_profile(self.noise_profile).to_noise_model()
+        return None
+
     def make_estimator(self) -> BaseEstimator:
         """Construct the expectation-value estimator."""
         if self.estimator_factory is not None:
             return self.estimator_factory()
+        if self.estimator == "density_matrix":
+            return DensityMatrixEstimator(
+                self.resolve_noise_model() or NoiseModel(),
+                shots_per_term=self.shots_per_pauli_term,
+                seed=self.seed,
+            )
         return _ESTIMATORS[self.estimator](
             shots_per_term=self.shots_per_pauli_term, seed=self.seed
         )
 
     def make_backend(self) -> ExecutionBackend:
-        """Construct the execution backend for batched rounds."""
+        """Construct the execution backend for batched rounds.
+
+        The resolved noise model is forwarded to noise-capable backends
+        (``"density_matrix"``); purely unitary backends are constructed
+        without it, so a noise model configured for a per-request noisy
+        estimator does not break a statevector-backend run.
+        """
         if self.backend_factory is not None:
             return self.backend_factory()
+        backend_cls = BACKEND_REGISTRY[self.backend]
+        if getattr(backend_cls, "accepts_noise_model", False):
+            return make_execution_backend(
+                self.backend, noise_model=self.resolve_noise_model()
+            )
         return make_execution_backend(self.backend)

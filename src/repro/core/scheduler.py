@@ -21,10 +21,15 @@ backend dispatch — and, because the batched statevector backend's stacked
 sequential rounds produce bit-identical trajectories under the exact
 estimator.
 
-Estimators that can consume neither term vectors nor prepared states (the
-density-matrix estimator, custom scalar-only estimators) are driven through
-the legacy per-request :meth:`~repro.quantum.sampling.BaseEstimator.estimate`
-path, so every configuration keeps working — it just doesn't batch.
+Estimators that can consume neither term vectors nor prepared states
+(custom scalar-only estimators) are driven through the legacy per-request
+:meth:`~repro.quantum.sampling.BaseEstimator.estimate` path, so every
+configuration keeps working — it just doesn't batch.  An estimator may also
+*require* a specific backend (``requires_backend``): the density-matrix
+estimator only consumes term vectors produced under its noise model by the
+density-matrix backend, so noisy rounds batch when the configured backend
+matches (same name, same noise model) and fall back to the always-correct
+per-request path otherwise.
 """
 
 from __future__ import annotations
@@ -92,10 +97,32 @@ class RoundScheduler:
 
     def _dispatch(self, requests: list[ExecutionRequest]):
         """Run requests through the backend (None when the estimator cannot
-        consume backend payloads and must evaluate per request instead)."""
+        consume this backend's payloads and must evaluate per request instead).
+
+        Both sides of the pairing are checked: the estimator must be able to
+        consume what the backend produces (term vectors, or prepared states
+        the backend can actually attach), and the backend's physics must match
+        the estimator's own — a noise-applying backend only serves estimators
+        that pinned it via ``requires_backend``, and such estimators only
+        batch when the pin matches.  Every rejected pairing falls back to the
+        always-correct per-request path.
+        """
         estimator = self.estimator
         consumes_term_vectors = getattr(estimator, "consumes_term_vectors", False)
         if not consumes_term_vectors and not getattr(estimator, "consumes_states", False):
+            return None
+        required = getattr(estimator, "requires_backend", None)
+        if required is not None:
+            if not self._backend_satisfies(required):
+                return None
+        elif not self._backend_is_exact():
+            # The estimator's own physics is exact/pure-state; handing it a
+            # noise-applying backend's payloads would silently report noisy
+            # values as exact.
+            return None
+        if not consumes_term_vectors and not getattr(self.backend, "provides_states", True):
+            # A states-consuming estimator over a backend that prepares mixed
+            # states: nothing consumable would come back.
             return None
         backend_results = []
         for chunk in self._chunks(requests):
@@ -104,6 +131,28 @@ class RoundScheduler:
             )
             self.batches_executed += 1
         return backend_results
+
+    def _backend_satisfies(self, required: str) -> bool:
+        """Can this scheduler's backend produce payloads the estimator may
+        consume?  The backend must carry the required name, and — when both
+        sides execute under a noise model — the models must agree, otherwise
+        batched results would differ from the estimator's own per-request
+        physics.  A mismatch falls back to the always-correct per-request
+        path rather than silently producing wrong numbers."""
+        if getattr(self.backend, "name", None) != required:
+            return False
+        backend_noise = getattr(self.backend, "noise_model", None)
+        estimator_noise = getattr(self.estimator, "noise_model", None)
+        if backend_noise is None or estimator_noise is None:
+            return True
+        return bool(backend_noise == estimator_noise)
+
+    def _backend_is_exact(self) -> bool:
+        """True when the backend's payloads reflect exact (noiseless) physics
+        — the only payloads an estimator without a ``requires_backend`` pin
+        may consume."""
+        noise = getattr(self.backend, "noise_model", None)
+        return noise is None or bool(getattr(noise, "is_noiseless", False))
 
     def _convert(self, requests, backend_results) -> list[EstimatorResult]:
         """Turn backend payloads (or, lacking any, per-request evaluations)

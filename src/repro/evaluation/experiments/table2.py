@@ -6,6 +6,12 @@ simulation with gate-attached noise and the COBYLA optimizer (the paper notes
 SPSA converges too slowly under noise).  The table reports, per backend, the
 maximum average fidelity reached and the shot-savings ratio.
 
+The controller rounds execute through the batched density-matrix backend
+(``backend="density_matrix"`` + ``estimator="density_matrix"``): every
+cluster's noisy evaluations evolve as one stacked ``U ρ U†`` dispatch per
+circuit structure, bit-identically to the per-request simulator path this
+experiment used before.
+
 For density-matrix tractability the scan uses a reduced LiH analogue (the
 fast preset shrinks it further); the noise profiles are synthetic stand-ins
 whose relative error magnitudes follow the publicly reported ordering of the
@@ -24,7 +30,6 @@ from ...core.task import VQATask
 from ...hamiltonians.catalog import BenchmarkSuite
 from ...hamiltonians.molecular import MOLECULES, MolecularFamily
 from ...quantum.noise import BACKEND_PROFILES, get_backend_profile
-from ...quantum.sampling import DensityMatrixEstimator
 from ..metrics import savings_at_threshold
 from ..reporting import format_table
 from .common import BenchmarkComparison, Preset, default_config, get_preset, run_comparison
@@ -106,9 +111,9 @@ def run_table2(
             max_rounds=rounds,
             warmup_iterations=max(4, rounds // 6),
             window_size=max(4, rounds // 10),
-            estimator_factory=lambda noise_model=noise_model: DensityMatrixEstimator(
-                noise_model, seed=seed
-            ),
+            estimator="density_matrix",
+            backend="density_matrix",
+            noise_model=noise_model,
         )
         comparison = run_comparison(suite, config, baseline_iterations=rounds)
         fidelity, savings = savings_at_threshold(comparison.treevqa, comparison.baseline)

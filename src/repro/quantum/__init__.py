@@ -10,7 +10,12 @@ from .backend import (
 )
 from .circuit import Instruction, Parameter, ParameterExpression, QuantumCircuit
 from .clifford import CliffordSimulator, clifford_angle_index, is_clifford_angle
-from .density_matrix import DensityMatrix, DensityMatrixSimulator
+from .density_matrix import (
+    DensityMatrix,
+    DensityMatrixBackend,
+    DensityMatrixSimulator,
+    validate_density_matrix_qubits,
+)
 from .engine import CompiledPauliOperator, compiled_pauli_operator
 from .exact import GroundStateResult, ground_state, ground_state_energy, pauli_to_sparse
 from .gates import GATE_REGISTRY, gate_matrix
@@ -39,6 +44,7 @@ from .program import (
 )
 from .sampling import (
     BaseEstimator,
+    DensityMatrixEstimator,
     EstimatorResult,
     ExactEstimator,
     SamplingEstimator,
@@ -63,7 +69,9 @@ __all__ = [
     "CompiledPauliOperator",
     "compiled_pauli_operator",
     "DensityMatrix",
+    "DensityMatrixBackend",
     "DensityMatrixSimulator",
+    "validate_density_matrix_qubits",
     "GroundStateResult",
     "ground_state",
     "ground_state_energy",
@@ -93,6 +101,7 @@ __all__ = [
     "program_for_bound_circuit",
     "set_program_cache_limit",
     "BaseEstimator",
+    "DensityMatrixEstimator",
     "EstimatorResult",
     "ExactEstimator",
     "SamplingEstimator",

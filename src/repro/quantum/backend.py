@@ -57,6 +57,8 @@ __all__ = [
     "CliffordBackend",
     "BACKEND_REGISTRY",
     "make_execution_backend",
+    "request_initial_amplitudes",
+    "resolve_program_request",
 ]
 
 
@@ -163,6 +165,9 @@ class ExecutionBackend:
     """Protocol: execute a batch of requests through one dispatch."""
 
     name = "abstract"
+    #: Whether ``need_states=True`` can be honoured (pure-state backends can
+    #: attach prepared statevectors; the density-matrix backend cannot).
+    provides_states = True
 
     def run_batch(
         self, requests: Sequence[ExecutionRequest], *, need_states: bool = False
@@ -176,8 +181,13 @@ class ExecutionBackend:
         raise NotImplementedError
 
 
-def _initial_amplitudes(request: ExecutionRequest, num_qubits: int) -> np.ndarray:
-    """Flat initial amplitudes for a request (defaults to ``|0...0>``)."""
+def request_initial_amplitudes(request: ExecutionRequest, num_qubits: int) -> np.ndarray:
+    """Flat initial amplitudes for a request (defaults to ``|0...0>``).
+
+    Shared by every dense backend (the statevector path uses the amplitudes
+    directly; the density-matrix path takes their outer product), so request
+    initial-state semantics cannot drift between execution modes.
+    """
     if request.initial_state is not None:
         if request.initial_state.num_qubits != num_qubits:
             raise ValueError(
@@ -188,6 +198,21 @@ def _initial_amplitudes(request: ExecutionRequest, num_qubits: int) -> np.ndarra
     if request.initial_bitstring is not None:
         return Statevector.computational_basis(num_qubits, request.initial_bitstring).data
     return Statevector.zero_state(num_qubits).data
+
+
+def resolve_program_request(
+    request: ExecutionRequest,
+) -> tuple[CircuitProgram, np.ndarray]:
+    """(program, parameter row) for any request: program requests carry
+    theirs; bound-circuit requests are compiled on first sight through the
+    persistent program cache (requests sharing a gate/wiring sequence share
+    one cached program).  Shared by every backend that groups requests by
+    program fingerprint."""
+    if request.program is not None:
+        return request.program, request.parameters
+    if not request.circuit.is_bound():
+        raise ValueError("execution requests need fully bound circuits")
+    return program_for_bound_circuit(request.circuit)
 
 
 #: Tolerance for recognising a unit-modulus basis-state amplitude.
@@ -235,16 +260,6 @@ class StatevectorBackend(ExecutionBackend):
         #: Requests that arrived on the program path (no circuit object).
         self.program_requests = 0
 
-    @staticmethod
-    def _resolve_program(
-        request: ExecutionRequest,
-    ) -> tuple[CircuitProgram, np.ndarray]:
-        if request.program is not None:
-            return request.program, request.parameters
-        if not request.circuit.is_bound():
-            raise ValueError("execution requests need fully bound circuits")
-        return program_for_bound_circuit(request.circuit)
-
     def run_batch(
         self, requests: Sequence[ExecutionRequest], *, need_states: bool = False
     ) -> list[BackendResult]:
@@ -254,7 +269,7 @@ class StatevectorBackend(ExecutionBackend):
         groups: dict[tuple, list[int]] = {}
         programs: dict[tuple, CircuitProgram] = {}
         for index, request in enumerate(requests):
-            program, row = self._resolve_program(request)
+            program, row = resolve_program_request(request)
             if request.program is not None:
                 self.program_requests += 1
             key = program.fingerprint
@@ -266,7 +281,7 @@ class StatevectorBackend(ExecutionBackend):
             num_qubits = program.num_qubits
             initial = np.empty((len(indices), 1 << num_qubits), dtype=complex)
             for slot, index in enumerate(indices):
-                initial[slot] = _initial_amplitudes(requests[index], num_qubits)
+                initial[slot] = request_initial_amplitudes(requests[index], num_qubits)
             parameter_matrix = (
                 np.stack([rows[index] for index in indices])
                 if program.num_parameters
@@ -384,16 +399,35 @@ class CliffordBackend(ExecutionBackend):
         )
 
 
+#: Name → backend class.  :mod:`repro.quantum.density_matrix` registers
+#: ``"density_matrix"`` here at import time (it depends on this module, so it
+#: cannot be listed directly without an import cycle).
 BACKEND_REGISTRY: dict[str, type[ExecutionBackend]] = {
     "statevector": StatevectorBackend,
     "clifford": CliffordBackend,
 }
 
 
-def make_execution_backend(name: str) -> ExecutionBackend:
-    """Construct a registered execution backend by name."""
+def make_execution_backend(
+    name: str, *, noise_model=None
+) -> ExecutionBackend:
+    """Construct a registered execution backend by name.
+
+    ``noise_model`` is forwarded to backends that execute under one (class
+    attribute ``accepts_noise_model``, e.g. the density-matrix backend);
+    passing it to a purely unitary backend is rejected rather than silently
+    ignored.
+    """
     if name not in BACKEND_REGISTRY:
         raise ValueError(
             f"unknown backend {name!r}; choose from {sorted(BACKEND_REGISTRY)}"
         )
-    return BACKEND_REGISTRY[name]()
+    cls = BACKEND_REGISTRY[name]
+    if getattr(cls, "accepts_noise_model", False):
+        return cls(noise_model=noise_model)  # type: ignore[call-arg]
+    if noise_model is not None:
+        raise ValueError(
+            f"backend {name!r} executes noiselessly and does not accept a "
+            "noise model; use backend='density_matrix' for noisy execution"
+        )
+    return cls()

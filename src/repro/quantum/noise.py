@@ -58,6 +58,25 @@ class KrausChannel:
             total += kraus.conj().T @ kraus
         return bool(np.allclose(total, np.eye(dim), atol=tolerance))
 
+    def superoperator(self) -> np.ndarray:
+        """``Σ_k K ⊗ conj(K)`` — the channel as one matrix on vectorised ρ.
+
+        Acting on the flattened (row ⊗ column) index of the target qubits,
+        one matrix product applies the whole channel at once — the form the
+        density-matrix kernels use to apply a channel to an entire execution
+        batch in a single stacked GEMM instead of one pair of matrix
+        products per Kraus operator.  Computed once per channel instance and
+        cached; treat the returned array as read-only.
+        """
+        cached = self.__dict__.get("_superoperator")
+        if cached is None:
+            dim = (2 ** self.num_qubits) ** 2
+            cached = np.zeros((dim, dim), dtype=complex)
+            for kraus in self.operators:
+                cached += np.kron(kraus, kraus.conj())
+            object.__setattr__(self, "_superoperator", cached)
+        return cached
+
 
 def depolarizing_channel(probability: float) -> KrausChannel:
     """Single-qubit depolarising channel with error probability ``probability``."""

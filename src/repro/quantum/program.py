@@ -250,6 +250,31 @@ class CircuitProgram:
             ]
         )
 
+    def tape_matrices(
+        self, parameters: np.ndarray
+    ) -> Iterator[tuple[str, tuple[int, ...], np.ndarray]]:
+        """Yield ``(gate, qubits, stacked matrices)`` per tape entry.
+
+        ``parameters`` is ``(batch, num_parameters)`` (a single row is
+        accepted); each yielded ``matrices`` is the ``(batch, 2**k, 2**k)``
+        stack for that entry, built through the *same* precompiled dispatch
+        plan :meth:`execute` uses (fixed matrices repeated, single-angle
+        rotations via the vectorized builders, generic entries per row) — so
+        executors other than the statevector path (e.g. the density-matrix
+        backend's ``U ρ U†`` evolution) consume bit-identical gate matrices.
+        """
+        rows = np.asarray(parameters, dtype=float)
+        if rows.ndim == 1:
+            rows = rows[None, :]
+        if rows.shape[1] != self._num_parameters:
+            raise ValueError(
+                f"program expects {self._num_parameters} parameters per row, "
+                f"got {rows.shape[1]}"
+            )
+        batch = rows.shape[0]
+        for entry in self._tape:
+            yield entry.gate, entry.qubits, self._entry_matrices(entry, rows, batch)
+
     # -- materialisation ------------------------------------------------------
 
     def bound_instruction_params(self, parameters: np.ndarray) -> Iterator[tuple]:

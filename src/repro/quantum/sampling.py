@@ -95,6 +95,12 @@ class BaseEstimator:
     #: safely driven through per-request estimate() calls, whatever it
     #: overrides internally.
     consumes_states = False
+    #: Name of the only backend whose payloads this estimator may consume
+    #: (None = any).  The density-matrix estimator sets this to
+    #: ``"density_matrix"``: its term vectors must be produced *under its
+    #: noise model*, so the scheduler batches only through a matching noisy
+    #: backend and falls back to per-request estimate() otherwise.
+    requires_backend: str | None = None
 
     def __init__(self, shots_per_term: int = 4096, seed: int | None = None) -> None:
         if shots_per_term < 1:
@@ -341,13 +347,20 @@ class DensityMatrixEstimator(BaseEstimator):
     4096-per-term cost as every other estimator.  Sampling noise on top of the
     noisy expectation can be enabled with ``add_shot_noise``.  All Pauli terms
     are evaluated in one vectorized engine pass over the density matrix.
+
+    Batched execution: this estimator consumes term vectors, but only ones
+    produced *under its own noise model* — ``requires_backend`` tells the
+    round scheduler to batch through a
+    :class:`~repro.quantum.backend.DensityMatrixBackend` (whose noisy term
+    vectors are bit-identical to this estimator's per-request simulation) and
+    to fall back to per-request :meth:`estimate` for every other backend.
     """
 
-    #: Noise is applied during circuit execution, so neither a backend's
-    #: exact term vector nor a noiselessly prepared pure state is usable —
-    #: the scheduler drives this estimator through per-request estimate().
-    consumes_term_vectors = False
+    consumes_term_vectors = True
+    #: A noiselessly prepared pure state is not usable — noise must be
+    #: applied during execution.
     consumes_states = False
+    requires_backend = "density_matrix"
 
     def __init__(
         self,
@@ -370,19 +383,48 @@ class DensityMatrixEstimator(BaseEstimator):
         operator: PauliOperator,
         initial_state: Statevector | None = None,
     ) -> EstimatorResult:
-        from .density_matrix import DensityMatrix
+        from .density_matrix import (
+            DensityMatrix,
+            noisy_term_vector,
+            validate_density_matrix_qubits,
+        )
 
+        # Validate the width before the first 2^n x 2^n allocation, so an
+        # oversized request fails with the actionable message rather than an
+        # OOM inside zero_state.
+        validate_density_matrix_qubits(circuit.num_qubits)
         if initial_state is None:
             rho = DensityMatrix.zero_state(circuit.num_qubits)
         else:
             rho = DensityMatrix.from_statevector(initial_state)
         state = self._simulator.run(circuit, rho)
         engine = compiled_pauli_operator(operator)
-        vector = engine.expectation_values_density(state.data)
+        vector = noisy_term_vector(engine, state.data, self.noise_model.readout_error)
+        result = self._estimate_from_term_vector(operator, vector)
+        self.total_shots += result.shots_used
+        self.total_evaluations += 1
+        return result
+
+    def estimate_backend_result(self, result, operator: PauliOperator) -> EstimatorResult:
+        backend_name = getattr(result, "backend_name", None)
+        if backend_name != self.requires_backend:
+            raise ValueError(
+                "DensityMatrixEstimator needs term vectors produced under its "
+                f"noise model by the {self.requires_backend!r} backend; got a "
+                f"result from {backend_name!r} — configure "
+                "TreeVQAConfig(backend='density_matrix', noise_model=...) or "
+                "use per-request estimate()"
+            )
+        return super().estimate_backend_result(result, operator)
+
+    def _estimate_from_term_vector(
+        self, operator: PauliOperator, term_vector: np.ndarray
+    ) -> EstimatorResult:
+        """Noise layer over an already-noisy term vector (readout included):
+        optional shot noise plus §7.3 shot accounting."""
+        engine = compiled_pauli_operator(operator)
+        vector = np.asarray(term_vector, dtype=float).copy()
         vector[engine.identity_mask] = 1.0
-        readout = self.noise_model.readout_error
-        if readout > 0:
-            vector = vector * (1.0 - 2.0 * readout) ** engine.weights
         if self.add_shot_noise:
             term_variance = np.where(
                 engine.identity_mask,
@@ -392,16 +434,13 @@ class DensityMatrixEstimator(BaseEstimator):
             vector = np.clip(
                 vector + self.rng.normal(0.0, np.sqrt(term_variance)), -1.0, 1.0
             )
-        result = EstimatorResult(
+        return EstimatorResult(
             value=float(engine.coefficients @ vector),
             shots_used=self._shots_from_engine(engine),
             variance=0.0,
             term_basis=engine.paulis,
             term_vector=vector,
         )
-        self.total_shots += result.shots_used
-        self.total_evaluations += 1
-        return result
 
     def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
         raise NotImplementedError("DensityMatrixEstimator estimates from circuits, not states")

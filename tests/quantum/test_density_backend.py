@@ -1,0 +1,446 @@
+"""Parity tests for batched noisy execution through the density-matrix backend.
+
+Mirrors ``tests/quantum/test_backend.py``'s pure-state parity structure for
+the noisy path.  The contract under test: stacked ``U ρ U†`` execution of
+whole request batches is **bit-identical** to the sequential per-request
+:class:`~repro.quantum.density_matrix.DensityMatrixSimulator` (and therefore
+independent of batch composition), across bound-circuit and program requests,
+mixed circuit structures, and every wiring level (backend, round scheduler,
+controller).  A noiseless model degenerates to the statevector path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.core import RoundScheduler, TreeVQAConfig, TreeVQAController, VQACluster, VQATask
+from repro.hamiltonians import transverse_field_ising_chain
+from repro.quantum import (
+    DensityMatrixBackend,
+    DensityMatrixEstimator,
+    ExecutionRequest,
+    PauliOperator,
+    QuantumCircuit,
+    StatevectorBackend,
+    Statevector,
+    compile_circuit_program,
+    make_execution_backend,
+)
+from repro.quantum.density_matrix import DensityMatrixSimulator, DensityMatrix
+from repro.quantum.engine import compiled_pauli_operator
+from repro.quantum.noise import NoiseModel, get_backend_profile
+
+#: A realistic gate-attached noise model (depolarising + decoherence + readout).
+NOISY = get_backend_profile("mumbai").to_noise_model()
+
+
+def _random_operator(num_qubits: int, num_terms: int, seed: int) -> PauliOperator:
+    rng = np.random.default_rng(seed)
+    labels = set()
+    while len(labels) < num_terms:
+        labels.add("".join(rng.choice(list("IXYZ"), size=num_qubits)))
+    return PauliOperator(num_qubits, dict(zip(sorted(labels), rng.normal(size=num_terms))))
+
+
+def _sequential_term_vector(circuit, operator, noise_model, initial_state=None):
+    """The per-request reference: sequential simulator + engine + readout fold."""
+    if initial_state is None:
+        rho0 = DensityMatrix.zero_state(circuit.num_qubits)
+    else:
+        rho0 = DensityMatrix.from_statevector(initial_state)
+    state = DensityMatrixSimulator(noise_model).run(circuit, rho0)
+    engine = compiled_pauli_operator(operator)
+    vector = engine.expectation_values_density(state.data)
+    vector[engine.identity_mask] = 1.0
+    readout = noise_model.readout_error
+    if readout > 0:
+        vector = vector * (1.0 - 2.0 * readout) ** engine.weights
+    return vector
+
+
+def _requests(num_qubits=3, batch=5, seed=0, num_layers=2, **kwargs):
+    rng = np.random.default_rng(seed)
+    ansatz = HardwareEfficientAnsatz(num_qubits, num_layers=num_layers)
+    operator = _random_operator(num_qubits, 6, seed)
+    return [
+        ExecutionRequest(
+            circuit=ansatz.bound_circuit(rng.normal(0.0, 0.7, ansatz.num_parameters)),
+            operator=operator,
+            **kwargs,
+        )
+        for _ in range(batch)
+    ]
+
+
+class TestDensityMatrixBackendParity:
+    def test_batched_matches_sequential_simulator_bitwise(self):
+        requests = _requests(batch=6, seed=1)
+        results = DensityMatrixBackend(NOISY).run_batch(requests)
+        for request, result in zip(requests, results):
+            expected = _sequential_term_vector(request.circuit, request.operator, NOISY)
+            np.testing.assert_array_equal(result.term_vector, expected)
+            assert result.backend_name == "density_matrix"
+            assert result.term_basis == tuple(request.operator.paulis())
+            assert result.state is None
+
+    def test_batching_is_grouping_invariant(self):
+        # The acceptance contract: batch composition never shows up in the
+        # numbers — together, alone, and pairwise-chunked runs are bitwise equal.
+        backend = DensityMatrixBackend(NOISY)
+        requests = _requests(batch=6, seed=2)
+        together = backend.run_batch(requests)
+        alone = [backend.run_batch([request])[0] for request in requests]
+        pairs = [
+            result
+            for start in range(0, len(requests), 2)
+            for result in backend.run_batch(requests[start : start + 2])
+        ]
+        for batched, single, paired in zip(together, alone, pairs):
+            np.testing.assert_array_equal(batched.term_vector, single.term_vector)
+            np.testing.assert_array_equal(batched.term_vector, paired.term_vector)
+
+    def test_program_requests_bit_identical_to_bound_circuit_requests(self):
+        ansatz = HardwareEfficientAnsatz(3, num_layers=2)
+        operator = _random_operator(3, 6, seed=3)
+        rng = np.random.default_rng(3)
+        points = [rng.normal(0.0, 0.7, ansatz.num_parameters) for _ in range(4)]
+        program = compile_circuit_program(ansatz.circuit)
+        backend = DensityMatrixBackend(NOISY)
+        via_programs = backend.run_batch(
+            [
+                ExecutionRequest(None, operator, program=program, parameters=point)
+                for point in points
+            ]
+        )
+        via_circuits = backend.run_batch(
+            [ExecutionRequest(ansatz.bound_circuit(p), operator) for p in points]
+        )
+        assert backend.program_requests == len(points)
+        for point, left, right in zip(points, via_programs, via_circuits):
+            np.testing.assert_array_equal(left.term_vector, right.term_vector)
+            sequential = _sequential_term_vector(ansatz.bound_circuit(point), operator, NOISY)
+            np.testing.assert_array_equal(left.term_vector, sequential)
+
+    def test_mixed_structures_and_request_kinds_in_one_batch(self):
+        shallow = HardwareEfficientAnsatz(3, num_layers=1)
+        deep = HardwareEfficientAnsatz(3, num_layers=3)
+        operator = _random_operator(3, 5, seed=4)
+        rng = np.random.default_rng(4)
+        requests = []
+        for ansatz in (shallow, deep):
+            program = compile_circuit_program(ansatz.circuit)
+            requests.append(
+                ExecutionRequest(
+                    None,
+                    operator,
+                    program=program,
+                    parameters=rng.normal(size=ansatz.num_parameters),
+                )
+            )
+            requests.append(
+                ExecutionRequest(
+                    ansatz.bound_circuit(rng.normal(size=ansatz.num_parameters)), operator
+                )
+            )
+        results = DensityMatrixBackend(NOISY).run_batch(requests)
+        for request, result in zip(requests, results):
+            expected = _sequential_term_vector(request.resolve_circuit(), operator, NOISY)
+            np.testing.assert_array_equal(result.term_vector, expected)
+
+    def test_initial_state_and_bitstring_handling(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1)
+        operator = PauliOperator.from_terms([("ZZI", 1.0), ("IIZ", 1.0)])
+        backend = DensityMatrixBackend(NoiseModel())
+        via_bitstring = backend.run_batch(
+            [ExecutionRequest(circuit, operator, initial_bitstring="001")]
+        )[0]
+        # Qubit 2 starts in |1>: <IIZ> = -1; the Bell pair on 0,1 gives <ZZI> = 1.
+        np.testing.assert_allclose(via_bitstring.term_vector, [1.0, -1.0], atol=1e-12)
+        dense = Statevector.computational_basis(3, "001")
+        via_state = backend.run_batch(
+            [ExecutionRequest(circuit, operator, initial_state=dense)]
+        )[0]
+        np.testing.assert_array_equal(via_state.term_vector, via_bitstring.term_vector)
+
+    def test_noiseless_model_degenerates_to_statevector_path(self):
+        requests = _requests(batch=4, seed=5)
+        noiseless = DensityMatrixBackend(NoiseModel())
+        assert noiseless.noise_model.is_noiseless
+        dense = StatevectorBackend()
+        for noisy_free, pure in zip(
+            noiseless.run_batch(requests), dense.run_batch(requests)
+        ):
+            np.testing.assert_allclose(
+                noisy_free.term_vector, pure.term_vector, rtol=0, atol=1e-12
+            )
+
+
+def _make_clusters(estimator, *, num_tasks=5, num_qubits=3, seed=0):
+    config = TreeVQAConfig(
+        max_rounds=3, warmup_iterations=0, window_size=2,
+        disable_automatic_splits=True, seed=seed,
+    )
+    ansatz = HardwareEfficientAnsatz(num_qubits, num_layers=2)
+    return [
+        VQACluster(
+            cluster_id=f"c{index}",
+            tasks=[
+                VQATask(
+                    name=f"t{index}",
+                    hamiltonian=transverse_field_ising_chain(num_qubits, 0.7 + 0.1 * index),
+                    scan_parameter=float(index),
+                )
+            ],
+            ansatz=ansatz,
+            optimizer=config.make_optimizer(),
+            estimator=estimator,
+            config=config,
+            initial_parameters=ansatz.zero_parameters(),
+        )
+        for index in range(num_tasks)
+    ]
+
+
+def _run_rounds(scheduler, clusters, rounds=2):
+    records = []
+    for _ in range(rounds):
+        records.extend(record for _, record in scheduler.run_round(clusters))
+    return records
+
+
+class TestSchedulerNoisyParity:
+    def test_batched_rounds_match_per_request_and_batch_size_one(self):
+        # Three wirings of the same noisy workload: full batches through the
+        # density-matrix backend, the max_batch_size=1 degenerate case, and
+        # the legacy per-request fallback (statevector backend mismatch).
+        runs = {}
+        for mode, (backend, batch_size) in {
+            "batched": (DensityMatrixBackend(NOISY), None),
+            "one": (DensityMatrixBackend(NOISY), 1),
+            "per_request": (StatevectorBackend(), None),
+        }.items():
+            estimator = DensityMatrixEstimator(NOISY, seed=7)
+            scheduler = RoundScheduler(backend, estimator, max_batch_size=batch_size)
+            runs[mode] = (
+                _run_rounds(scheduler, _make_clusters(estimator, seed=1)),
+                scheduler,
+            )
+        batched_records, batched_scheduler = runs["batched"]
+        assert batched_scheduler.batches_executed > 0
+        assert runs["per_request"][1].batches_executed == 0  # fell back
+        for mode in ("one", "per_request"):
+            records, _ = runs[mode]
+            assert len(records) == len(batched_records)
+            for left, right in zip(batched_records, records):
+                assert left.mixed_loss == right.mixed_loss
+                assert left.individual_losses == right.individual_losses
+                np.testing.assert_array_equal(left.parameters, right.parameters)
+
+    def test_shot_noise_draws_identical_across_paths(self):
+        # With add_shot_noise the estimator consumes RNG per conversion; the
+        # scheduler converts in cluster order on every path, so seeded runs
+        # stay bit-identical batched vs per-request.
+        def run(backend):
+            estimator = DensityMatrixEstimator(NOISY, seed=11, add_shot_noise=True)
+            scheduler = RoundScheduler(backend, estimator)
+            return _run_rounds(scheduler, _make_clusters(estimator, num_tasks=3, seed=2))
+
+        batched = run(DensityMatrixBackend(NOISY))
+        per_request = run(StatevectorBackend())
+        for left, right in zip(batched, per_request):
+            assert left.mixed_loss == right.mixed_loss
+            np.testing.assert_array_equal(left.parameters, right.parameters)
+
+    def test_mismatched_noise_models_fall_back_to_per_request(self):
+        estimator = DensityMatrixEstimator(NOISY, seed=0)
+        other = DensityMatrixBackend(get_backend_profile("hanoi").to_noise_model())
+        scheduler = RoundScheduler(other, estimator)
+        records = _run_rounds(scheduler, _make_clusters(estimator, num_tasks=2), rounds=1)
+        assert records
+        # Correctness first: the mismatched backend was never dispatched.
+        assert scheduler.batches_executed == 0
+        assert other.batches_run == 0
+
+    def test_exact_estimator_never_consumes_noisy_backend_payloads(self):
+        # An estimator without a requires_backend pin has exact pure-state
+        # physics; a noise-applying backend must not silently feed it noisy
+        # term vectors.  Per-request fallback keeps the values exact.
+        from repro.quantum import ExactEstimator
+
+        estimator = ExactEstimator(seed=0)
+        backend = DensityMatrixBackend(NOISY)
+        scheduler = RoundScheduler(backend, estimator)
+        clusters = _make_clusters(estimator, num_tasks=2, seed=3)
+        records = _run_rounds(scheduler, clusters, rounds=1)
+        assert scheduler.batches_executed == 0
+        assert backend.batches_run == 0
+        # Reference: the same seeded workload through the exact pure path.
+        reference_estimator = ExactEstimator(seed=0)
+        reference = _run_rounds(
+            RoundScheduler(StatevectorBackend(), reference_estimator),
+            _make_clusters(reference_estimator, num_tasks=2, seed=3),
+            rounds=1,
+        )
+        for left, right in zip(records, reference):
+            assert left.mixed_loss == right.mixed_loss
+
+    def test_noiseless_density_backend_may_serve_exact_estimators(self):
+        from repro.quantum import ExactEstimator
+
+        estimator = ExactEstimator(seed=0)
+        scheduler = RoundScheduler(DensityMatrixBackend(NoiseModel()), estimator)
+        _run_rounds(scheduler, _make_clusters(estimator, num_tasks=2, seed=4), rounds=1)
+        assert scheduler.batches_executed > 0
+
+    def test_states_consuming_estimator_falls_back_instead_of_crashing(self):
+        # SamplingEstimator needs prepared states, which a mixed-state backend
+        # cannot attach — the round must fall back per-request, not raise.
+        from repro.quantum import SamplingEstimator
+
+        estimator = SamplingEstimator(shots_per_term=64, seed=0)
+        backend = DensityMatrixBackend(NoiseModel())
+        scheduler = RoundScheduler(backend, estimator)
+        records = _run_rounds(scheduler, _make_clusters(estimator, num_tasks=2), rounds=1)
+        assert records
+        assert scheduler.batches_executed == 0
+        assert backend.batches_run == 0
+
+
+class TestControllerNoisyParity:
+    def test_batched_controller_reproduces_per_request_trajectories(self):
+        tasks = [
+            VQATask(
+                name=f"tfim@{field:.2f}",
+                hamiltonian=transverse_field_ising_chain(4, field),
+                scan_parameter=field,
+            )
+            for field in (0.8, 1.0, 1.2)
+        ]
+        ansatz = HardwareEfficientAnsatz(4, num_layers=1)
+        batched_config = TreeVQAConfig(
+            max_rounds=4, warmup_iterations=0, window_size=2,
+            disable_automatic_splits=True, seed=5,
+            backend="density_matrix", estimator="density_matrix", noise_model=NOISY,
+        )
+        per_request_config = dataclasses.replace(batched_config, backend="statevector")
+        batched = TreeVQAController(tasks, ansatz, batched_config).run()
+        per_request = TreeVQAController(tasks, ansatz, per_request_config).run()
+        for task in tasks:
+            assert (
+                batched.trajectories[task.name].energies
+                == per_request.trajectories[task.name].energies
+            )
+        assert batched.ledger.total == per_request.ledger.total
+
+    def test_config_wires_one_noise_model_to_backend_and_estimator(self):
+        config = TreeVQAConfig(
+            backend="density_matrix", estimator="density_matrix", noise_profile="cairo"
+        )
+        backend = config.make_backend()
+        estimator = config.make_estimator()
+        assert isinstance(backend, DensityMatrixBackend)
+        assert isinstance(estimator, DensityMatrixEstimator)
+        assert backend.noise_model == estimator.noise_model
+        assert backend.noise_model.name == "cairo"
+
+
+class TestErrorPaths:
+    def test_qubit_guard_at_backend_construction(self):
+        with pytest.raises(ValueError, match="limited to 12 qubits"):
+            DensityMatrixBackend(NOISY, num_qubits=13)
+
+    def test_qubit_guard_before_evolution(self):
+        circuit = QuantumCircuit(13).h(0)
+        operator = PauliOperator.from_terms([("Z" + "I" * 12, 1.0)])
+        with pytest.raises(ValueError, match="13 qubits"):
+            DensityMatrixBackend(NOISY).run_batch([ExecutionRequest(circuit, operator)])
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"backend": "density_matrix", "estimator": "density_matrix"},
+            # The per-request path (statevector backend, density estimator)
+            # must fail at wiring time too, not at the first 2^n allocation.
+            {"backend": "statevector", "estimator": "density_matrix"},
+        ],
+    )
+    def test_cluster_rejects_oversized_density_matrix_wiring(self, overrides):
+        config = TreeVQAConfig(noise_model=NOISY, **overrides)
+        ansatz = HardwareEfficientAnsatz(13, num_layers=1)
+        task = VQATask(
+            name="too-wide",
+            hamiltonian=transverse_field_ising_chain(13, 1.0),
+            scan_parameter=0.0,
+        )
+        with pytest.raises(ValueError, match="statevector"):
+            VQACluster(
+                cluster_id="c0",
+                tasks=[task],
+                ansatz=ansatz,
+                optimizer=config.make_optimizer(),
+                estimator=config.make_estimator(),
+                config=config,
+                initial_parameters=ansatz.zero_parameters(),
+            )
+
+    def test_estimator_guards_width_before_allocation(self):
+        circuit = QuantumCircuit(13).h(0)
+        operator = PauliOperator.from_terms([("Z" + "I" * 12, 1.0)])
+        with pytest.raises(ValueError, match="limited to 12 qubits"):
+            DensityMatrixEstimator(NOISY).estimate(circuit, operator)
+
+    def test_need_states_rejected(self):
+        requests = _requests(batch=1, seed=6)
+        with pytest.raises(ValueError, match="need_states"):
+            DensityMatrixBackend(NOISY).run_batch(requests, need_states=True)
+
+    def test_estimator_rejects_foreign_backend_result(self):
+        requests = _requests(batch=1, seed=7)
+        pure_result = StatevectorBackend().run_batch(requests)[0]
+        estimator = DensityMatrixEstimator(NOISY)
+        with pytest.raises(ValueError, match="density_matrix"):
+            estimator.estimate_backend_result(pure_result, requests[0].operator)
+
+    def test_noise_model_rejected_by_unitary_backends(self):
+        with pytest.raises(ValueError, match="noise model"):
+            make_execution_backend("statevector", noise_model=NOISY)
+        backend = make_execution_backend("density_matrix", noise_model=NOISY)
+        assert isinstance(backend, DensityMatrixBackend)
+        assert backend.noise_model == NOISY
+
+    def test_config_rejects_conflicting_or_unknown_noise_settings(self):
+        with pytest.raises(ValueError, match="not both"):
+            TreeVQAConfig(
+                backend="density_matrix", estimator="density_matrix",
+                noise_model=NOISY, noise_profile="hanoi",
+            )
+        with pytest.raises(ValueError, match="hanoi"):
+            TreeVQAConfig(
+                backend="density_matrix", estimator="density_matrix",
+                noise_profile="brisbane",
+            )
+
+    def test_config_rejects_noise_knobs_nothing_consumes(self):
+        # Only the density-matrix estimator consumes the noise model; any
+        # other estimator pairing would silently run noiseless — rejected at
+        # configuration time instead.
+        with pytest.raises(ValueError, match="no effect"):
+            TreeVQAConfig(noise_profile="hanoi")
+        with pytest.raises(ValueError, match="density_matrix"):
+            TreeVQAConfig(noise_model=NOISY, estimator="exact")
+        # A noisy backend alone is not enough: the scheduler keeps noisy
+        # payloads away from exact estimators, so that run is noiseless too.
+        with pytest.raises(ValueError, match="estimator"):
+            TreeVQAConfig(
+                backend="density_matrix", estimator="exact", noise_profile="hanoi"
+            )
+        # A density-matrix estimator (or a trusted factory) makes it valid.
+        TreeVQAConfig(estimator="density_matrix", noise_profile="hanoi")
+        TreeVQAConfig(
+            noise_model=NOISY,
+            estimator_factory=lambda: DensityMatrixEstimator(NOISY),
+        )

@@ -4,9 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.density_matrix import DensityMatrix, DensityMatrixSimulator
+from repro.quantum.density_matrix import (
+    DensityMatrix,
+    DensityMatrixSimulator,
+    apply_channel_to_density_batch,
+)
 from repro.quantum.noise import (
     BACKEND_PROFILES,
     NoiseModel,
@@ -48,6 +53,87 @@ class TestChannels:
         rho = np.array([[1, 0], [0, 0]], dtype=complex)
         out = sum(k @ rho @ k.conj().T for k in channel.operators)
         np.testing.assert_allclose(out, np.eye(2) / 2, atol=1e-12)
+
+
+#: Every channel constructor, by its single probability/gamma knob.
+_CHANNEL_MAKERS = [
+    depolarizing_channel,
+    amplitude_damping_channel,
+    dephasing_channel,
+    bit_flip_channel,
+    two_qubit_depolarizing_channel,
+]
+
+_probability = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _random_density_batch(seed: int, num_qubits: int, batch: int) -> np.ndarray:
+    """A batch of valid (PSD, unit-trace) random mixed states."""
+    rng = np.random.default_rng(seed)
+    dim = 2 ** num_qubits
+    raw = rng.normal(size=(batch, dim, dim)) + 1j * rng.normal(size=(batch, dim, dim))
+    rhos = raw @ np.conj(np.swapaxes(raw, 1, 2))
+    traces = np.trace(rhos, axis1=1, axis2=2).real
+    return rhos / traces[:, None, None]
+
+
+class TestChannelProperties:
+    """Property-based guarantees over the whole channel-parameter space."""
+
+    @pytest.mark.parametrize("maker", _CHANNEL_MAKERS)
+    @settings(max_examples=50, deadline=None)
+    @given(probability=_probability)
+    def test_every_constructor_is_trace_preserving(self, maker, probability):
+        assert maker(probability).is_trace_preserving()
+
+    @settings(max_examples=30, deadline=None)
+    @given(probability=_probability, seed=st.integers(0, 2**31 - 1))
+    def test_superoperator_matches_kraus_sum(self, probability, seed):
+        # The cached superoperator (the batched path's channel form) applies
+        # the identical CPTP map as the explicit Σ K ρ K† definition.
+        channel = depolarizing_channel(probability)
+        rho = _random_density_batch(seed, num_qubits=1, batch=1)[0]
+        explicit = sum(k @ rho @ k.conj().T for k in channel.operators)
+        via_superop = (channel.superoperator() @ rho.reshape(-1)).reshape(2, 2)
+        np.testing.assert_allclose(via_superop, explicit, atol=1e-12)
+
+    @pytest.mark.parametrize("maker", _CHANNEL_MAKERS)
+    @settings(max_examples=25, deadline=None)
+    @given(probability=_probability, seed=st.integers(0, 2**31 - 1))
+    def test_batched_application_preserves_physicality(self, maker, probability, seed):
+        # Batch-wide channel application keeps every slice a valid mixed
+        # state: unit trace, Hermitian, purity within [1/2^n, 1].
+        channel = maker(probability)
+        num_qubits = 2
+        batch = 3
+        rhos = _random_density_batch(seed, num_qubits, batch)
+        tensor = rhos.reshape((batch,) + (2,) * (2 * num_qubits))
+        qubits = (0, 1) if channel.num_qubits == 2 else (1,)
+        out = apply_channel_to_density_batch(
+            tensor, channel.superoperator(), qubits, num_qubits
+        ).reshape(batch, 4, 4)
+        for rho in out:
+            assert np.trace(rho).real == pytest.approx(1.0, abs=1e-10)
+            np.testing.assert_allclose(rho, rho.conj().T, atol=1e-10)
+            purity = float(np.trace(rho @ rho).real)
+            assert 1.0 / 2 ** num_qubits - 1e-10 <= purity <= 1.0 + 1e-10
+
+    def test_is_noiseless_short_circuits_channel_application(self):
+        model = NoiseModel()
+        assert model.is_noiseless
+        assert model.single_qubit_channels() == []
+        assert model.two_qubit_channels() == []
+        # A noiseless simulation therefore applies only the unitaries: the
+        # prepared state stays exactly pure.
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).ry(0.4, 1)
+        rho = DensityMatrixSimulator(model).run(circuit)
+        assert rho.purity() == pytest.approx(1.0, abs=1e-12)
+
+    def test_unknown_backend_profile_lists_available_names(self):
+        with pytest.raises(ValueError, match="auckland.*cairo.*hanoi.*kolkata.*mumbai"):
+            get_backend_profile("brisbane")
 
 
 class TestNoiseModel:
