@@ -208,7 +208,12 @@ class VQACluster:
         :meth:`tell` until it returns a completed :class:`ClusterStepRecord`
         (SPSA completes in one ask/tell exchange, COBYLA asks one probe at a
         time).  Requests carry the cluster's mixed operator and shared
-        initial state, so any execution backend can serve them.
+        initial state, so any execution backend can serve them — including
+        across process boundaries: the payload (shared compiled program,
+        per-point parameter row, initial amplitudes, mixed operator) pickles
+        cheaply, which is what lets
+        :class:`~repro.quantum.parallel.ParallelBackend` shard a round's
+        asks over worker processes without rebuilding any cluster state.
         """
         if self.retired:
             raise RuntimeError(f"cluster {self.cluster_id} is retired")

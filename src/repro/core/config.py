@@ -9,11 +9,14 @@ splits).
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from functools import partial
 
 from ..optimizers import COBYLA, SPSA, IterativeOptimizer
 from ..quantum.backend import BACKEND_REGISTRY, ExecutionBackend, make_execution_backend
+from ..quantum.parallel import ParallelBackend
 from ..quantum.noise import NoiseModel, get_backend_profile
 from ..quantum.sampling import (
     BaseEstimator,
@@ -41,33 +44,66 @@ class TreeVQAConfig:
 
     Attributes:
         max_total_shots: Global shot budget S_max (Algorithm 1).  ``None``
-            means "until max_rounds".
+            (default) means "until max_rounds"; must be ≥ 1 when set.  A
+            budget break lands mid-round in the same strict cluster order
+            regardless of ``max_batch_size``/``execution_workers``.
         max_rounds: Maximum number of controller rounds (each active cluster
-            performs one VQA iteration per round).
+            performs one VQA iteration per round).  Default 200; must be
+            ≥ 1.
         shots_per_pauli_term: Shots charged per Pauli term per evaluation
-            (§7.3; 4096 by default).
+            (§7.3; 4096 by default, must be ≥ 1).  Also the variance scale
+            of the ``shot_noise`` estimator and the per-basis sample count
+            of the ``sampling`` estimator.
         warmup_iterations: Iterations before the slope monitor may trigger a
-            split (§5.2.2).
+            split (§5.2.2).  Default 20; must be ≥ 0.
         window_size: Sliding-window length W for the slope regressions.
+            Default 10; must be ≥ 2 (a slope needs two points).
         epsilon_split: Stall threshold ε_split on the mixed-loss slope.
-        individual_slope_threshold: Threshold on per-task slopes (0.0
-            reproduces the paper's "any slope_i > 0" condition).
+            Default 1e-3; must be ≥ 0.  Meaningful only relative to the
+            loss scale of the task family; the §9.1 knobs
+            (``forced_split_iteration`` / ``disable_automatic_splits``)
+            bypass it.
+        individual_slope_threshold: Threshold on per-task slopes (default
+            0.0, which reproduces the paper's "any slope_i > 0" condition).
         split_check_every: Check the split condition every k iterations.
-        num_split_children: Number of children per split (2 in the paper).
+            Default 1; must be ≥ 1.
+        num_split_children: Number of children per split (default 2, as in
+            the paper; must be ≥ 2 and is capped at the cluster size when a
+            split fires).
         min_cluster_size: Clusters at or below this size never split.
-        optimizer: ``"spsa"`` or ``"cobyla"`` (or supply ``optimizer_factory``).
-        optimizer_kwargs: Keyword arguments forwarded to the optimizer.
-        optimizer_factory: Optional callable overriding optimizer creation.
-        estimator: ``"exact"``, ``"shot_noise"``, ``"sampling"`` or
-            ``"density_matrix"`` (noisy simulation under the resolved noise
-            model; ignored when ``estimator_factory`` is supplied).
+            Default 1 (singletons never split regardless); must be ≥ 1.
+        optimizer: ``"spsa"`` (default) or ``"cobyla"``; validated against
+            the registry unless ``optimizer_factory`` is supplied (a factory
+            makes the name moot).
+        optimizer_kwargs: Keyword arguments forwarded to the optimizer
+            constructor (default ``{}``).  SPSA additionally receives
+            ``seed`` from the config unless the kwargs override it.
+        optimizer_factory: Optional callable overriding optimizer creation;
+            called once per cluster (and per baseline task), so it must
+            return a *fresh* optimizer each call.
+        estimator: ``"exact"`` (default), ``"shot_noise"``, ``"sampling"``
+            or ``"density_matrix"`` (noisy simulation under the resolved
+            noise model); validated against the registry unless
+            ``estimator_factory`` is supplied.  Interaction:
+            ``noise_model``/``noise_profile`` require a noise-consuming
+            estimator (``"density_matrix"`` or a factory), and the
+            ``"density_matrix"`` estimator only *batches* when the backend
+            is ``"density_matrix"`` with the same noise model — any other
+            pairing falls back to per-request estimation.
+        estimator_factory: Optional callable overriding estimator creation
+            (one shared instance per controller; its RNG stream is consumed
+            in strict cluster order, which is what keeps noisy trajectories
+            independent of batching and worker count).
         backend: Execution backend for batched state preparation:
             ``"statevector"`` (dense, batched), ``"clifford"`` (stabilizer
             fast path for π/2-multiple angles, dense fallback otherwise) or
             ``"density_matrix"`` (batched noisy ``U ρ U†`` execution under
             the resolved noise model — pair it with
             ``estimator="density_matrix"`` so noisy rounds batch).
-        backend_factory: Optional callable overriding backend creation.
+        backend_factory: Optional callable overriding backend creation.  Must
+            build a *fresh* backend per call: with ``execution_workers`` set
+            it also runs once inside every worker process (so under the
+            ``spawn`` start method it must be picklable).
         noise_model: Explicit :class:`~repro.quantum.noise.NoiseModel` for the
             density-matrix backend/estimator (exclusive with
             ``noise_profile``; None means noiseless).
@@ -76,9 +112,28 @@ class TreeVQAConfig:
             :data:`~repro.quantum.noise.BACKEND_PROFILES`) converted to a
             noise model at construction time.
         max_batch_size: Cap on requests per backend dispatch.  ``None``
-            executes each round's full request set in one batch; ``1`` is the
-            sequential degenerate case (bit-identical trajectories under the
-            exact estimator either way).
+            (default) executes each round's full request set in one batch;
+            ``1`` is the sequential degenerate case (bit-identical
+            trajectories under the exact estimator either way).  Interacts
+            with ``execution_workers``: each chunk is what gets sharded
+            across the pool, so a cap far below
+            ``workers x per-worker batch`` serialises the round — leave it
+            ``None`` unless peak memory (``batch x 2^n`` amplitudes, or
+            ``batch x 2^n x 2^n`` with ``noise_model``) forces a cap.
+        execution_workers: Number of worker processes for multi-process
+            execution sharding (validated ≥ 1 when set).  ``None`` (default)
+            executes in-process; any value wraps the configured backend in a
+            :class:`~repro.quantum.parallel.ParallelBackend` whose merged
+            results are bit-identical to in-process dispatch for every
+            worker count (``1`` is the exact degenerate case), for every
+            backend — including ``"density_matrix"``, whose per-request cost
+            dominates and parallelises best.  Shot-noise RNG streams live in
+            the estimator layer of the parent process, so noisy trajectories
+            are also worker-count independent.  When unset, the
+            ``REPRO_EXECUTION_WORKERS`` environment variable supplies the
+            value (the CI parallel smoke uses this); ``0`` there forces
+            in-process execution, so an env-driven matrix can express the
+            workers-off leg.
         use_circuit_programs: Compile each cluster's ansatz once into a
             reusable :class:`~repro.quantum.program.CircuitProgram` and ask
             with (program, parameter-row) payloads instead of freshly bound
@@ -92,12 +147,18 @@ class TreeVQAConfig:
             :func:`~repro.quantum.program.program_cache_stats` for hit/miss
             statistics (a per-run delta is attached to every controller
             result under ``metadata["program_cache"]``).
-        forced_split_iteration: §9.1 study — force exactly one split at this
-            cluster iteration.
-        disable_automatic_splits: §9.1 study — suppress condition-based splits.
-        record_trajectory: Record per-task energy/shots trajectories (needed
-            by every figure; disable only for micro-benchmarks).
-        seed: Seed for optimizers, estimators and spectral clustering.
+        forced_split_iteration: §9.1 study — force exactly one split (per
+            root cluster) at this cluster iteration.  Default ``None``
+            (condition-based splitting).
+        disable_automatic_splits: §9.1 study — suppress condition-based
+            splits (default False).
+        record_trajectory: Record per-task energy/shots trajectories
+            (default True; needed by every figure; disable only for
+            micro-benchmarks).
+        seed: Seed for optimizers, estimators and spectral clustering
+            (default 0; ``None`` draws fresh OS entropy — runs are then not
+            reproducible and the parity guarantees above become
+            distributional rather than bitwise between repeats).
     """
 
     max_total_shots: int | None = None
@@ -120,6 +181,7 @@ class TreeVQAConfig:
     noise_model: NoiseModel | None = None
     noise_profile: str | None = None
     max_batch_size: int | None = None
+    execution_workers: int | None = None
     use_circuit_programs: bool = True
     program_cache_size: int | None = None
     forced_split_iteration: int | None = None
@@ -178,6 +240,26 @@ class TreeVQAConfig:
                 )
         if self.max_batch_size is not None and self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1 when set")
+        if self.execution_workers is None:
+            env = os.environ.get("REPRO_EXECUTION_WORKERS")
+            if env:
+                try:
+                    workers = int(env)
+                except ValueError:
+                    raise ValueError(
+                        f"REPRO_EXECUTION_WORKERS must be an integer, got {env!r}"
+                    ) from None
+                if workers < 0:
+                    raise ValueError(
+                        "REPRO_EXECUTION_WORKERS must be >= 0 "
+                        f"(0 forces in-process execution), got {workers}"
+                    )
+                # 0 means "force in-process" so an env-driven test matrix can
+                # express the workers-off leg; > 0 supplies the pool size.
+                if workers > 0:
+                    self.execution_workers = workers
+        if self.execution_workers is not None and self.execution_workers < 1:
+            raise ValueError("execution_workers must be >= 1 when set")
         if self.program_cache_size is not None and self.program_cache_size < 1:
             raise ValueError("program_cache_size must be >= 1 when set")
 
@@ -214,19 +296,36 @@ class TreeVQAConfig:
             shots_per_term=self.shots_per_pauli_term, seed=self.seed
         )
 
-    def make_backend(self) -> ExecutionBackend:
-        """Construct the execution backend for batched rounds.
+    def _inner_backend_factory(self) -> Callable[[], ExecutionBackend]:
+        """Zero-argument factory for the configured (inner) backend.
 
+        The factory — not a backend instance — is what multi-process
+        execution needs: every worker process builds its own backend from it.
         The resolved noise model is forwarded to noise-capable backends
         (``"density_matrix"``); purely unitary backends are constructed
         without it, so a noise model configured for a per-request noisy
         estimator does not break a statevector-backend run.
         """
         if self.backend_factory is not None:
-            return self.backend_factory()
+            return self.backend_factory
         backend_cls = BACKEND_REGISTRY[self.backend]
         if getattr(backend_cls, "accepts_noise_model", False):
-            return make_execution_backend(
-                self.backend, noise_model=self.resolve_noise_model()
+            return partial(
+                make_execution_backend, self.backend, noise_model=self.resolve_noise_model()
             )
-        return make_execution_backend(self.backend)
+        return partial(make_execution_backend, self.backend)
+
+    def make_backend(self) -> ExecutionBackend:
+        """Construct the execution backend for batched rounds.
+
+        With ``execution_workers`` set, the configured backend is wrapped in
+        a :class:`~repro.quantum.parallel.ParallelBackend` that shards every
+        dispatch across that many worker processes (bit-identical results;
+        the pool spawns lazily and is released by
+        :meth:`~repro.core.controller.TreeVQAController.close` /
+        ``ParallelBackend.close``).
+        """
+        factory = self._inner_backend_factory()
+        if self.execution_workers is None:
+            return factory()
+        return ParallelBackend(factory, workers=self.execution_workers)

@@ -133,15 +133,37 @@ class TreeVQAController:
         return budget is not None and self.ledger.total >= budget
 
     def run(self) -> TreeVQAResult:
-        """Execute Algorithm 1 and return the per-task results."""
+        """Execute Algorithm 1 and return the per-task results.
+
+        Controllers are run-once, so execution resources the backend may
+        hold (the worker pool of a
+        :class:`~repro.quantum.parallel.ParallelBackend` under
+        ``execution_workers``) are released before returning; the backend
+        object stays inspectable and would lazily respawn its pool if
+        dispatched again.
+        """
         if self._has_run:
             raise RuntimeError("controller.run() may only be called once per instance")
         self._has_run = True
         config = self.config
-        while self._rounds_completed < config.max_rounds and not self._budget_exhausted():
-            self._rounds_completed += 1
-            self._run_round()
-        return self._finalize()
+        try:
+            while self._rounds_completed < config.max_rounds and not self._budget_exhausted():
+                self._rounds_completed += 1
+                self._run_round()
+            return self._finalize()
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        """Release backend-held execution resources (idempotent; also called
+        at the end of :meth:`run` and on context-manager exit)."""
+        self.scheduler.close()
+
+    def __enter__(self) -> "TreeVQAController":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _run_round(self) -> None:
         """Step every active cluster once through one batched dispatch.
@@ -185,15 +207,22 @@ class TreeVQAController:
                 next_clusters.append(cluster)
         self._clusters = next_clusters
 
-    def _program_cache_delta(self) -> dict[str, int]:
+    def _program_cache_delta(self) -> dict[str, int | dict[str, int]]:
         """This run's program-cache activity (counters since construction;
-        ``size``/``limit`` are reported as-is)."""
+        ``size``/``limit`` are reported as-is).  Under multi-process
+        execution the backend's worker-pool program-shipping stats ride
+        along under a ``"workers"`` sub-key, so cache behaviour on both
+        sides of the process boundary lands in one metadata entry."""
         stats = program_cache_stats()
         baseline = self._program_cache_baseline
-        return {
+        delta: dict = {
             key: stats[key] - baseline[key] if key in ("hits", "misses", "evictions") else stats[key]
             for key in stats
         }
+        worker_stats = getattr(self.backend, "worker_cache_stats", None)
+        if worker_stats is not None:
+            delta["workers"] = worker_stats()
+        return delta
 
     def _finalize(self) -> TreeVQAResult:
         """Post-processing (§5.3) and result assembly."""

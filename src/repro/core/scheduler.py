@@ -86,9 +86,26 @@ class RoundScheduler:
     def execute(self, requests: Sequence[ExecutionRequest]) -> list[EstimatorResult]:
         """Execute requests through the backend + estimator noise layer.
 
-        Results are returned in request order.  Requests are chunked to
-        ``max_batch_size`` per backend dispatch; estimators that cannot
-        consume backend payloads fall back to their per-request path.
+        Contract:
+
+        * **Ordering** — results are returned in request order, one
+          :class:`~repro.quantum.sampling.EstimatorResult` per request,
+          regardless of how requests are chunked (``max_batch_size``),
+          grouped by structure inside the backend, or sharded across worker
+          processes (a :class:`~repro.quantum.parallel.ParallelBackend`).
+        * **Estimator state** — the estimator's noise RNG and shot counters
+          are touched exactly once per request, in request order, in this
+          process; estimator-level noise is therefore independent of the
+          backend's batching/sharding layout.
+        * **Errors** — an invalid request raises from the dispatch (a
+          worker-side failure surfaces as
+          :class:`~repro.quantum.parallel.ParallelExecutionError`); no
+          partial results are returned and the estimator never sees work
+          that failed.
+        * **Fallback** — estimators that cannot consume this backend's
+          payloads (capability flags / ``requires_backend`` pin) are driven
+          through their always-correct per-request ``estimate`` path; the
+          backend is not touched then.
         """
         requests = list(requests)
         if not requests:
@@ -182,6 +199,26 @@ class RoundScheduler:
             return [requests]
         return [requests[i : i + size] for i in range(0, len(requests), size)]
 
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend-held execution resources (idempotent).
+
+        Backends without a ``close`` method (every in-process backend) make
+        this a no-op; a :class:`~repro.quantum.parallel.ParallelBackend`
+        shuts its worker pool down.  The scheduler remains usable — such
+        backends respawn lazily on the next dispatch.
+        """
+        close = getattr(self.backend, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "RoundScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- round orchestration ----------------------------------------------------
 
     def run_round(
@@ -191,6 +228,15 @@ class RoundScheduler:
         on_record: Callable[["VQACluster", "ClusterStepRecord"], bool] | None = None,
     ) -> list[tuple["VQACluster", "ClusterStepRecord"]]:
         """Step every cluster once through batched execution.
+
+        Contract: every cluster in ``clusters`` is stepped exactly once (or
+        aborted un-stepped after a stop — never half-stepped), whatever mix
+        of optimizers, batch sizes, backends, or worker counts is in play;
+        the reported records are bit-identical to stepping the clusters one
+        at a time through :meth:`~repro.core.cluster.VQACluster.step` — also
+        under noisy estimators, whose RNG draws happen per record in the
+        same strict consumption order (given the same estimator instance and
+        seed).
 
         Completed steps are reported to ``on_record`` in strict cluster order
         — the order the sequential controller stepped them — buffering any

@@ -32,6 +32,7 @@ from .noise import (
     global_depolarizing_expectation,
     two_qubit_depolarizing_channel,
 )
+from .parallel import ParallelBackend, ParallelExecutionError, default_worker_count
 from .pauli import PauliOperator, PauliString, pauli_matrix
 from .pauli_propagation import PauliPropagationConfig, PauliPropagationSimulator
 from .program import (
@@ -89,6 +90,9 @@ __all__ = [
     "get_backend_profile",
     "global_depolarizing_expectation",
     "two_qubit_depolarizing_channel",
+    "ParallelBackend",
+    "ParallelExecutionError",
+    "default_worker_count",
     "PauliOperator",
     "PauliString",
     "pauli_matrix",

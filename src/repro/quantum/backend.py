@@ -133,6 +133,16 @@ class ExecutionRequest:
             object.__setattr__(self, "_resolved_circuit", cached)
         return cached
 
+    def __getstate__(self):
+        """Requests pickle without the resolved-circuit memo: it is derivable
+        from (program, parameters) and would bloat cross-process payloads."""
+        state = dict(self.__dict__)
+        state.pop("_resolved_circuit", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
     def bound_instruction_params(self):
         """Lazily yield ``(gate, qubits, params)`` triples of the execution,
         without materialising circuit objects for program requests."""
@@ -174,9 +184,33 @@ class ExecutionBackend:
     ) -> list[BackendResult]:
         """Execute ``requests`` and return results in request order.
 
-        ``need_states`` asks the backend to attach the prepared statevector to
-        each result (required by estimators that sample from states rather
-        than consuming exact term vectors).
+        Contract every implementation (and wrapper) must honour:
+
+        * **Ordering** — exactly one :class:`BackendResult` per request, in
+          request order, each echoing its request's ``tag``.  Backends are
+          free to reorder *internally* (group by program fingerprint, shard
+          across worker processes), but the returned list order is the
+          caller's request order.
+        * **Composition-independence** — each request's payload depends only
+          on that request (its program/circuit, parameter row, and initial
+          state), never on which other requests share the batch.  Together
+          with deterministic per-request execution this is what makes
+          batched, chunked (``max_batch_size``), and multi-process
+          (``execution_workers``) dispatch bit-identical to sequential
+          execution; see ``docs/ARCHITECTURE.md``.
+        * **Determinism** — no randomness below this layer: backends report
+          exact expectation values (noisy backends apply their physics
+          through deterministic superoperators).  Shot/sampling noise is the
+          estimator layer's job.
+        * **Errors** — an unservable request (unbound circuit, qubit-count
+          mismatch, width beyond a backend's limit) raises with an
+          actionable message and no partial results; batches are all-or-
+          nothing.
+        * **States** — ``need_states=True`` asks for the prepared
+          statevector on each result (required by estimators that sample
+          from states rather than consuming exact term vectors); backends
+          that cannot attach one advertise ``provides_states = False`` so
+          the scheduler never pairs them with a states-consuming estimator.
         """
         raise NotImplementedError
 

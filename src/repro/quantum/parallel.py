@@ -1,0 +1,589 @@
+"""Multi-process execution sharding: a worker-pool wrapper around any backend.
+
+Every :class:`~repro.quantum.backend.ExecutionBackend` dispatch so far ran on
+a single core.  A TreeVQA round, however, is a bag of *independent* circuit
+executions, and the compiled :class:`~repro.quantum.program.CircuitProgram`
+tape is exactly the kind of array program that shards cleanly: requests
+sharing a program fingerprint can be stacked on any worker, and the merged
+results depend only on each request's own (program, parameter-row, initial
+state) triple — never on which worker ran it or in what order shards
+completed.
+
+:class:`ParallelBackend` composes rather than replaces: it wraps a factory
+for any inner backend (statevector, Clifford-routed, density-matrix, or a
+custom one), shards each ``run_batch`` across a persistent pool of worker
+processes, executes every shard through the inner backend's own
+``run_batch``, and merges the :class:`~repro.quantum.backend.BackendResult`
+payloads back in the original request order.
+
+Bit-identity contract (extends the batching invariant)
+------------------------------------------------------
+Results are **bit-identical** to in-process dispatch for any worker count —
+``workers=1`` is the exact degenerate case — because
+
+* the backend layer is deterministic: every shipped backend computes exact
+  expectation values (the density-matrix backend's noisy physics is applied
+  through deterministic superoperators and analytic readout folding — no
+  RNG lives below the estimator layer);
+* per-request execution is independent of batch composition (the PR 2
+  invariant), so re-grouping requests into per-worker shards cannot change
+  any request's amplitudes;
+* results are merged by original request index, never by completion order.
+
+Shot-noise and sampling randomness belong to the *estimator* layer, which
+never crosses a process boundary: the round scheduler converts backend
+payloads through the shared estimator in strict consumption order in the
+parent process, so per-request noise streams are derived per request, not
+per worker, and noisy trajectories are also worker-count independent.
+
+Sharding and the warm per-worker program cache
+----------------------------------------------
+Requests are ordered program-group-major (fingerprint groups in first-seen
+order, then bound-circuit requests) and split into near-equal contiguous
+shards, so same-structure requests land together and each worker's program
+cache stays warm; bound-circuit requests are balanced round-robin style onto
+the least-loaded workers.  A program is pickled to a given worker only once
+— later dispatches send a small integer reference — and the shipping
+counters are surfaced as :meth:`ParallelBackend.worker_cache_stats` (the
+controller folds them into ``metadata["program_cache"]["workers"]``).
+
+Failure semantics
+-----------------
+An exception raised *inside* a worker (an invalid request, an oversized
+density matrix, ...) is re-raised in the parent as
+:class:`ParallelExecutionError` carrying the remote traceback — the same
+control flow in-process execution would have produced.  A worker process
+*dying* (OOM kill, segfault, manual ``kill``) is different: the pool is torn
+down, an actionable :class:`RuntimeWarning` is emitted, and the batch — plus
+every subsequent one — executes in-process through the wrapper's own inner
+backend instance, so the round completes with identical results.  A payload
+that cannot cross the process boundary at all (an unpicklable object inside
+a custom request) takes the same warn-and-fall-back path — in-process
+execution needs no pickling, so the round still completes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+import warnings
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .backend import BackendResult, ExecutionBackend, ExecutionRequest
+from .engine import compiled_pauli_operator
+from .statevector import Statevector
+
+__all__ = [
+    "ParallelBackend",
+    "ParallelExecutionError",
+    "default_worker_count",
+]
+
+
+class ParallelExecutionError(RuntimeError):
+    """An execution request failed inside a worker process.
+
+    The message carries the worker-side traceback; the failure semantics
+    match raising from an in-process ``run_batch`` call.
+    """
+
+
+def default_worker_count() -> int:
+    """Worker count used when none is given: one per *available* CPU.
+
+    Prefers the scheduling affinity mask (which cgroup limits and
+    ``taskset`` restrict) over ``os.cpu_count()`` (which reports the whole
+    machine), so the default pool never oversubscribes a CPU-limited
+    container.
+    """
+    try:
+        return max(len(os.sched_getaffinity(0)), 1)
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        return max(os.cpu_count() or 1, 1)
+
+
+# -- wire protocol ----------------------------------------------------------------
+#
+# Parent -> worker:  ("run", job_id, [encoded request, ...], need_states)
+#                    ("close",)
+# Worker -> parent:  ("ok", job_id, [BackendResult, ...])
+#                    ("error", job_id, formatted_traceback)
+#
+# Requests are encoded rather than pickled verbatim so the expensive,
+# reusable parts — the compiled CircuitProgram and the measured PauliOperator
+# (hundreds of terms for molecular workloads, identical across a cluster's
+# requests and rounds) — cross the boundary once per worker (later dispatches
+# carry only a small integer id), and so per-request extras that need not
+# cross (tags, memoised resolved circuits) stay behind.  Operators are
+# interned by *value* fingerprint, not identity, so an operator mutated
+# in-place (``chop``) ships fresh under a new id.
+
+_PROGRAM = "p"
+_CIRCUIT = "c"
+
+
+def _operator_fingerprint(operator) -> tuple:
+    """Value key for operator interning (same shape the engine cache uses)."""
+    return (operator.num_qubits, tuple((p.label, c) for p, c in operator.items()))
+
+
+def _decode_request(
+    encoded: tuple, programs: dict[int, object], operators: dict[int, object]
+) -> ExecutionRequest:
+    """Rebuild an :class:`ExecutionRequest` on the worker side, caching newly
+    shipped programs/operators (the worker's warm caches)."""
+    kind, payload, operator_ref, initial, bitstring = encoded
+    operator_id, operator = operator_ref
+    if operator is not None:
+        operators[operator_id] = operator
+    initial_state = None if initial is None else Statevector(initial)
+    if kind == _PROGRAM:
+        program_id, program, parameters = payload
+        if program is not None:
+            programs[program_id] = program
+        return ExecutionRequest(
+            circuit=None,
+            operator=operators[operator_id],
+            initial_state=initial_state,
+            initial_bitstring=bitstring,
+            program=programs[program_id],
+            parameters=parameters,
+        )
+    return ExecutionRequest(
+        circuit=payload,
+        operator=operators[operator_id],
+        initial_state=initial_state,
+        initial_bitstring=bitstring,
+    )
+
+
+def _worker_main(connection, inner_factory: Callable[[], ExecutionBackend]) -> None:
+    """Worker process loop: build the inner backend once, serve shards.
+
+    The backend instance and the decoded-program cache persist for the life
+    of the worker, so every dispatch after the first reuses the warm program
+    tapes, compiled Pauli engines, and any backend-internal caches (e.g. the
+    density-matrix backend's superoperator cache).
+    """
+    backend = inner_factory()
+    programs: dict[int, object] = {}
+    operators: dict[int, object] = {}
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] == "close":
+            break
+        _, job_id, encoded_requests, need_states = message
+        try:
+            requests = [
+                _decode_request(item, programs, operators)
+                for item in encoded_requests
+            ]
+            results = backend.run_batch(requests, need_states=need_states)
+            # term_basis is derivable parent-side from each request's
+            # operator (the contract pins it to the operator's term order),
+            # so strip it from the reply — for a 100+-term operator it would
+            # otherwise re-pickle every PauliString per request per round,
+            # defeating the once-per-worker shipping of the request leg.
+            reply = ("ok", job_id, [replace(r, term_basis=()) for r in results])
+        except Exception:
+            reply = ("error", job_id, traceback.format_exc())
+        try:
+            connection.send(reply)
+        except (BrokenPipeError, OSError):  # parent went away; nothing to do
+            break
+    connection.close()
+
+
+@dataclass
+class _Worker:
+    """Parent-side handle of one pool member."""
+
+    process: object
+    connection: object
+    #: Program ids already pickled to this worker (its cache mirror).
+    shipped: set[int] = field(default_factory=set)
+    #: Operator ids already pickled to this worker.
+    shipped_operators: set[int] = field(default_factory=set)
+
+
+class ParallelBackend(ExecutionBackend):
+    """Shard batches of execution requests across a pool of worker processes.
+
+    Parameters:
+        inner_factory: Zero-argument picklable callable building the backend
+            each worker (and the in-process fallback) executes through.  Use
+            e.g. ``functools.partial(make_execution_backend, "statevector")``;
+            under the default ``fork`` start method any callable works.
+        workers: Pool size (≥ 1; default: one per CPU).  ``workers=1`` is the
+            exact degenerate case — same results, one worker process.
+        start_method: ``multiprocessing`` start method (default: ``"fork"``
+            where available, else ``"spawn"``).
+
+    The pool spawns lazily on the first ``run_batch`` and must be released
+    with :meth:`close` (or by using the backend as a context manager); the
+    controller closes its backend at the end of ``run()``.  Workers are
+    daemonic, so leaked pools die with the interpreter.
+    """
+
+    def __init__(
+        self,
+        inner_factory: Callable[[], ExecutionBackend],
+        *,
+        workers: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        resolved = default_worker_count() if workers is None else int(workers)
+        if resolved < 1:
+            raise ValueError("workers must be >= 1")
+        self._inner_factory = inner_factory
+        #: Local template instance: serves the scheduler's capability probing
+        #: (name, provides_states, noise_model) and in-process fallback.
+        self._inner = inner_factory()
+        self.workers = resolved
+        self._start_method = start_method
+        self._pool: list[_Worker] | None = None
+        self._broken = False
+        self._job_counter = 0
+        #: fingerprint -> small pool-wide integer id (fingerprints are large
+        #: structural tuples; only the id crosses the process boundary after
+        #: the first shipment).
+        self._program_ids: dict[tuple, int] = {}
+        #: operator value-fingerprint -> wire id (same interning scheme).
+        self._operator_ids: dict[tuple, int] = {}
+        self.batches_run = 0
+        self.requests_run = 0
+        #: Per-worker shard dispatches performed.
+        self.shards_dispatched = 0
+        #: Batches executed in-process (pool broken or failed to start).
+        self.fallback_batches = 0
+        #: Times a program was pickled to some worker.
+        self.programs_shipped = 0
+        #: Program-path requests served from a worker's warm program cache.
+        self.program_reuses = 0
+
+    # -- scheduler-facing metadata (delegated to the inner template) ------------
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        """The *inner* backend's name: estimator/backend pairing (e.g. the
+        density-matrix estimator's ``requires_backend`` pin) must see through
+        the wrapper."""
+        return self._inner.name
+
+    @property
+    def provides_states(self) -> bool:  # type: ignore[override]
+        return getattr(self._inner, "provides_states", True)
+
+    @property
+    def noise_model(self):
+        """The inner backend's noise model (None for unitary backends) — the
+        scheduler's exactness/pairing checks apply to the wrapped physics."""
+        return getattr(self._inner, "noise_model", None)
+
+    @property
+    def inner(self) -> ExecutionBackend:
+        """The local inner template instance (also the fallback executor)."""
+        return self._inner
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def _ensure_pool(self) -> list[_Worker]:
+        if self._pool is not None:
+            return self._pool
+        method = self._start_method
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        context = multiprocessing.get_context(method)
+        pool: list[_Worker] = []
+        try:
+            for index in range(self.workers):
+                parent_end, child_end = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_end, self._inner_factory),
+                    name=f"repro-exec-worker-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_end.close()
+                pool.append(_Worker(process=process, connection=parent_end))
+        except Exception:
+            for worker in pool:
+                worker.connection.close()
+                worker.process.terminate()
+            raise
+        self._pool = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent).
+
+        A later ``run_batch`` lazily respawns a fresh pool, so a closed
+        backend remains usable — including after a worker crash marked the
+        pool broken; the program-shipping bookkeeping restarts with it.
+        """
+        self._broken = False
+        pool, self._pool = self._pool, None
+        if not pool:
+            return
+        for worker in pool:
+            try:
+                worker.connection.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in pool:
+            try:
+                worker.connection.close()
+            except OSError:
+                pass
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+
+    def __enter__(self) -> "ParallelBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- sharding ---------------------------------------------------------------
+
+    def _shards(self, requests: list[ExecutionRequest]) -> list[list[int]]:
+        """Deterministic request-index shards, one per worker.
+
+        Program requests are laid out group-major (fingerprint groups in
+        first-seen order) and cut into near-equal contiguous spans, so a
+        structure group touches as few workers as possible — each keeps its
+        own program cache warm — while the load stays balanced to within one
+        request.  Bound-circuit requests (no fingerprint without compiling,
+        which belongs to the workers) are then dealt round-robin onto the
+        least-loaded workers.  The assignment depends only on the request
+        list, never on worker timing, and results are merged by original
+        index — so sharding can never affect the merged payloads.
+        """
+        groups: dict[tuple, list[int]] = {}
+        loose: list[int] = []
+        for index, request in enumerate(requests):
+            if request.program is not None:
+                groups.setdefault(request.program.fingerprint, []).append(index)
+            else:
+                loose.append(index)
+        grouped = [index for indices in groups.values() for index in indices]
+        shards: list[list[int]] = [[] for _ in range(self.workers)]
+        if grouped:
+            spans = np.array_split(np.array(grouped), min(self.workers, len(grouped)))
+            for worker_index, span in enumerate(spans):
+                shards[worker_index] = [int(i) for i in span]
+        for index in loose:
+            target = min(range(self.workers), key=lambda w: (len(shards[w]), w))
+            shards[target].append(index)
+        return shards
+
+    # -- execution --------------------------------------------------------------
+
+    def run_batch(
+        self, requests: Sequence[ExecutionRequest], *, need_states: bool = False
+    ) -> list[BackendResult]:
+        """Execute ``requests`` across the pool; results in request order.
+
+        See :meth:`ExecutionBackend.run_batch` for the contract.  Worker-side
+        request failures raise :class:`ParallelExecutionError`; a dead worker
+        process triggers the documented warn-and-fall-back-in-process path.
+        """
+        requests = list(requests)
+        self.batches_run += 1
+        self.requests_run += len(requests)
+        if not requests:
+            return []
+        if self._broken:
+            return self._run_in_process(requests, need_states)
+        try:
+            pool = self._ensure_pool()
+        except Exception as error:
+            self._mark_broken(f"worker pool failed to start ({error!r})")
+            return self._run_in_process(requests, need_states)
+        jobs: list[tuple[_Worker, list[int], int]] = []
+        try:
+            # The send phase catches *any* exception (an unpicklable payload
+            # raises TypeError/PicklingError from connection.send, not an
+            # OSError): once a shard has been dispatched, bailing out without
+            # tearing the pool down would leave its un-read reply in the pipe
+            # and desynchronise every later dispatch.  _mark_broken reaps the
+            # pool, so the documented warn-and-fall-back semantics hold for
+            # this failure mode too.
+            operator_keys: dict[int, tuple] = {}
+            for worker_index, indices in enumerate(self._shards(requests)):
+                if not indices:
+                    continue
+                worker = pool[worker_index]
+                encoded = [
+                    self._encode(requests[i], worker, operator_keys) for i in indices
+                ]
+                job_id = self._job_counter
+                self._job_counter += 1
+                worker.connection.send(("run", job_id, encoded, need_states))
+                jobs.append((worker, indices, job_id))
+                self.shards_dispatched += 1
+        except Exception as error:
+            if isinstance(error, (BrokenPipeError, EOFError, ConnectionError, OSError)):
+                reason = self._crash_diagnosis(error)
+            else:
+                reason = f"shard dispatch failed ({error!r})"
+            self._mark_broken(reason)
+            return self._run_in_process(requests, need_states)
+        try:
+            results: list[BackendResult | None] = [None] * len(requests)
+            # Every dispatched shard's reply is collected before any error is
+            # raised: leaving a pending reply in a pipe would desynchronise
+            # the next dispatch (and read like a dead worker).  The pool
+            # survives request-level errors intact.
+            failure: str | None = None
+            for worker, indices, job_id in jobs:
+                reply = worker.connection.recv()
+                kind, reply_job = reply[0], reply[1]
+                if reply_job != job_id:  # pragma: no cover - protocol guard
+                    raise BrokenPipeError(
+                        f"worker replied to job {reply_job}, expected {job_id}"
+                    )
+                if kind == "error":
+                    if failure is None:
+                        failure = reply[2]
+                    continue
+                for index, result in zip(indices, reply[2]):
+                    # Tags and term bases never cross the boundary back:
+                    # re-attach the original tag and rebuild the basis from
+                    # the request operator — the same memoised engine call
+                    # the worker's backend used, and one the parent-side
+                    # estimator layer performs anyway, so the restored tuple
+                    # is value-identical at no extra compile cost.
+                    request = requests[index]
+                    results[index] = replace(
+                        result,
+                        tag=request.tag,
+                        term_basis=compiled_pauli_operator(request.operator).paulis,
+                    )
+            if failure is not None:
+                raise ParallelExecutionError(
+                    "execution request failed in a worker process; "
+                    "worker traceback:\n" + failure
+                )
+            return results  # type: ignore[return-value]
+        except (BrokenPipeError, EOFError, ConnectionError, OSError) as error:
+            self._mark_broken(self._crash_diagnosis(error))
+            return self._run_in_process(requests, need_states)
+
+    def _encode(
+        self, request: ExecutionRequest, worker: _Worker, operator_keys: dict[int, tuple]
+    ) -> tuple:
+        """Encode one request for one worker, with program/operator-shipping
+        bookkeeping (parent-side mirrors of the worker's caches).
+
+        ``operator_keys`` memoises the O(num_terms) operator fingerprint per
+        *instance* for the duration of one batch (a cluster's requests all
+        share one operator object), keeping the dispatch hot path O(1) per
+        request; scoping the memo to the batch preserves the value-interning
+        rule for operators mutated in place between dispatches.
+        """
+        fingerprint = operator_keys.get(id(request.operator))
+        if fingerprint is None:
+            fingerprint = _operator_fingerprint(request.operator)
+            operator_keys[id(request.operator)] = fingerprint
+        operator_id = self._operator_ids.setdefault(fingerprint, len(self._operator_ids))
+        if operator_id in worker.shipped_operators:
+            operator_ref = (operator_id, None)
+        else:
+            worker.shipped_operators.add(operator_id)
+            operator_ref = (operator_id, request.operator)
+        initial = None if request.initial_state is None else request.initial_state.data
+        if request.program is None:
+            return (_CIRCUIT, request.circuit, operator_ref, initial, request.initial_bitstring)
+        program_id = self._program_ids.setdefault(
+            request.program.fingerprint, len(self._program_ids)
+        )
+        if program_id in worker.shipped:
+            self.program_reuses += 1
+            program = None
+        else:
+            worker.shipped.add(program_id)
+            self.programs_shipped += 1
+            program = request.program
+        return (
+            _PROGRAM,
+            (program_id, program, request.parameters),
+            operator_ref,
+            initial,
+            request.initial_bitstring,
+        )
+
+    def _crash_diagnosis(self, error: Exception) -> str:
+        """Actionable description of a dead-worker event."""
+        exit_codes = [
+            worker.process.exitcode
+            for worker in (self._pool or [])
+            if not worker.process.is_alive()
+        ]
+        detail = f"worker exit codes {exit_codes}" if exit_codes else repr(error)
+        return (
+            f"a parallel execution worker died mid-batch ({detail}); "
+            "common causes are out-of-memory kills (lower execution_workers "
+            "or max_batch_size) and crashed native code"
+        )
+
+    def _mark_broken(self, reason: str) -> None:
+        warnings.warn(
+            f"{reason}; this and subsequent batches execute in-process "
+            "(results are unaffected — parallel and in-process execution are "
+            "bit-identical); close() and re-dispatch to respawn the pool",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        # Reap the dead pool first: close() clears the broken flag (it is
+        # the documented recovery path), so mark broken afterwards.
+        self.close()
+        self._broken = True
+
+    def _run_in_process(
+        self, requests: list[ExecutionRequest], need_states: bool
+    ) -> list[BackendResult]:
+        self.fallback_batches += 1
+        return self._inner.run_batch(requests, need_states=need_states)
+
+    # -- observability ----------------------------------------------------------
+
+    def worker_cache_stats(self) -> dict[str, int]:
+        """Worker-pool program-cache warmup statistics for this backend.
+
+        ``programs_shipped`` counts program pickles across the pool (at most
+        one per distinct structure per worker per pool lifetime);
+        ``program_reuses`` counts program-path requests served from a warm
+        worker cache.  Folded into controller result metadata under
+        ``metadata["program_cache"]["workers"]``.
+        """
+        return {
+            "workers": self.workers,
+            "shards_dispatched": self.shards_dispatched,
+            "programs_shipped": self.programs_shipped,
+            "program_reuses": self.program_reuses,
+            "fallback_batches": self.fallback_batches,
+        }
+
+    def __repr__(self) -> str:
+        state = "broken" if self._broken else ("live" if self._pool else "idle")
+        return (
+            f"ParallelBackend(inner={self._inner.name!r}, workers={self.workers}, "
+            f"pool={state})"
+        )

@@ -1,0 +1,266 @@
+"""Scheduler- and controller-level parity for multi-process execution.
+
+`execution_workers` must be invisible in the numbers: scheduler rounds and
+full controller runs produce bit-identical records/trajectories for any
+worker count, for mixed optimizer populations and circuit structures, under
+exact, shot-noise (RNG streams are consumed per record in the parent, so
+noisy trajectories match bit-for-bit too), and density-matrix estimation.
+Plus the config surface: validation, the environment-variable override, the
+worker stats in result metadata, and the crash fallback mid-round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.core import RoundScheduler, TreeVQAConfig, TreeVQAController, VQACluster, VQATask
+from repro.hamiltonians import transverse_field_ising_chain
+from repro.quantum import ParallelBackend, StatevectorBackend
+from repro.quantum.sampling import ExactEstimator, ShotNoiseEstimator
+
+
+@pytest.fixture(autouse=True)
+def _explicit_worker_counts(monkeypatch):
+    """These tests pin worker counts explicitly; neutralise any ambient
+    ``REPRO_EXECUTION_WORKERS`` (e.g. the CI parallel smoke) so the
+    sequential reference runs really are sequential."""
+    monkeypatch.delenv("REPRO_EXECUTION_WORKERS", raising=False)
+
+
+def _tasks(count=4, num_qubits=3):
+    fields = np.linspace(0.7, 1.3, count)
+    return [
+        VQATask(
+            name=f"tfim@{field:.3f}",
+            hamiltonian=transverse_field_ising_chain(num_qubits, float(field)),
+            scan_parameter=float(field),
+        )
+        for field in fields
+    ]
+
+
+def _clusters(tasks, estimator, *, seed=0):
+    """One singleton cluster per task, alternating SPSA and COBYLA and
+    alternating ansatz depths — a mixed-structure, mixed-optimizer round."""
+    clusters = []
+    for index, task in enumerate(tasks):
+        config = TreeVQAConfig(
+            max_rounds=4,
+            warmup_iterations=0,
+            window_size=2,
+            optimizer="spsa" if index % 2 == 0 else "cobyla",
+            disable_automatic_splits=True,
+            seed=seed,
+        )
+        ansatz = HardwareEfficientAnsatz(task.num_qubits, num_layers=1 + index % 2)
+        clusters.append(
+            VQACluster(
+                cluster_id=f"C{index}",
+                tasks=[task],
+                ansatz=ansatz,
+                optimizer=config.make_optimizer(),
+                estimator=estimator,
+                config=config,
+                initial_parameters=ansatz.zero_parameters(),
+            )
+        )
+    return clusters
+
+
+def _run_rounds(scheduler, clusters, rounds=3):
+    records = []
+    for _ in range(rounds):
+        records.extend(record for _, record in scheduler.run_round(clusters))
+    return records
+
+
+def _assert_records_identical(left, right):
+    assert len(left) == len(right)
+    for ours, reference in zip(left, right):
+        assert ours.cluster_id == reference.cluster_id
+        assert ours.mixed_loss == reference.mixed_loss
+        assert ours.individual_losses == reference.individual_losses
+        assert ours.shots == reference.shots
+        np.testing.assert_array_equal(ours.parameters, reference.parameters)
+
+
+class TestSchedulerParity:
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_mixed_round_bit_identical(self, workers):
+        tasks = _tasks()
+        reference = _run_rounds(
+            RoundScheduler(StatevectorBackend(), ExactEstimator(seed=0)),
+            _clusters(tasks, ExactEstimator(seed=0)),
+        )
+        with RoundScheduler(
+            ParallelBackend(StatevectorBackend, workers=workers),
+            ExactEstimator(seed=0),
+        ) as scheduler:
+            records = _run_rounds(scheduler, _clusters(tasks, ExactEstimator(seed=0)))
+        _assert_records_identical(records, reference)
+
+    def test_shot_noise_rng_streams_are_worker_count_independent(self):
+        # The estimator RNG lives in the parent and is consumed per record in
+        # strict cluster order, so noisy trajectories are bit-identical too.
+        tasks = _tasks()
+        reference = _run_rounds(
+            RoundScheduler(StatevectorBackend(), ShotNoiseEstimator(seed=11)),
+            _clusters(tasks, ShotNoiseEstimator(seed=11)),
+        )
+        with RoundScheduler(
+            ParallelBackend(StatevectorBackend, workers=2),
+            ShotNoiseEstimator(seed=11),
+        ) as scheduler:
+            records = _run_rounds(scheduler, _clusters(tasks, ShotNoiseEstimator(seed=11)))
+        _assert_records_identical(records, reference)
+
+    def test_max_batch_size_chunks_compose_with_sharding(self):
+        tasks = _tasks()
+        reference = _run_rounds(
+            RoundScheduler(StatevectorBackend(), ExactEstimator(seed=0)),
+            _clusters(tasks, ExactEstimator(seed=0)),
+        )
+        with RoundScheduler(
+            ParallelBackend(StatevectorBackend, workers=2),
+            ExactEstimator(seed=0),
+            max_batch_size=2,
+        ) as scheduler:
+            records = _run_rounds(scheduler, _clusters(tasks, ExactEstimator(seed=0)))
+        _assert_records_identical(records, reference)
+
+    def test_dead_worker_mid_run_keeps_round_identical(self):
+        tasks = _tasks()
+        reference = _run_rounds(
+            RoundScheduler(StatevectorBackend(), ExactEstimator(seed=0)),
+            _clusters(tasks, ExactEstimator(seed=0)),
+        )
+        backend = ParallelBackend(StatevectorBackend, workers=2)
+        with RoundScheduler(backend, ExactEstimator(seed=0)) as scheduler:
+            clusters = _clusters(tasks, ExactEstimator(seed=0))
+            records = _run_rounds(scheduler, clusters, rounds=1)
+            backend._pool[0].process.kill()
+            with pytest.warns(RuntimeWarning, match="worker died|in-process"):
+                records += _run_rounds(scheduler, clusters, rounds=2)
+        _assert_records_identical(records, reference)
+        assert backend.fallback_batches > 0
+
+
+def _controller_run(tasks, ansatz, *, workers=None, rounds=5, **config_kwargs):
+    config = TreeVQAConfig(
+        max_rounds=rounds,
+        warmup_iterations=2,
+        window_size=3,
+        seed=7,
+        execution_workers=workers,
+        **config_kwargs,
+    )
+    return TreeVQAController(tasks, ansatz, config).run()
+
+
+class TestControllerParity:
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    def test_exact_run_bit_identical(self, workers):
+        tasks = _tasks()
+        ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        reference = _controller_run(tasks, ansatz)
+        result = _controller_run(tasks, ansatz, workers=workers)
+        for ours, base in zip(result.outcomes, reference.outcomes):
+            assert ours.energy == base.energy
+            assert ours.source == base.source
+        for name in reference.trajectories:
+            assert (
+                result.trajectories[name].energies == reference.trajectories[name].energies
+            )
+            assert (
+                result.trajectories[name].cumulative_shots
+                == reference.trajectories[name].cumulative_shots
+            )
+
+    def test_shot_noise_run_bit_identical(self):
+        tasks = _tasks()
+        ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        reference = _controller_run(tasks, ansatz, estimator="shot_noise")
+        result = _controller_run(tasks, ansatz, workers=2, estimator="shot_noise")
+        for ours, base in zip(result.outcomes, reference.outcomes):
+            assert ours.energy == base.energy
+
+    def test_density_matrix_run_bit_identical(self):
+        tasks = _tasks(count=3, num_qubits=3)
+        ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        kwargs = dict(
+            rounds=3,
+            backend="density_matrix",
+            estimator="density_matrix",
+            noise_profile="hanoi",
+        )
+        reference = _controller_run(tasks, ansatz, **kwargs)
+        result = _controller_run(tasks, ansatz, workers=2, **kwargs)
+        for ours, base in zip(result.outcomes, reference.outcomes):
+            assert ours.energy == base.energy
+
+    def test_worker_stats_in_metadata(self):
+        tasks = _tasks()
+        ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        result = _controller_run(tasks, ansatz, workers=2)
+        stats = result.metadata["program_cache"]["workers"]
+        assert stats["workers"] == 2
+        assert stats["programs_shipped"] >= 1
+        assert stats["fallback_batches"] == 0
+        sequential = _controller_run(tasks, ansatz)
+        assert "workers" not in sequential.metadata["program_cache"]
+
+    def test_controller_close_releases_pool_and_run_autocloses(self):
+        tasks = _tasks()
+        ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        config = TreeVQAConfig(
+            max_rounds=2, warmup_iterations=0, window_size=2, seed=0, execution_workers=2
+        )
+        with TreeVQAController(tasks, ansatz, config) as controller:
+            controller.run()
+            assert controller.backend._pool is None  # run() released the pool
+        controller.close()  # idempotent
+
+
+class TestConfigSurface:
+    def test_execution_workers_zero_rejected(self):
+        with pytest.raises(ValueError, match="execution_workers"):
+            TreeVQAConfig(execution_workers=0)
+
+    def test_execution_workers_negative_rejected(self):
+        with pytest.raises(ValueError, match="execution_workers"):
+            TreeVQAConfig(execution_workers=-2)
+
+    def test_default_is_in_process(self):
+        config = TreeVQAConfig()
+        assert config.execution_workers is None
+        backend = config.make_backend()
+        assert not isinstance(backend, ParallelBackend)
+
+    def test_make_backend_wraps_when_workers_set(self):
+        config = TreeVQAConfig(execution_workers=3)
+        backend = config.make_backend()
+        try:
+            assert isinstance(backend, ParallelBackend)
+            assert backend.workers == 3
+            assert backend.name == "statevector"
+        finally:
+            backend.close()
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTION_WORKERS", "2")
+        assert TreeVQAConfig().execution_workers == 2
+        # An explicit value wins over the environment.
+        assert TreeVQAConfig(execution_workers=4).execution_workers == 4
+
+    def test_environment_override_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTION_WORKERS", "zero")
+        with pytest.raises(ValueError, match="REPRO_EXECUTION_WORKERS"):
+            TreeVQAConfig()
+        monkeypatch.setenv("REPRO_EXECUTION_WORKERS", "-1")
+        with pytest.raises(ValueError, match="REPRO_EXECUTION_WORKERS"):
+            TreeVQAConfig()
+        # 0 forces in-process execution (the env matrix's workers-off leg).
+        monkeypatch.setenv("REPRO_EXECUTION_WORKERS", "0")
+        assert TreeVQAConfig().execution_workers is None

@@ -1,0 +1,316 @@
+"""Backend-level tests for multi-process execution sharding.
+
+The acceptance contract of :class:`~repro.quantum.parallel.ParallelBackend`:
+merged results are **bit-identical** to the wrapped backend's own in-process
+``run_batch`` for every worker count (``workers=1`` is the exact degenerate
+case), for every inner backend (statevector, Clifford-routed,
+density-matrix), and for any mix of program and bound-circuit requests —
+plus the lifecycle and failure semantics (lazy spawn, close/respawn,
+worker-side errors re-raised, dead workers warn and fall back in-process).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import warnings
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.quantum import (
+    CliffordBackend,
+    DensityMatrixBackend,
+    ExecutionRequest,
+    NoiseModel,
+    ParallelBackend,
+    ParallelExecutionError,
+    PauliOperator,
+    StatevectorBackend,
+    Statevector,
+    compile_circuit_program,
+    make_execution_backend,
+)
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _operator(num_qubits: int, num_terms: int, seed: int) -> PauliOperator:
+    rng = np.random.default_rng(seed)
+    labels = set()
+    while len(labels) < num_terms:
+        labels.add("".join(rng.choice(list("IXYZ"), size=num_qubits)))
+    return PauliOperator(num_qubits, dict(zip(sorted(labels), rng.normal(size=num_terms))))
+
+
+def _program_requests(num_qubits=3, batch=6, seed=0, layers=2, clifford=False):
+    rng = np.random.default_rng(seed)
+    ansatz = HardwareEfficientAnsatz(num_qubits, num_layers=layers)
+    program = compile_circuit_program(ansatz.circuit)
+    operator = _operator(num_qubits, 6, seed)
+    requests = []
+    for index in range(batch):
+        if clifford:
+            point = (math.pi / 2) * rng.integers(0, 4, size=ansatz.num_parameters)
+        else:
+            point = rng.normal(0.0, 0.7, size=ansatz.num_parameters)
+        requests.append(
+            ExecutionRequest(
+                None,
+                operator,
+                initial_bitstring="0" * num_qubits,
+                tag=("req", index),
+                program=program,
+                parameters=point,
+            )
+        )
+    return requests
+
+
+def _mixed_structure_requests(seed=1):
+    """Two program structures plus bound-circuit requests in one batch."""
+    rng = np.random.default_rng(seed)
+    shallow = HardwareEfficientAnsatz(3, num_layers=1)
+    deep = HardwareEfficientAnsatz(3, num_layers=3)
+    operator = _operator(3, 5, seed)
+    requests = []
+    for index, ansatz in enumerate((shallow, deep, shallow, deep, shallow)):
+        point = rng.normal(size=ansatz.num_parameters)
+        if index % 2:
+            requests.append(
+                ExecutionRequest(ansatz.bound_circuit(point), operator, tag=index)
+            )
+        else:
+            requests.append(
+                ExecutionRequest(
+                    None,
+                    operator,
+                    tag=index,
+                    program=compile_circuit_program(ansatz.circuit),
+                    parameters=point,
+                )
+            )
+    return requests
+
+
+def _assert_results_identical(parallel_results, sequential_results, *, states=False):
+    assert len(parallel_results) == len(sequential_results)
+    for ours, reference in zip(parallel_results, sequential_results):
+        np.testing.assert_array_equal(ours.term_vector, reference.term_vector)
+        assert ours.term_basis == reference.term_basis
+        assert ours.backend_name == reference.backend_name
+        assert ours.tag == reference.tag
+        if states:
+            np.testing.assert_array_equal(ours.state.data, reference.state.data)
+
+
+class TestParallelStatevector:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_bit_identical_to_in_process(self, workers):
+        requests = _program_requests(batch=7, seed=workers)
+        reference = StatevectorBackend().run_batch(requests)
+        with ParallelBackend(StatevectorBackend, workers=workers) as backend:
+            results = backend.run_batch(requests)
+        _assert_results_identical(results, reference)
+
+    def test_mixed_structures_and_bound_circuits(self):
+        requests = _mixed_structure_requests()
+        reference = StatevectorBackend().run_batch(requests)
+        with ParallelBackend(StatevectorBackend, workers=2) as backend:
+            results = backend.run_batch(requests)
+        _assert_results_identical(results, reference)
+
+    def test_states_cross_the_process_boundary(self):
+        requests = _program_requests(batch=4)
+        reference = StatevectorBackend().run_batch(requests, need_states=True)
+        with ParallelBackend(StatevectorBackend, workers=2) as backend:
+            results = backend.run_batch(requests, need_states=True)
+        _assert_results_identical(results, reference, states=True)
+
+    def test_initial_states_and_bitstrings_preserved(self):
+        operator = PauliOperator.from_terms([("ZZZ", 1.0), ("IIZ", 0.5)])
+        ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        program = compile_circuit_program(ansatz.circuit)
+        point = np.linspace(-0.4, 0.4, ansatz.num_parameters)
+        minus = Statevector.zero_state(3).data.copy()
+        minus[0], minus[1] = 0.0, 1.0  # |001>
+        requests = [
+            ExecutionRequest(None, operator, program=program, parameters=point),
+            ExecutionRequest(
+                None, operator, initial_bitstring="010", program=program, parameters=point
+            ),
+            ExecutionRequest(
+                None,
+                operator,
+                initial_state=Statevector(minus),
+                program=program,
+                parameters=point,
+            ),
+        ]
+        reference = StatevectorBackend().run_batch(requests)
+        with ParallelBackend(StatevectorBackend, workers=3) as backend:
+            results = backend.run_batch(requests)
+        _assert_results_identical(results, reference)
+
+    def test_repeated_dispatches_reuse_shipped_programs(self):
+        requests = _program_requests(batch=6)
+        with ParallelBackend(StatevectorBackend, workers=2) as backend:
+            backend.run_batch(requests)
+            first_shipped = backend.programs_shipped
+            backend.run_batch(requests)
+            assert backend.programs_shipped == first_shipped  # nothing re-pickled
+            assert backend.program_reuses > 0
+            stats = backend.worker_cache_stats()
+        assert stats["workers"] == 2
+        assert stats["programs_shipped"] == first_shipped <= 2
+        assert stats["fallback_batches"] == 0
+
+    def test_empty_batch(self):
+        with ParallelBackend(StatevectorBackend, workers=2) as backend:
+            assert backend.run_batch([]) == []
+
+
+class TestParallelClifford:
+    def test_bit_identical_clifford_routing(self):
+        requests = _program_requests(batch=6, clifford=True)
+        reference = CliffordBackend().run_batch(requests)
+        with ParallelBackend(CliffordBackend, workers=2) as backend:
+            results = backend.run_batch(requests)
+        _assert_results_identical(results, reference)
+        assert all(result.backend_name == "clifford" for result in results)
+
+
+class TestParallelDensityMatrix:
+    def test_bit_identical_noisy_execution(self):
+        noise = NoiseModel(single_qubit_error=2e-3, two_qubit_error=8e-3, readout_error=1e-2)
+        requests = _program_requests(batch=5, seed=5)
+        factory = partial(make_execution_backend, "density_matrix", noise_model=noise)
+        reference = factory().run_batch(requests)
+        with ParallelBackend(factory, workers=2) as backend:
+            assert backend.name == "density_matrix"
+            assert backend.provides_states is False
+            assert backend.noise_model == noise
+            results = backend.run_batch(requests)
+        _assert_results_identical(results, reference)
+
+    def test_scheduler_metadata_proxies_for_unitary_inner(self):
+        with ParallelBackend(StatevectorBackend, workers=1) as backend:
+            assert backend.name == "statevector"
+            assert backend.provides_states is True
+            assert backend.noise_model is None
+            assert isinstance(backend.inner, StatevectorBackend)
+
+
+class TestLifecycleAndFailure:
+    def test_workers_validated(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelBackend(StatevectorBackend, workers=0)
+
+    def test_pool_spawns_lazily_and_close_is_idempotent(self):
+        backend = ParallelBackend(StatevectorBackend, workers=2)
+        assert backend._pool is None  # nothing spawned yet
+        backend.close()
+        backend.close()
+        backend.run_batch(_program_requests(batch=2))
+        assert backend._pool is not None
+        backend.close()
+        assert backend._pool is None
+        # A closed backend respawns on the next dispatch.
+        results = backend.run_batch(_program_requests(batch=2))
+        assert len(results) == 2
+        backend.close()
+
+    def test_worker_side_error_reraised_with_traceback(self):
+        operator = _operator(3, 4, seed=0)
+        bad = ExecutionRequest(
+            None,
+            operator,
+            # Initial state width disagrees with the program: the worker's
+            # inner backend raises, and the parent re-raises it.
+            initial_state=Statevector.zero_state(4),
+            program=compile_circuit_program(
+                HardwareEfficientAnsatz(3, num_layers=1).circuit
+            ),
+            parameters=np.zeros(HardwareEfficientAnsatz(3, num_layers=1).num_parameters),
+        )
+        good = _program_requests(batch=2)
+        reference = StatevectorBackend().run_batch(good)
+        with ParallelBackend(StatevectorBackend, workers=2) as backend:
+            with pytest.raises(ParallelExecutionError, match="initial state has 4 qubits"):
+                # The bad request shards to one worker while the other holds
+                # good work: its pending reply must be drained, not left to
+                # desynchronise (and tear down) the pool on the next batch.
+                backend.run_batch([bad] + good)
+            # The pool survives request-level errors and stays parallel.
+            assert backend._pool is not None
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                results = backend.run_batch(good)
+            _assert_results_identical(results, reference)
+            assert backend.fallback_batches == 0
+
+    def test_dead_worker_warns_and_falls_back_in_process(self):
+        requests = _program_requests(batch=6, seed=9)
+        reference = StatevectorBackend().run_batch(requests)
+        backend = ParallelBackend(StatevectorBackend, workers=2)
+        try:
+            backend.run_batch(requests)
+            backend._pool[0].process.kill()
+            deadline = time.monotonic() + 5.0
+            while backend._pool[0].process.is_alive() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            with pytest.warns(RuntimeWarning, match="worker died|in-process"):
+                results = backend.run_batch(requests)
+            _assert_results_identical(results, reference)
+            assert backend.fallback_batches == 1
+            # Subsequent batches stay in-process, still bit-identical, and
+            # do not warn again.
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                again = backend.run_batch(requests)
+            _assert_results_identical(again, reference)
+            assert backend.fallback_batches == 2
+            # close() is the documented recovery path: a fresh pool respawns
+            # on the next dispatch and execution is parallel again.
+            backend.close()
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                recovered = backend.run_batch(requests)
+            _assert_results_identical(recovered, reference)
+            assert backend.fallback_batches == 2  # no further in-process runs
+            assert backend._pool is not None
+        finally:
+            backend.close()
+
+    def test_unpicklable_payload_warns_and_falls_back_in_process(self):
+        good = _program_requests(batch=7, seed=11)
+        ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        circuit = ansatz.bound_circuit(np.zeros(ansatz.num_parameters))
+        # A payload that cannot cross the process boundary: the pickle error
+        # raises from connection.send mid-dispatch, after another worker
+        # already received its shard.
+        circuit.not_picklable = lambda: None
+        bad = ExecutionRequest(circuit, _operator(3, 5, 11), tag="bad")
+        requests = good + [bad]
+        reference = StatevectorBackend().run_batch(requests)
+        backend = ParallelBackend(StatevectorBackend, workers=2)
+        try:
+            with pytest.warns(RuntimeWarning, match="shard dispatch failed"):
+                results = backend.run_batch(requests)
+            _assert_results_identical(results, reference)
+            assert backend.fallback_batches == 1
+            # The half-dispatched pool was reaped (its pending reply must not
+            # desynchronise anything); close() + re-dispatch recovers a
+            # parallel pool for picklable work.
+            backend.close()
+            good_reference = StatevectorBackend().run_batch(good)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                recovered = backend.run_batch(good)
+            _assert_results_identical(recovered, good_reference)
+            assert backend.fallback_batches == 1
+            assert backend._pool is not None
+        finally:
+            backend.close()
