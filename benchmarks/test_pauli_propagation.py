@@ -1,0 +1,156 @@
+"""Benchmark: vectorized Pauli propagation vs. the legacy dict evaluator.
+
+Two checks guard the 50–100 qubit band the propagation backend opens:
+
+* a Fig. 9-style 28-qubit TFIM workload must run at least 10x faster through
+  :class:`~repro.quantum.pauli_propagation.CompiledPropagation` than through
+  the per-term ``PauliPropagationSimulator`` dict loop it replaces, at equal
+  values (same truncation rules, both paths);
+* a full 50-qubit TreeVQA round must complete end-to-end through
+  ``TreeVQAConfig(backend="pauli_propagation")`` within the fast-tier
+  timeout.
+
+Results are appended to ``BENCH_propagation.json`` at the repo root so CI can
+upload them as a machine-readable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.core.config import TreeVQAConfig
+from repro.core.controller import TreeVQAController
+from repro.core.task import VQATask
+from repro.hamiltonians.spin import transverse_field_ising_chain
+from repro.quantum.pauli_propagation import (
+    CompiledPropagation,
+    PauliPropagationConfig,
+    PauliPropagationSimulator,
+)
+
+_RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_propagation.json"
+
+#: The Fig. 9 large-scale truncation settings (fast preset).
+_FIG9_CONFIG = dict(max_weight=6, coefficient_threshold=1e-5, max_terms=30_000)
+
+SPEEDUP_FLOOR = 10.0
+
+
+def _record(key: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into the shared JSON artifact."""
+    existing = {}
+    if _RESULTS_PATH.exists():
+        existing = json.loads(_RESULTS_PATH.read_text())
+    existing[key] = payload
+    _RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+def test_vectorized_propagation_speedup_over_dict_evaluator():
+    num_qubits = 28
+    operator = transverse_field_ising_chain(num_qubits, 1.0)
+    ansatz = HardwareEfficientAnsatz(num_qubits, num_layers=2, entanglement="linear")
+    config = PauliPropagationConfig(**_FIG9_CONFIG)
+    rng = np.random.default_rng(5)
+    rows = [rng.normal(scale=0.5, size=ansatz.num_parameters) for _ in range(2)]
+    bits = "0" * num_qubits
+
+    compiled = CompiledPropagation(ansatz.program(), operator, config)
+    outcome = compiled.run(rows[0], bits)  # warm-up (structure caches, JIT-free)
+
+    start = time.perf_counter()
+    vectorized_values = [compiled.expectation(row, bits) for row in rows]
+    vectorized_seconds = (time.perf_counter() - start) / len(rows)
+
+    simulator = PauliPropagationSimulator(config)
+    start = time.perf_counter()
+    legacy_values = [
+        simulator.expectation(operator, ansatz.bound_circuit(row), bits)
+        for row in rows
+    ]
+    legacy_seconds = (time.perf_counter() - start) / len(rows)
+
+    # Same truncation rules on both paths: the values must agree closely.
+    np.testing.assert_allclose(vectorized_values, legacy_values, rtol=0, atol=1e-9)
+
+    speedup = legacy_seconds / vectorized_seconds
+    print()
+    print(
+        f"propagation speedup on {num_qubits}-qubit, 2-layer TFIM "
+        f"(peak {outcome.peak_terms} terms): {speedup:.1f}x "
+        f"({legacy_seconds * 1e3:.0f} ms dict -> {vectorized_seconds * 1e3:.0f} ms vectorized)"
+    )
+    _record(
+        "speedup_28q",
+        {
+            "num_qubits": num_qubits,
+            "peak_terms": outcome.peak_terms,
+            "legacy_seconds_per_eval": legacy_seconds,
+            "vectorized_seconds_per_eval": vectorized_seconds,
+            "speedup": speedup,
+            "floor": SPEEDUP_FLOOR,
+        },
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorized propagation speedup {speedup:.1f}x below the "
+        f"{SPEEDUP_FLOOR:.0f}x floor"
+    )
+
+
+@pytest.mark.timeout(300)
+def test_50_qubit_treevqa_round_end_to_end():
+    num_qubits = 50
+    tasks = [
+        VQATask(
+            name=f"TFIM50@{h:.2f}",
+            hamiltonian=transverse_field_ising_chain(num_qubits, h),
+            scan_parameter=h,
+            # No exact reference exists at this width; a variational bound
+            # keeps fidelity/error well-defined for the report.
+            reference_energy=-1.1 * num_qubits,
+        )
+        for h in (0.8, 1.2)
+    ]
+    ansatz = HardwareEfficientAnsatz(num_qubits, num_layers=1, entanglement="linear")
+    config = TreeVQAConfig(
+        backend="pauli_propagation",
+        propagation_max_weight=6,
+        propagation_coefficient_threshold=1e-5,
+        propagation_max_terms=30_000,
+        max_rounds=2,
+        seed=9,
+    )
+
+    start = time.perf_counter()
+    result = TreeVQAController(tasks, ansatz, config).run()
+    elapsed = time.perf_counter() - start
+
+    assert len(result.outcomes) == len(tasks)
+    for outcome in result.outcomes:
+        assert math.isfinite(outcome.energy)
+    propagation = result.metadata["propagation"]
+    assert propagation["requests"] > 0
+    print()
+    print(
+        f"50-qubit TreeVQA round: {elapsed:.1f}s, "
+        f"{propagation['requests']} propagation requests, "
+        f"max {propagation['max_peak_terms']} terms"
+    )
+    _record(
+        "treevqa_round_50q",
+        {
+            "num_qubits": num_qubits,
+            "num_tasks": len(tasks),
+            "rounds": result.total_rounds,
+            "seconds": elapsed,
+            "requests": propagation["requests"],
+            "max_peak_terms": propagation["max_peak_terms"],
+            "energies": [outcome.energy for outcome in result.outcomes],
+        },
+    )

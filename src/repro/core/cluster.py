@@ -146,7 +146,11 @@ class VQACluster:
         self._similarity = (
             similarity_matrix([task.hamiltonian for task in tasks]) if len(tasks) > 1 else None
         )
-        self._initial_state = tasks[0].initial_state()
+        # The dense initial state is materialized lazily: requests carry only
+        # the bitstring (request_initial_amplitudes rebuilds the identical
+        # computational-basis amplitudes on demand), so wide-system runs on
+        # the propagation backend never allocate 2^n amplitudes here.
+        self._initial_state: Statevector | None = None
         self._initial_bitstring = tasks[0].resolved_initial_bitstring
         # Compile the ansatz once into a reusable execution program (cached
         # persistently on the circuit structure): ask() then ships
@@ -187,7 +191,14 @@ class VQACluster:
 
     @property
     def initial_state(self) -> Statevector:
+        if self._initial_state is None:
+            self._initial_state = self.tasks[0].initial_state()
         return self._initial_state
+
+    @property
+    def initial_bitstring(self) -> str:
+        """The shared computational-basis label (never materializes a state)."""
+        return self._initial_bitstring
 
     def shots_per_evaluation(self) -> int:
         """Shot cost of one mixed-Hamiltonian evaluation (cached; the mixed
@@ -197,7 +208,7 @@ class VQACluster:
     def prepare_state(self, parameters: np.ndarray | None = None) -> Statevector:
         """|psi(theta)> for the cluster's current (or given) parameters."""
         values = self._parameters if parameters is None else np.asarray(parameters, dtype=float)
-        return self.ansatz.prepare_state(values, self._initial_state)
+        return self.ansatz.prepare_state(values, self.initial_state)
 
     # -- optimisation --------------------------------------------------------------
 
@@ -208,9 +219,11 @@ class VQACluster:
         :meth:`tell` until it returns a completed :class:`ClusterStepRecord`
         (SPSA completes in one ask/tell exchange, COBYLA asks one probe at a
         time).  Requests carry the cluster's mixed operator and shared
-        initial state, so any execution backend can serve them — including
+        initial-state bitstring (backends rebuild the identical basis
+        amplitudes on demand, so wide propagation runs never ship or allocate
+        a dense state), so any execution backend can serve them — including
         across process boundaries: the payload (shared compiled program,
-        per-point parameter row, initial amplitudes, mixed operator) pickles
+        per-point parameter row, initial bitstring, mixed operator) pickles
         cheaply, which is what lets
         :class:`~repro.quantum.parallel.ParallelBackend` shard a round's
         asks over worker processes without rebuilding any cluster state.
@@ -229,7 +242,7 @@ class VQACluster:
                 ExecutionRequest(
                     circuit=None,
                     operator=self.mixed.operator,
-                    initial_state=self._initial_state,
+                    initial_state=None,
                     initial_bitstring=self._initial_bitstring,
                     tag=(self.cluster_id, self.iterations + 1, index),
                     program=self._program,
@@ -241,7 +254,7 @@ class VQACluster:
             ExecutionRequest(
                 circuit=self.ansatz.bound_circuit(point),
                 operator=self.mixed.operator,
-                initial_state=self._initial_state,
+                initial_state=None,
                 initial_bitstring=self._initial_bitstring,
                 tag=(self.cluster_id, self.iterations + 1, index),
             )
@@ -323,7 +336,7 @@ class VQACluster:
             requests = self.ask()
             results = [
                 self.estimator.estimate(
-                    request.resolve_circuit(), request.operator, request.initial_state
+                    request.resolve_circuit(), request.operator, self.initial_state
                 )
                 for request in requests
             ]

@@ -96,10 +96,19 @@ class TreeVQAConfig:
             independent of batching and worker count).
         backend: Execution backend for batched state preparation:
             ``"statevector"`` (dense, batched), ``"clifford"`` (stabilizer
-            fast path for π/2-multiple angles, dense fallback otherwise) or
+            fast path for π/2-multiple angles, dense fallback otherwise),
             ``"density_matrix"`` (batched noisy ``U ρ U†`` execution under
             the resolved noise model — pair it with
-            ``estimator="density_matrix"`` so noisy rounds batch).
+            ``estimator="density_matrix"`` so noisy rounds batch),
+            ``"pauli_propagation"`` (vectorized Heisenberg propagation with
+            truncation — no state is ever materialized, opening the
+            50–100 qubit band) or ``"auto"`` (width-routed: dense below the
+            ~20-qubit statevector cap, propagation above).
+        propagation_max_weight / propagation_coefficient_threshold /
+            propagation_max_terms: Truncation knobs for the
+            ``"pauli_propagation"``/``"auto"`` backends (defaults: the
+            paper's weight-8 truncation, threshold 1e-8, 200k terms).
+            Rejected for backends that do not propagate.
         backend_factory: Optional callable overriding backend creation.  Must
             build a *fresh* backend per call: with ``execution_workers`` set
             it also runs once inside every worker process (so under the
@@ -180,6 +189,9 @@ class TreeVQAConfig:
     backend_factory: Callable[[], ExecutionBackend] | None = None
     noise_model: NoiseModel | None = None
     noise_profile: str | None = None
+    propagation_max_weight: int | None = None
+    propagation_coefficient_threshold: float | None = None
+    propagation_max_terms: int | None = None
     max_batch_size: int | None = None
     execution_workers: int | None = None
     use_circuit_programs: bool = True
@@ -240,6 +252,23 @@ class TreeVQAConfig:
                 )
         if self.max_batch_size is not None and self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1 when set")
+        propagation_knobs = (
+            self.propagation_max_weight,
+            self.propagation_coefficient_threshold,
+            self.propagation_max_terms,
+        )
+        if any(knob is not None for knob in propagation_knobs):
+            propagation_capable = self.backend_factory is not None or getattr(
+                BACKEND_REGISTRY.get(self.backend), "accepts_propagation_config", False
+            )
+            if not propagation_capable:
+                raise ValueError(
+                    "propagation_* knobs have no effect with "
+                    f"backend={self.backend!r}; use backend='pauli_propagation' "
+                    "or backend='auto'"
+                )
+            # Delegate range validation (and error wording) to the config type.
+            self.resolve_propagation_config()
         if self.execution_workers is None:
             env = os.environ.get("REPRO_EXECUTION_WORKERS")
             if env:
@@ -282,6 +311,31 @@ class TreeVQAConfig:
             return get_backend_profile(self.noise_profile).to_noise_model()
         return None
 
+    def resolve_propagation_config(self):
+        """The Pauli-propagation truncation policy for propagation-capable
+        backends — configured knobs override the paper defaults (weight 8,
+        threshold 1e-8, 200k terms)."""
+        from ..quantum.pauli_propagation import PauliPropagationConfig
+
+        defaults = PauliPropagationConfig()
+        return PauliPropagationConfig(
+            max_weight=(
+                defaults.max_weight
+                if self.propagation_max_weight is None
+                else self.propagation_max_weight
+            ),
+            coefficient_threshold=(
+                defaults.coefficient_threshold
+                if self.propagation_coefficient_threshold is None
+                else self.propagation_coefficient_threshold
+            ),
+            max_terms=(
+                defaults.max_terms
+                if self.propagation_max_terms is None
+                else self.propagation_max_terms
+            ),
+        )
+
     def make_estimator(self) -> BaseEstimator:
         """Construct the expectation-value estimator."""
         if self.estimator_factory is not None:
@@ -312,6 +366,14 @@ class TreeVQAConfig:
         if getattr(backend_cls, "accepts_noise_model", False):
             return partial(
                 make_execution_backend, self.backend, noise_model=self.resolve_noise_model()
+            )
+        if getattr(backend_cls, "accepts_propagation_config", False):
+            # The frozen config pickles into each worker, which compiles its
+            # own conjugation structures once (like programs, shipped by id).
+            return partial(
+                make_execution_backend,
+                self.backend,
+                propagation=self.resolve_propagation_config(),
             )
         return partial(make_execution_backend, self.backend)
 

@@ -27,6 +27,7 @@ from collections import defaultdict
 import numpy as np
 
 from ..ansatz.base import Ansatz
+from ..quantum.pauli_propagation import conjugation_cache_stats
 from ..quantum.program import program_cache_stats, set_program_cache_limit
 from .cluster import VQACluster
 from .config import TreeVQAConfig
@@ -74,6 +75,7 @@ class TreeVQAController:
         if self.config.program_cache_size is not None:
             set_program_cache_limit(self.config.program_cache_size)
         self._program_cache_baseline = program_cache_stats()
+        self._conjugation_cache_baseline = conjugation_cache_stats()
         self.estimator = self.config.make_estimator()
         self.backend = self.config.make_backend()
         self.scheduler = RoundScheduler(
@@ -224,10 +226,41 @@ class TreeVQAController:
             delta["workers"] = worker_stats()
         return delta
 
+    def _propagation_metadata(self) -> dict | None:
+        """Propagation observability for the run, or None when nothing
+        propagated: truncation counts summed from per-result metadata (which
+        rides the wire, so the totals are worker-count independent) plus this
+        run's conjugation-cache activity, mirroring the program-cache entry."""
+        totals = dict(self.scheduler.backend_metadata_totals)
+        backend_stats = getattr(self.backend, "propagation_stats", None)
+        if not totals and backend_stats is None:
+            return None
+        stats = conjugation_cache_stats()
+        baseline = self._conjugation_cache_baseline
+        totals["conjugation_cache"] = {
+            key: stats[key] - baseline[key]
+            if key in ("hits", "misses", "evictions")
+            else stats[key]
+            for key in stats
+        }
+        if backend_stats is not None:
+            totals["backend"] = backend_stats()
+        return totals
+
     def _finalize(self) -> TreeVQAResult:
         """Post-processing (§5.3) and result assembly."""
         final_clusters = self.active_clusters or self._clusters
-        selections = select_best_states(self.tasks, final_clusters)
+        # State-free backends (propagation / width routing) evaluate the §5.3
+        # grid through their own term-vector payloads; dense state
+        # preparation at 50+ qubits would defeat the point of running them.
+        selection_backend = (
+            self.backend
+            if not getattr(self.backend, "provides_states", True)
+            else None
+        )
+        selections = select_best_states(
+            self.tasks, final_clusters, backend=selection_backend
+        )
         outcomes = []
         for task, selection in zip(self.tasks, selections):
             outcomes.append(
@@ -249,6 +282,11 @@ class TreeVQAController:
                 "num_splits": self.tree.num_splits,
                 "tree_depth_levels": self.tree.depth_levels(),
                 "program_cache": self._program_cache_delta(),
+                **(
+                    {"propagation": propagation}
+                    if (propagation := self._propagation_metadata()) is not None
+                    else {}
+                ),
             },
             tree=self.tree,
         )

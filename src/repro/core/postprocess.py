@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..quantum.backend import ExecutionBackend, ExecutionRequest
 from ..quantum.engine import pauli_evaluator
 from ..quantum.pauli import PauliOperator
 from .cluster import VQACluster
@@ -37,28 +38,73 @@ class PostProcessSelection:
     candidate_energies: dict[str, float]
 
 
+def _backend_term_values(
+    backend: ExecutionBackend,
+    clusters: list[VQACluster],
+    basis: tuple,
+    num_qubits: int,
+) -> np.ndarray:
+    """(cluster, term) expectation grid through an execution backend.
+
+    The state-free evaluation path for backends that never materialize
+    amplitudes (Pauli propagation / width routing): one request per final
+    cluster over the union-basis operator, term vectors straight off the
+    payloads.  Dense 2^n state preparation never happens, so §5.3 selection
+    works at 50+ qubits.
+    """
+    union = PauliOperator.from_terms(
+        [(pauli.label, 1.0) for pauli in basis], num_qubits=num_qubits
+    )
+    requests = [
+        ExecutionRequest(
+            circuit=None,
+            operator=union,
+            initial_bitstring=cluster.initial_bitstring,
+            tag=cluster.cluster_id,
+            program=cluster.ansatz.program(),
+            parameters=cluster.parameters,
+        )
+        for cluster in clusters
+    ]
+    results = backend.run_batch(requests)
+    return np.array([result.term_vector for result in results], dtype=np.float64)
+
+
 def select_best_states(
-    tasks: list[VQATask], clusters: list[VQACluster]
+    tasks: list[VQATask],
+    clusters: list[VQACluster],
+    *,
+    backend: ExecutionBackend | None = None,
 ) -> list[PostProcessSelection]:
     """Evaluate every task on every final cluster state and keep the best.
 
     ``clusters`` should be the final (leaf) clusters of a run; retired parents
     may also be included, which can only improve the result.
+
+    ``backend`` switches the evaluation from dense state preparation to the
+    backend's own term-vector payloads — the controller passes its execution
+    backend when it is a propagation/width-routed one, keeping selection
+    state-free for systems no dense path can hold.
     """
     if not clusters:
         raise ValueError("clusters must be non-empty")
     if not tasks:
         return []
     cluster_ids = [cluster.cluster_id for cluster in clusters]
-    states = [cluster.prepare_state() for cluster in clusters]
     # One engine over the union basis, one batched pass over all states, and
     # one matmul for the full (cluster, task) energy grid.
     basis = PauliOperator.term_superset([task.hamiltonian for task in tasks])
-    engine = pauli_evaluator(basis, num_qubits=tasks[0].num_qubits)
     coefficient_matrix = np.array(
         [task.hamiltonian.coefficient_vector(basis) for task in tasks]
     )
-    term_values = engine.expectation_values_batch(states)  # (clusters, terms)
+    if backend is not None:
+        term_values = _backend_term_values(
+            backend, clusters, basis, tasks[0].num_qubits
+        )  # (clusters, terms)
+    else:
+        states = [cluster.prepare_state() for cluster in clusters]
+        engine = pauli_evaluator(basis, num_qubits=tasks[0].num_qubits)
+        term_values = engine.expectation_values_batch(states)  # (clusters, terms)
     energies = term_values @ coefficient_matrix.T  # (clusters, tasks)
 
     selections = []

@@ -80,6 +80,12 @@ class RoundScheduler:
         #: be less than the backend's own request count: dispatched work
         #: whose consumer was aborted is never pushed through the estimator.
         self.requests_executed = 0
+        #: Accumulated :attr:`~repro.quantum.backend.BackendResult.metadata`
+        #: counters (the propagation backend's truncation counts), summed
+        #: across every result seen — in-process, chunked, or from worker
+        #: processes (metadata rides the wire, unlike backend-local
+        #: counters).  Empty for backends that attach no metadata.
+        self.backend_metadata_totals: dict[str, int] = {}
 
     # -- request execution ------------------------------------------------------
 
@@ -147,7 +153,22 @@ class RoundScheduler:
                 self.backend.run_batch(chunk, need_states=not consumes_term_vectors)
             )
             self.batches_executed += 1
+        self._accumulate_metadata(backend_results)
         return backend_results
+
+    def _accumulate_metadata(self, backend_results) -> None:
+        totals = self.backend_metadata_totals
+        for result in backend_results:
+            metadata = getattr(result, "metadata", None)
+            if not metadata:
+                continue
+            totals["requests"] = totals.get("requests", 0) + 1
+            for key, value in metadata.items():
+                if key in ("final_terms", "peak_terms"):
+                    key = f"max_{key}"
+                    totals[key] = max(totals.get(key, 0), int(value))
+                else:
+                    totals[key] = totals.get(key, 0) + int(value)
 
     def _backend_satisfies(self, required: str) -> bool:
         """Can this scheduler's backend produce payloads the estimator may

@@ -8,6 +8,7 @@ form the energy landscape.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..quantum.exact import ground_state
@@ -15,6 +16,12 @@ from ..quantum.pauli import PauliOperator
 from ..quantum.statevector import Statevector
 
 __all__ = ["VQATask"]
+
+# Widest system for which on-demand exact diagonalisation is attempted when a
+# task carries no explicit reference energy.  Beyond this, error/fidelity are
+# NaN: the 50–100 qubit band served by the propagation backend has no exact
+# reference unless the caller supplies one.
+_EXACT_REFERENCE_QUBIT_LIMIT = 24
 
 
 @dataclass
@@ -72,8 +79,18 @@ class VQATask:
         return self.hamiltonian.num_terms
 
     def exact_ground_energy(self) -> float:
-        """Exact ground-state energy (computed once and cached)."""
+        """Exact ground-state energy (computed once and cached).
+
+        Beyond :data:`_EXACT_REFERENCE_QUBIT_LIMIT` qubits no exact
+        diagonalisation is feasible; without an explicit
+        ``reference_energy`` the reference is NaN (and so are the derived
+        error/fidelity figures) rather than an attempted 2^n solve —
+        wide-system runs on the propagation backend supply their reference
+        energies explicitly or report NaN fidelity.
+        """
         if self.reference_energy is None:
+            if self.num_qubits > _EXACT_REFERENCE_QUBIT_LIMIT:
+                return float("nan")
             self.reference_energy = ground_state(self.hamiltonian).energy
         return self.reference_energy
 
@@ -84,15 +101,22 @@ class VQATask:
         )
 
     def error(self, energy: float) -> float:
-        """Relative error |E_gs − E| / |E_gs| (paper §7.2)."""
+        """Relative error |E_gs − E| / |E_gs| (paper §7.2); NaN without a
+        feasible reference energy."""
         reference = self.exact_ground_energy()
+        if math.isnan(reference):
+            return float("nan")
         if reference == 0:
             return abs(energy - reference)
         return abs(reference - energy) / abs(reference)
 
     def fidelity(self, energy: float) -> float:
-        """Fidelity F = 1 − error (paper §7.2), clipped to [0, 1]."""
-        return float(max(0.0, min(1.0, 1.0 - self.error(energy))))
+        """Fidelity F = 1 − error (paper §7.2), clipped to [0, 1]; NaN
+        without a feasible reference energy."""
+        error = self.error(energy)
+        if math.isnan(error):
+            return float("nan")
+        return float(max(0.0, min(1.0, 1.0 - error)))
 
     def __repr__(self) -> str:
         return (

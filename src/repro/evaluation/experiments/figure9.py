@@ -10,9 +10,12 @@ for that task (hatched / lower-bounded when it never does).
 Statevector simulation is impossible at these sizes, so this experiment uses
 a dedicated two-phase TreeVQA execution (one shared root phase on the mixed
 Hamiltonian followed by warm-started per-task leaf phases) with all
-expectation values computed by the Heisenberg-picture Pauli-propagation
-simulator; the shot ledger uses the same 4096-per-term rule as everywhere
-else.  See DESIGN.md for why this preserves the paper's comparison.
+expectation values dispatched through the vectorized
+:class:`~repro.quantum.pauli_propagation.PauliPropagationBackend` — the same
+execution path ``TreeVQAConfig(backend="pauli_propagation")`` uses — built
+here from the config's propagation knobs; the shot ledger uses the same
+4096-per-term rule as everywhere else.  See DESIGN.md for why this preserves
+the paper's comparison.
 """
 
 from __future__ import annotations
@@ -23,15 +26,17 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ...ansatz import HardwareEfficientAnsatz
+from ...core.config import TreeVQAConfig
 from ...core.mixed_hamiltonian import build_mixed_hamiltonian
 from ...core.shots import shots_per_evaluation
 from ...core.task import VQATask
 from ...hamiltonians.molecular import MOLECULES, MolecularFamily
 from ...hamiltonians.spin import transverse_field_ising_chain
 from ...optimizers import SPSA
+from ...quantum.backend import ExecutionBackend, ExecutionRequest
+from ...quantum.engine import compiled_pauli_operator
 from ...quantum.noise import global_depolarizing_expectation
 from ...quantum.pauli import PauliOperator
-from ...quantum.pauli_propagation import PauliPropagationConfig, PauliPropagationSimulator
 from ..reporting import format_table
 
 __all__ = [
@@ -129,8 +134,30 @@ def _large_scale_tasks(benchmark: str, preset_name: str) -> tuple[list[VQATask],
     raise ValueError(f"unknown large-scale benchmark {benchmark!r}")
 
 
-class _PropagationObjective:
-    """SPSA objective backed by the Pauli-propagation simulator."""
+def _propagation_backend() -> ExecutionBackend:
+    """The figure's execution backend, built from the config knobs.
+
+    Exactly the backend ``TreeVQAConfig(backend="pauli_propagation")``
+    dispatches through, with the paper's large-scale truncation settings
+    (weight 6, threshold 1e-5, 30k terms on the fast preset)."""
+    config = TreeVQAConfig(
+        backend="pauli_propagation",
+        propagation_max_weight=6,
+        propagation_coefficient_threshold=1e-5,
+        propagation_max_terms=30_000,
+    )
+    return config.make_backend()
+
+
+class _BackendObjective:
+    """SPSA objective dispatched through the Pauli-propagation backend.
+
+    Each evaluation ships one :class:`ExecutionRequest` (compiled program +
+    raw parameter vector) and recombines the returned term vector with the
+    operator coefficients — the same payload contract the estimators use.
+    Sharing one backend across objectives reuses the compiled conjugation
+    structure for every (program, operator) pair.
+    """
 
     def __init__(
         self,
@@ -139,13 +166,15 @@ class _PropagationObjective:
         initial_bits: str,
         *,
         noisy: bool,
-        simulator_config: PauliPropagationConfig,
+        backend: ExecutionBackend,
     ) -> None:
         self.operator = operator
-        self.ansatz = ansatz
+        self.program = ansatz.program()
         self.initial_bits = initial_bits
         self.noisy = noisy
-        self.simulator = PauliPropagationSimulator(simulator_config)
+        self.backend = backend
+        self.num_layers = ansatz.num_layers
+        self.coefficients = compiled_pauli_operator(operator).coefficients
         identity_coefficient = 0.0
         for pauli, coeff in operator.items():
             if pauli.is_identity:
@@ -154,12 +183,19 @@ class _PropagationObjective:
         self.evaluations = 0
 
     def __call__(self, parameters: np.ndarray) -> float:
-        circuit = self.ansatz.bound_circuit(parameters)
-        value = self.simulator.expectation(self.operator, circuit, self.initial_bits)
+        request = ExecutionRequest(
+            circuit=None,
+            operator=self.operator,
+            initial_bitstring=self.initial_bits,
+            program=self.program,
+            parameters=np.asarray(parameters, dtype=float),
+        )
+        result = self.backend.run_batch([request])[0]
+        value = float(self.coefficients @ result.term_vector)
         self.evaluations += 1
         if self.noisy:
             value = global_depolarizing_expectation(
-                value, self.identity_value, layers=self.ansatz.num_layers, error_rate=NOISE_ERROR_RATE
+                value, self.identity_value, layers=self.num_layers, error_rate=NOISE_ERROR_RATE
             )
         return value
 
@@ -185,13 +221,13 @@ def run_large_scale_benchmark(
     ansatz = HardwareEfficientAnsatz(
         num_qubits, num_layers=num_layers, entanglement="linear", initial_bitstring=bitstring
     )
-    simulator_config = PauliPropagationConfig(max_weight=6, coefficient_threshold=1e-5, max_terms=30_000)
+    backend = _propagation_backend()
     mixed = build_mixed_hamiltonian([task.hamiltonian for task in tasks])
     rng_seed = seed
 
     # Phase 1: shared optimisation of the mixed Hamiltonian (the tree root).
-    shared_objective = _PropagationObjective(
-        mixed.operator, ansatz, bitstring, noisy=noisy, simulator_config=simulator_config
+    shared_objective = _BackendObjective(
+        mixed.operator, ansatz, bitstring, noisy=noisy, backend=backend
     )
     shared_optimizer = SPSA(learning_rate=0.3, perturbation=0.15, seed=rng_seed,
                             expected_iterations=shared_iterations + leaf_iterations)
@@ -205,8 +241,8 @@ def run_large_scale_benchmark(
 
     for index, task in enumerate(tasks):
         # Phase 2: warm-started leaf optimisation of the individual task.
-        leaf_objective = _PropagationObjective(
-            task.hamiltonian, ansatz, bitstring, noisy=noisy, simulator_config=simulator_config
+        leaf_objective = _BackendObjective(
+            task.hamiltonian, ansatz, bitstring, noisy=noisy, backend=backend
         )
         leaf_optimizer = SPSA(learning_rate=0.2, perturbation=0.1, seed=rng_seed + index + 1,
                               expected_iterations=leaf_iterations)
@@ -217,8 +253,8 @@ def run_large_scale_benchmark(
         treevqa_shots = leaf_shots + per_task_shared_shots // len(tasks)
 
         # Baseline: from scratch, measure shots until it matches TreeVQA's energy.
-        baseline_objective = _PropagationObjective(
-            task.hamiltonian, ansatz, bitstring, noisy=noisy, simulator_config=simulator_config
+        baseline_objective = _BackendObjective(
+            task.hamiltonian, ansatz, bitstring, noisy=noisy, backend=backend
         )
         baseline_optimizer = SPSA(learning_rate=0.3, perturbation=0.15, seed=rng_seed + 100 + index,
                                   expected_iterations=baseline_iterations)

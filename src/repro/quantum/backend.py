@@ -162,6 +162,9 @@ class BackendResult:
     (the request operator's term order, identity terms pinned to 1.0).
     ``state`` carries the prepared statevector when the caller asked for it
     and the backend produced one (the Clifford backend does not).
+    ``metadata``, when present, carries backend-specific per-request
+    diagnostics (e.g. the Pauli-propagation backend's truncation counts);
+    it survives multi-process dispatch and is accumulated by the scheduler.
     """
 
     term_basis: tuple[PauliString, ...]
@@ -169,6 +172,7 @@ class BackendResult:
     state: Statevector | None
     backend_name: str
     tag: object = None
+    metadata: dict | None = None
 
 
 class ExecutionBackend:
@@ -434,8 +438,10 @@ class CliffordBackend(ExecutionBackend):
 
 
 #: Name → backend class.  :mod:`repro.quantum.density_matrix` registers
-#: ``"density_matrix"`` here at import time (it depends on this module, so it
-#: cannot be listed directly without an import cycle).
+#: ``"density_matrix"`` here at import time, and
+#: :mod:`repro.quantum.pauli_propagation` registers ``"pauli_propagation"``
+#: and ``"auto"`` (they depend on this module, so they cannot be listed
+#: directly without an import cycle).
 BACKEND_REGISTRY: dict[str, type[ExecutionBackend]] = {
     "statevector": StatevectorBackend,
     "clifford": CliffordBackend,
@@ -443,25 +449,37 @@ BACKEND_REGISTRY: dict[str, type[ExecutionBackend]] = {
 
 
 def make_execution_backend(
-    name: str, *, noise_model=None
+    name: str, *, noise_model=None, propagation=None
 ) -> ExecutionBackend:
     """Construct a registered execution backend by name.
 
     ``noise_model`` is forwarded to backends that execute under one (class
     attribute ``accepts_noise_model``, e.g. the density-matrix backend);
     passing it to a purely unitary backend is rejected rather than silently
-    ignored.
+    ignored.  ``propagation`` (a ``PauliPropagationConfig``) is likewise
+    forwarded to backends that truncate a Pauli propagation (class attribute
+    ``accepts_propagation_config``: the propagation backend and the width
+    router) and rejected elsewhere.
     """
     if name not in BACKEND_REGISTRY:
         raise ValueError(
             f"unknown backend {name!r}; choose from {sorted(BACKEND_REGISTRY)}"
         )
     cls = BACKEND_REGISTRY[name]
+    kwargs: dict = {}
     if getattr(cls, "accepts_noise_model", False):
-        return cls(noise_model=noise_model)  # type: ignore[call-arg]
-    if noise_model is not None:
+        kwargs["noise_model"] = noise_model
+    elif noise_model is not None:
         raise ValueError(
             f"backend {name!r} executes noiselessly and does not accept a "
             "noise model; use backend='density_matrix' for noisy execution"
         )
-    return cls()
+    if propagation is not None:
+        if not getattr(cls, "accepts_propagation_config", False):
+            raise ValueError(
+                f"backend {name!r} does not truncate a Pauli propagation and "
+                "does not accept a propagation config; use "
+                "backend='pauli_propagation' or backend='auto'"
+            )
+        kwargs["propagation"] = propagation
+    return cls(**kwargs)

@@ -186,6 +186,17 @@ class CircuitProgram:
         identically and may be batched together."""
         return self._fingerprint
 
+    @property
+    def tape(self) -> tuple[_TapeEntry, ...]:
+        """The compiled instruction tape (read-only).
+
+        Exposed for alternative executors that re-interpret the same
+        structure — the Pauli-propagation kernel walks it in reverse to
+        build its conjugation plan, resolving each entry's parameter specs
+        exactly like :meth:`execute` does.
+        """
+        return self._tape
+
     def __repr__(self) -> str:
         return (
             f"CircuitProgram(name={self.name!r}, num_qubits={self._num_qubits}, "
