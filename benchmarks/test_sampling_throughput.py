@@ -1,0 +1,164 @@
+"""Micro-benchmark: batched measurement sampling vs. per-request estimation.
+
+Tracks the speedup of the sampling estimator's batched path — states stacked
+into one ``(B, 2**n)`` array, one compiled measurement plan evaluated over
+the whole batch with vectorized inverse-CDF draws — over the per-request
+``estimate()`` path that simulates and samples one circuit at a time.  The
+workload is the reference shape from the round-throughput benchmark: an
+8-qubit, 16-task application (16 singleton clusters, so every round asks
+32 SPSA evaluations).
+
+The per-request reference is the scheduler's own fallback (an estimator that
+does not advertise ``consumes_states``), and the RNG derivation rule keys
+each request's draws to its consumption ordinal — so both modes produce
+bit-identical step records, asserted below: the speedup is measured on
+provably identical work.
+
+Results are appended to ``BENCH_sampling.json`` at the repo root so CI can
+upload them as a machine-readable artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.core import RoundScheduler, TreeVQAConfig, VQACluster, VQATask
+from repro.hamiltonians import transverse_field_ising_chain
+from repro.quantum import StatevectorBackend
+from repro.quantum.sampling import SamplingEstimator
+
+_RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_sampling.json"
+
+NUM_QUBITS = 8
+NUM_TASKS = 16
+NUM_LAYERS = 3
+ROUNDS = 4
+SHOTS_PER_TERM = 512
+MIN_SPEEDUP = 3.0
+
+
+def _record(key: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into the shared JSON artifact."""
+    existing = {}
+    if _RESULTS_PATH.exists():
+        existing = json.loads(_RESULTS_PATH.read_text())
+    existing[key] = payload
+    _RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+class PerRequestSampling(SamplingEstimator):
+    """Identical physics and RNG derivation, minus the batched capability:
+    the scheduler routes it through per-request ``estimate()``."""
+
+    consumes_states = False
+
+
+def _make_tasks() -> list[VQATask]:
+    fields = np.linspace(0.6, 1.4, NUM_TASKS)
+    return [
+        VQATask(
+            name=f"tfim@{field:.3f}",
+            hamiltonian=transverse_field_ising_chain(NUM_QUBITS, float(field)),
+            scan_parameter=float(field),
+        )
+        for field in fields
+    ]
+
+
+def _make_clusters(tasks: list[VQATask], ansatz, estimator) -> list[VQACluster]:
+    config = TreeVQAConfig(
+        max_rounds=ROUNDS, warmup_iterations=0, window_size=2,
+        shots_per_pauli_term=SHOTS_PER_TERM,
+        disable_automatic_splits=True, seed=0,
+    )
+    return [
+        VQACluster(
+            cluster_id=f"bench-{index}",
+            tasks=[task],
+            ansatz=ansatz,
+            optimizer=config.make_optimizer(),
+            estimator=estimator,
+            config=config,
+            initial_parameters=ansatz.zero_parameters(),
+        )
+        for index, task in enumerate(tasks)
+    ]
+
+
+def _run_rounds(scheduler: RoundScheduler, clusters: list[VQACluster]):
+    records = []
+    for _ in range(ROUNDS):
+        records.extend(record for _, record in scheduler.run_round(clusters))
+    return records
+
+
+def test_batched_sampling_at_least_3x_per_request():
+    tasks = _make_tasks()
+    ansatz = HardwareEfficientAnsatz(NUM_QUBITS, num_layers=NUM_LAYERS)
+
+    # Warm-up: compile every task's measurement plan and circuit program
+    # (both cached process-wide, shared by the timed runs below).
+    warm_estimator = SamplingEstimator(shots_per_term=SHOTS_PER_TERM, seed=0)
+    warm = _make_clusters(tasks, ansatz, warm_estimator)
+    RoundScheduler(StatevectorBackend(), warm_estimator).run_round(warm)
+
+    sequential_estimator = PerRequestSampling(
+        shots_per_term=SHOTS_PER_TERM, seed=0
+    )
+    sequential = RoundScheduler(StatevectorBackend(), sequential_estimator)
+    sequential_clusters = _make_clusters(tasks, ansatz, sequential_estimator)
+    start = time.perf_counter()
+    sequential_records = _run_rounds(sequential, sequential_clusters)
+    sequential_seconds = time.perf_counter() - start
+
+    batched_estimator = SamplingEstimator(shots_per_term=SHOTS_PER_TERM, seed=0)
+    batched = RoundScheduler(StatevectorBackend(), batched_estimator)
+    batched_clusters = _make_clusters(tasks, ansatz, batched_estimator)
+    start = time.perf_counter()
+    batched_records = _run_rounds(batched, batched_clusters)
+    batched_seconds = time.perf_counter() - start
+
+    # Same seed, same consumption ordinals: the timed runs drew identical
+    # samples, so the speedup is measured on bit-identical work.
+    assert len(batched_records) == len(sequential_records) == ROUNDS * NUM_TASKS
+    for left, right in zip(batched_records, sequential_records):
+        assert left.mixed_loss == right.mixed_loss
+        assert left.shots == right.shots
+        np.testing.assert_array_equal(left.parameters, right.parameters)
+    assert (
+        batched_estimator.total_shots == sequential_estimator.total_shots
+    )
+    assert batched.batches_executed > 0
+    assert sequential.batches_executed == 0  # the fallback path never batches
+
+    speedup = sequential_seconds / batched_seconds
+    per_round_sequential = 1e3 * sequential_seconds / ROUNDS
+    per_round_batched = 1e3 * batched_seconds / ROUNDS
+    print(
+        f"\nsampling throughput ({NUM_TASKS} tasks x {NUM_QUBITS} qubits, "
+        f"{SHOTS_PER_TERM} shots/term, {ROUNDS} rounds): "
+        f"per-request {per_round_sequential:.1f} ms/round, "
+        f"batched {per_round_batched:.1f} ms/round, speedup {speedup:.1f}x"
+    )
+    _record(
+        "sampling_rounds_8q16t",
+        {
+            "num_qubits": NUM_QUBITS,
+            "num_tasks": NUM_TASKS,
+            "rounds": ROUNDS,
+            "shots_per_term": SHOTS_PER_TERM,
+            "per_request_seconds_per_round": sequential_seconds / ROUNDS,
+            "batched_seconds_per_round": batched_seconds / ROUNDS,
+            "speedup": speedup,
+            "floor": MIN_SPEEDUP,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched sampling only {speedup:.2f}x faster than per-request "
+        f"(expected >= {MIN_SPEEDUP}x)"
+    )

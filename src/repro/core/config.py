@@ -156,6 +156,16 @@ class TreeVQAConfig:
             :func:`~repro.quantum.program.program_cache_stats` for hit/miss
             statistics (a per-run delta is attached to every controller
             result under ``metadata["program_cache"]``).
+        measurement_plan_cache_size: LRU capacity of the persistent
+            (process-wide) measurement-plan cache used by the ``sampling``
+            estimator (compile-once QWC grouping, basis rotations, and
+            support masks per operator fingerprint).  ``None`` (default)
+            leaves the current process-wide limit untouched; a value is
+            applied via
+            :func:`~repro.quantum.measurement.set_measurement_plan_cache_limit`
+            at controller construction, and a per-run stats delta is
+            attached under ``metadata["measurement_plan_cache"]`` when the
+            run used plans.
         forced_split_iteration: §9.1 study — force exactly one split (per
             root cluster) at this cluster iteration.  Default ``None``
             (condition-based splitting).
@@ -196,6 +206,7 @@ class TreeVQAConfig:
     execution_workers: int | None = None
     use_circuit_programs: bool = True
     program_cache_size: int | None = None
+    measurement_plan_cache_size: int | None = None
     forced_split_iteration: int | None = None
     disable_automatic_splits: bool = False
     record_trajectory: bool = True
@@ -291,6 +302,11 @@ class TreeVQAConfig:
             raise ValueError("execution_workers must be >= 1 when set")
         if self.program_cache_size is not None and self.program_cache_size < 1:
             raise ValueError("program_cache_size must be >= 1 when set")
+        if (
+            self.measurement_plan_cache_size is not None
+            and self.measurement_plan_cache_size < 1
+        ):
+            raise ValueError("measurement_plan_cache_size must be >= 1 when set")
 
     # -- factories -------------------------------------------------------------
 

@@ -27,6 +27,10 @@ from collections import defaultdict
 import numpy as np
 
 from ..ansatz.base import Ansatz
+from ..quantum.measurement import (
+    measurement_plan_cache_stats,
+    set_measurement_plan_cache_limit,
+)
 from ..quantum.pauli_propagation import conjugation_cache_stats
 from ..quantum.program import program_cache_stats, set_program_cache_limit
 from .cluster import VQACluster
@@ -74,7 +78,10 @@ class TreeVQAController:
         # process still share the cache, and their activity is not separable).
         if self.config.program_cache_size is not None:
             set_program_cache_limit(self.config.program_cache_size)
+        if self.config.measurement_plan_cache_size is not None:
+            set_measurement_plan_cache_limit(self.config.measurement_plan_cache_size)
         self._program_cache_baseline = program_cache_stats()
+        self._measurement_plan_cache_baseline = measurement_plan_cache_stats()
         self._conjugation_cache_baseline = conjugation_cache_stats()
         self.estimator = self.config.make_estimator()
         self.backend = self.config.make_backend()
@@ -226,6 +233,22 @@ class TreeVQAController:
             delta["workers"] = worker_stats()
         return delta
 
+    def _measurement_plan_cache_delta(self) -> dict[str, int] | None:
+        """This run's measurement-plan-cache activity, or None when the run
+        compiled and hit no plans (non-sampling estimators) — mirroring the
+        program-cache entry's delta-vs-baseline reporting."""
+        stats = measurement_plan_cache_stats()
+        baseline = self._measurement_plan_cache_baseline
+        delta = {
+            key: stats[key] - baseline[key]
+            if key in ("hits", "misses", "evictions")
+            else stats[key]
+            for key in stats
+        }
+        if delta["hits"] == 0 and delta["misses"] == 0:
+            return None
+        return delta
+
     def _propagation_metadata(self) -> dict | None:
         """Propagation observability for the run, or None when nothing
         propagated: truncation counts summed from per-result metadata (which
@@ -250,12 +273,17 @@ class TreeVQAController:
     def _finalize(self) -> TreeVQAResult:
         """Post-processing (§5.3) and result assembly."""
         final_clusters = self.active_clusters or self._clusters
-        # State-free backends (propagation / width routing) evaluate the §5.3
-        # grid through their own term-vector payloads; dense state
-        # preparation at 50+ qubits would defeat the point of running them.
+        # Propagation-capable backends (pure propagation / width routing)
+        # evaluate the §5.3 grid through their own term-vector payloads;
+        # dense state preparation at 50+ qubits would defeat the point of
+        # running them.  (The width router *does* provide states — on its
+        # dense tier — but its wide tasks still need the state-free path.)
         selection_backend = (
             self.backend
-            if not getattr(self.backend, "provides_states", True)
+            if (
+                not getattr(self.backend, "provides_states", True)
+                or getattr(self.backend, "accepts_propagation_config", False)
+            )
             else None
         )
         selections = select_best_states(
@@ -282,6 +310,11 @@ class TreeVQAController:
                 "num_splits": self.tree.num_splits,
                 "tree_depth_levels": self.tree.depth_levels(),
                 "program_cache": self._program_cache_delta(),
+                **(
+                    {"measurement_plan_cache": plan_cache}
+                    if (plan_cache := self._measurement_plan_cache_delta()) is not None
+                    else {}
+                ),
                 **(
                     {"propagation": propagation}
                     if (propagation := self._propagation_metadata()) is not None

@@ -21,6 +21,15 @@ backend dispatch — and, because the batched statevector backend's stacked
 sequential rounds produce bit-identical trajectories under the exact
 estimator.
 
+States-consuming estimators (the sampling estimator) batch too: the backend
+attaches prepared states (``need_states=True``) and the whole
+consumption-ordered slice is converted through one
+:meth:`~repro.quantum.sampling.BaseEstimator.estimate_backend_results` call
+— bit-identical to the per-result loop by the estimator's RNG-derivation
+contract.  When the backend cannot attach states (``provides_states=False``,
+e.g. pure Pauli propagation), the scheduler warns once, naming the backend,
+and falls back per request.
+
 Estimators that can consume neither term vectors nor prepared states
 (custom scalar-only estimators) are driven through the legacy per-request
 :meth:`~repro.quantum.sampling.BaseEstimator.estimate` path, so every
@@ -34,6 +43,7 @@ per-request path otherwise.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable, Sequence
 from typing import TYPE_CHECKING
 
@@ -86,6 +96,7 @@ class RoundScheduler:
         #: processes (metadata rides the wire, unlike backend-local
         #: counters).  Empty for backends that attach no metadata.
         self.backend_metadata_totals: dict[str, int] = {}
+        self._states_fallback_warned = False
 
     # -- request execution ------------------------------------------------------
 
@@ -144,8 +155,10 @@ class RoundScheduler:
             # values as exact.
             return None
         if not consumes_term_vectors and not getattr(self.backend, "provides_states", True):
-            # A states-consuming estimator over a backend that prepares mixed
-            # states: nothing consumable would come back.
+            # A states-consuming estimator over a backend that cannot attach
+            # prepared states: nothing consumable would come back.  Warn once
+            # — the fallback is correct but forfeits batched sampling.
+            self._warn_states_fallback()
             return None
         backend_results = []
         for chunk in self._chunks(requests):
@@ -155,6 +168,23 @@ class RoundScheduler:
             self.batches_executed += 1
         self._accumulate_metadata(backend_results)
         return backend_results
+
+    def _warn_states_fallback(self) -> None:
+        """Actionable one-time notice that sampling rounds are not batching."""
+        if self._states_fallback_warned:
+            return
+        self._states_fallback_warned = True
+        backend_name = getattr(self.backend, "name", type(self.backend).__name__)
+        warnings.warn(
+            f"{type(self.estimator).__name__} consumes prepared states, but "
+            f"backend {backend_name!r} advertises provides_states=False — "
+            "falling back to the per-request estimate() path (correct, but "
+            "rounds will not batch); configure a state-providing backend "
+            "such as 'statevector', 'clifford', or 'auto' within its dense "
+            "width limit to batch sampling rounds",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
     def _accumulate_metadata(self, backend_results) -> None:
         totals = self.backend_metadata_totals
@@ -209,6 +239,15 @@ class RoundScheduler:
                 )
                 for request in requests
             ]
+        batch_convert = getattr(estimator, "estimate_backend_results", None)
+        if batch_convert is not None:
+            # One conversion call for the whole consumption-ordered slice:
+            # estimators with a vectorized noise layer (sampling plans)
+            # evaluate the slice in a few array ops, and the contract pins
+            # the batched call bit-identical to the per-result loop below.
+            return batch_convert(
+                backend_results, [request.operator for request in requests]
+            )
         return [
             estimator.estimate_backend_result(result, request.operator)
             for request, result in zip(requests, backend_results)

@@ -214,7 +214,12 @@ class ExecutionBackend:
           statevector on each result (required by estimators that sample
           from states rather than consuming exact term vectors); backends
           that cannot attach one advertise ``provides_states = False`` so
-          the scheduler never pairs them with a states-consuming estimator.
+          the scheduler never pairs them with a states-consuming estimator
+          (it warns and falls back per request instead).  The sampling
+          estimator stacks the attached states into one ``(B, 2^n)`` array
+          and evaluates its compile-once measurement plans over the whole
+          batch (:mod:`repro.quantum.measurement`), so states must obey the
+          same composition-independence as every other payload field.
         """
         raise NotImplementedError
 

@@ -34,7 +34,12 @@ Shot-noise and sampling randomness belong to the *estimator* layer, which
 never crosses a process boundary: the round scheduler converts backend
 payloads through the shared estimator in strict consumption order in the
 parent process, so per-request noise streams are derived per request, not
-per worker, and noisy trajectories are also worker-count independent.
+per worker, and noisy trajectories are also worker-count independent.  A
+sampling round (``need_states=True``) ships each request's prepared
+amplitudes back parent-ward (counted as ``states_shipped``); the
+measurement plans, uniform draws, and term-value evaluation all stay in the
+parent, which is what extends the bit-identity guarantee to sampled term
+vectors at every worker count.
 
 Sharding and the warm per-worker program cache
 ----------------------------------------------
@@ -267,6 +272,12 @@ class ParallelBackend(ExecutionBackend):
         self.programs_shipped = 0
         #: Program-path requests served from a worker's warm program cache.
         self.program_reuses = 0
+        #: Prepared states shipped back from workers (``need_states``
+        #: dispatches, i.e. sampling rounds): one 2^n amplitude array per
+        #: request crosses the boundary parent-ward.  Measurement *plans*
+        #: never ship — sampling randomness and plan evaluation live
+        #: entirely in the parent's estimator layer.
+        self.states_shipped = 0
 
     # -- scheduler-facing metadata (delegated to the inner template) ------------
 
@@ -280,6 +291,12 @@ class ParallelBackend(ExecutionBackend):
     @property
     def provides_states(self) -> bool:  # type: ignore[override]
         return getattr(self._inner, "provides_states", True)
+
+    @property
+    def accepts_propagation_config(self) -> bool:
+        """Whether the wrapped backend is propagation-capable — the
+        controller's §5.3 selection keys off this to stay state-free."""
+        return getattr(self._inner, "accepts_propagation_config", False)
 
     @property
     def noise_model(self):
@@ -464,6 +481,8 @@ class ParallelBackend(ExecutionBackend):
                         failure = reply[2]
                     continue
                 for index, result in zip(indices, reply[2]):
+                    if result.state is not None:
+                        self.states_shipped += 1
                     # Tags and term bases never cross the boundary back:
                     # re-attach the original tag and rebuild the basis from
                     # the request operator — the same memoised engine call
@@ -578,6 +597,7 @@ class ParallelBackend(ExecutionBackend):
             "shards_dispatched": self.shards_dispatched,
             "programs_shipped": self.programs_shipped,
             "program_reuses": self.program_reuses,
+            "states_shipped": self.states_shipped,
             "fallback_batches": self.fallback_batches,
         }
 

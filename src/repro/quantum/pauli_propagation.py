@@ -953,13 +953,18 @@ class WidthRoutedBackend(ExecutionBackend):
     Mirrors how :class:`~repro.quantum.backend.CliffordBackend` routes by
     rotation angle: each request is classified independently, the two halves
     run through their backend, and results are stitched back in request
-    order.  ``need_states`` is forwarded to the dense backend only — wide
-    requests cannot produce states at all, which is why the router
-    advertises ``provides_states = False``.
+    order.
+
+    The router advertises ``provides_states = True``: a ``need_states``
+    dispatch (a sampling round) is kept entirely on the dense tier, where
+    prepared states exist — wide requests cannot produce states at all, so a
+    ``need_states`` batch containing one raises with an actionable message
+    instead of silently routing it to propagation (whose term-vector payload
+    a states-consuming estimator cannot use).
     """
 
     name = "auto"
-    provides_states = False
+    provides_states = True
     accepts_propagation_config = True
 
     def __init__(
@@ -986,6 +991,17 @@ class WidthRoutedBackend(ExecutionBackend):
                 wide.append(index)
             else:
                 narrow.append(index)
+        if need_states and wide:
+            widths = sorted({requests[index].num_qubits for index in wide})
+            raise ValueError(
+                "backend 'auto' can attach prepared states only on its dense "
+                f"tier (<= {self.dense_width_limit} qubits); got "
+                f"need_states=True with {len(wide)} request(s) of width "
+                f"{widths} — state-consuming estimators (e.g. sampling) need "
+                "dense execution: lower the qubit count, raise "
+                "dense_width_limit, or switch to a term-vector estimator for "
+                "wide circuits"
+            )
         self.dense_requests += len(narrow)
         self.propagation_requests += len(wide)
         results: list[BackendResult | None] = [None] * len(requests)

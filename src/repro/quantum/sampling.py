@@ -11,7 +11,10 @@ estimators with the same interface are provided:
   which is statistically equivalent to sampling each Pauli term with ``shots``
   shots at a tiny fraction of the cost.
 * :class:`SamplingEstimator` — literal bitstring sampling per qubit-wise
-  commuting measurement basis, for small circuits and validation tests.
+  commuting measurement basis, evaluated through compile-once
+  :class:`~repro.quantum.measurement.MeasurementPlan` objects (stacked basis
+  rotations, vectorized inverse-CDF draws) with a deterministic per-request
+  RNG derivation that keeps batched and per-request sampling bit-identical.
 
 Term-vector contract
 --------------------
@@ -27,12 +30,19 @@ legacy dict view is still available via :attr:`EstimatorResult.term_values`.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .circuit import QuantumCircuit
 from .engine import compiled_pauli_operator
+from .measurement import (
+    MeasurementPlan,
+    basis_rotation_circuit as _basis_rotation_circuit,
+    measurement_basis as _measurement_basis,
+    measurement_plan_for,
+)
 from .pauli import PauliOperator, PauliString
 from .statevector import Statevector
 
@@ -151,6 +161,23 @@ class BaseEstimator:
         self.total_evaluations += 1
         return estimate
 
+    def estimate_backend_results(
+        self, results, operators: Sequence[PauliOperator]
+    ) -> list[EstimatorResult]:
+        """Estimate a whole batch of backend payloads, one per request.
+
+        The default delegates to :meth:`estimate_backend_result` per result,
+        in order, so shot accounting and any noise draws happen exactly as if
+        the caller had looped.  Estimators whose evaluation vectorizes across
+        requests (the sampling estimator) override this with a batched
+        implementation — which must stay **bit-identical** to the per-result
+        loop, the contract the round scheduler's parity guarantees rest on.
+        """
+        return [
+            self.estimate_backend_result(result, operator)
+            for result, operator in zip(results, operators)
+        ]
+
     def _estimate_from_term_vector(
         self, operator: PauliOperator, term_vector: np.ndarray
     ) -> EstimatorResult:
@@ -247,95 +274,151 @@ class ShotNoiseEstimator(BaseEstimator):
 
 
 class SamplingEstimator(BaseEstimator):
-    """Literal measurement sampling, one basis per qubit-wise-commuting group.
+    """Literal measurement sampling over compile-once measurement plans.
 
-    Intended for validation on small systems; cost grows with the number of
-    commuting groups rather than with the number of terms.
+    Each operator is compiled (once, process-wide — see
+    :func:`~repro.quantum.measurement.measurement_plan_for`) into a
+    :class:`~repro.quantum.measurement.MeasurementPlan`: the qubit-wise
+    commuting grouping, each group's basis rotation as stacked single-qubit
+    matrix applications, and packed per-term support masks.  Evaluation is
+    then pure array work — all groups' probability vectors for the whole
+    request batch, one ``(B, shots)`` inverse-CDF draw per group, and the
+    ``(B, T)`` term-value matrix from mask-parity signs.  Cost grows with
+    the number of commuting groups rather than with the number of terms.
+
+    RNG derivation rule (the bit-identity anchor)
+    ---------------------------------------------
+    Outcomes for the k-th sampling evaluation this estimator performs are
+    drawn from a child generator spawned deterministically from the
+    estimator seed and k alone (``SeedSequence(entropy=root_entropy,
+    spawn_key=(k,))``) — keyed by *request identity* (strict consumption
+    order), never by batch position.  Every evaluation draws all of its
+    uniforms in one ``rng.random((num_groups, shots))`` call, in both the
+    per-request and batched paths.  Batched estimation
+    (:meth:`estimate_backend_results`) is therefore **bit-identical** to
+    per-request :meth:`estimate`, to ``max_batch_size=1``, and across
+    ``execution_workers`` counts — the same invariant the backends uphold
+    for amplitudes, extended to sampled term vectors
+    (``docs/ARCHITECTURE.md``).
+
+    The reported ``variance`` is the empirical coefficient-weighted sample
+    variance ``sum_t c_t^2 (1 - m_t^2) / shots`` over non-identity terms,
+    the same estimate the shot-noise estimator charges.
     """
 
     #: Sampling needs the prepared state (basis rotations), not term vectors.
     consumes_states = True
 
+    def __init__(self, shots_per_term: int = 4096, seed: int | None = None) -> None:
+        super().__init__(shots_per_term=shots_per_term, seed=seed)
+        #: Root entropy all per-request child generators derive from.
+        self._entropy = np.random.SeedSequence(seed).entropy
+        #: Lifetime count of sampling evaluations — the ordinal that keys
+        #: each request's child generator.
+        self.sampling_evaluations = 0
+
+    def _request_rng(self, ordinal: int) -> np.random.Generator:
+        """Child generator for the ``ordinal``-th sampling evaluation."""
+        return np.random.default_rng(
+            np.random.SeedSequence(entropy=self._entropy, spawn_key=(ordinal,))
+        )
+
     def _estimate_state(self, state: Statevector, operator: PauliOperator) -> EstimatorResult:
-        # This estimator measures via basis rotation and bitstring sampling —
-        # only the operator's term order and coefficients are needed, so no
-        # engine is compiled.
-        paulis = tuple(operator.paulis())
-        coefficients = operator.coefficient_vector(paulis)
-        groups = operator.group_qubit_wise_commuting()
-        term_values: dict[PauliString, float] = {}
-        shots_used = 0
-        for group in groups:
-            non_identity = [p for p in group if not p.is_identity]
-            if not non_identity:
-                for pauli in group:
-                    term_values[pauli] = 1.0
-                continue
-            basis = _measurement_basis(non_identity)
-            rotated = state.evolve(_basis_rotation_circuit(basis))
-            probabilities = rotated.probabilities()
-            outcomes = self.rng.choice(
-                probabilities.size, size=self.shots_per_term, p=probabilities / probabilities.sum()
+        plan = measurement_plan_for(operator)
+        ordinal = self.sampling_evaluations
+        self.sampling_evaluations += 1
+        amplitudes = np.asarray(state.data, dtype=complex).reshape(1, -1)
+        return self._plan_results(plan, amplitudes, [self._request_rng(ordinal)])[0]
+
+    def estimate_backend_results(
+        self, results, operators: Sequence[PauliOperator]
+    ) -> list[EstimatorResult]:
+        """Batched sampling over the backend's prepared states.
+
+        Requests are grouped by measurement plan (operator fingerprint), each
+        group's states are stacked into one ``(B, 2^n)`` array, and the plan
+        evaluates every group/probability/draw for the whole stack at once.
+        Per-request child generators are assigned by position in ``results``
+        — the scheduler's strict consumption order — before any grouping, so
+        the returned estimates are bit-identical to calling
+        :meth:`estimate_backend_result` in a loop.
+        """
+        results = list(results)
+        operators = list(operators)
+        for result in results:
+            if result.state is None:
+                raise ValueError(
+                    f"{type(self).__name__} cannot consume a backend result "
+                    "without a prepared state; request need_states=True or "
+                    "use estimate()"
+                )
+        first_ordinal = self.sampling_evaluations
+        self.sampling_evaluations += len(results)
+        plans: dict[int, MeasurementPlan] = {}
+        members: dict[int, list[int]] = {}
+        for index, operator in enumerate(operators):
+            plan = measurement_plan_for(operator)
+            plans[id(plan)] = plan
+            members.setdefault(id(plan), []).append(index)
+        estimates: list[EstimatorResult | None] = [None] * len(results)
+        for plan_id, indices in members.items():
+            plan = plans[plan_id]
+            amplitudes = np.stack(
+                [np.asarray(results[i].state.data, dtype=complex) for i in indices]
             )
-            shots_used += self.shots_per_term
-            bit_table = _bit_table(outcomes, state.num_qubits)
-            for pauli in group:
-                if pauli.is_identity:
-                    term_values[pauli] = 1.0
-                    continue
-                signs = np.ones(len(outcomes))
-                for qubit in pauli.support():
-                    signs *= 1.0 - 2.0 * bit_table[:, qubit]
-                term_values[pauli] = float(signs.mean())
-        vector = np.array(
-            [
-                term_values.get(pauli, 1.0 if pauli.is_identity else 0.0)
-                for pauli in paulis
-            ]
-        )
-        return EstimatorResult(
-            value=float(coefficients @ vector),
-            shots_used=max(shots_used, self.shots_per_term),
-            variance=0.0,
-            term_basis=paulis,
-            term_vector=vector,
-        )
+            rngs = [self._request_rng(first_ordinal + i) for i in indices]
+            for slot, estimate in zip(indices, self._plan_results(plan, amplitudes, rngs)):
+                estimates[slot] = estimate
+        for estimate in estimates:
+            self.total_shots += estimate.shots_used
+            self.total_evaluations += 1
+        return estimates  # type: ignore[return-value]
 
+    def _plan_results(
+        self,
+        plan: MeasurementPlan,
+        amplitudes: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+    ) -> list[EstimatorResult]:
+        """Evaluate one plan over a stack of states, one result per row.
 
-def _measurement_basis(paulis: list[PauliString]) -> list[str]:
-    """Per-qubit measurement basis ('I', 'X', 'Y' or 'Z') for a QWC group."""
-    num_qubits = paulis[0].num_qubits
-    basis = ["I"] * num_qubits
-    for pauli in paulis:
-        for qubit, op in enumerate(pauli.label):
-            if op == "I":
-                continue
-            if basis[qubit] == "I":
-                basis[qubit] = op
-            elif basis[qubit] != op:
-                raise ValueError("terms are not qubit-wise commuting")
-    return basis
-
-
-def _basis_rotation_circuit(basis: list[str]) -> QuantumCircuit:
-    """Circuit rotating each qubit's measurement basis to Z."""
-    circuit = QuantumCircuit(len(basis), name="basis-rotation")
-    for qubit, op in enumerate(basis):
-        if op == "X":
-            circuit.h(qubit)
-        elif op == "Y":
-            circuit.sdg(qubit)
-            circuit.h(qubit)
-    return circuit
+        All per-row arithmetic (term means, value, variance) is row-local, so
+        a batch of B rows yields exactly the B results the rows would yield
+        alone — given the same generators.
+        """
+        matrix = plan.term_matrix(amplitudes, self.shots_per_term, rngs)
+        shots_used = plan.shots_used(self.shots_per_term)
+        coefficients = plan.coefficients
+        results = []
+        for row in range(matrix.shape[0]):
+            vector = matrix[row]
+            term_variance = np.where(
+                plan.identity_mask,
+                0.0,
+                np.clip(1.0 - vector ** 2, 0.0, None) / self.shots_per_term,
+            )
+            results.append(
+                EstimatorResult(
+                    value=float(coefficients @ vector),
+                    shots_used=shots_used,
+                    variance=float((coefficients ** 2) @ term_variance),
+                    term_basis=plan.paulis,
+                    term_vector=vector,
+                )
+            )
+        return results
 
 
 def _bit_table(outcomes: np.ndarray, num_qubits: int) -> np.ndarray:
-    """Bit value of each qubit for each sampled outcome (qubit 0 = MSB)."""
-    table = np.zeros((len(outcomes), num_qubits), dtype=float)
-    for column in range(num_qubits):
-        shift = num_qubits - 1 - column
-        table[:, column] = (outcomes >> shift) & 1
-    return table
+    """Bit value of each qubit for each sampled outcome (qubit 0 = MSB).
+
+    This is the reference sign evaluation the measurement plan's mask-parity
+    path is tested against; the shift broadcast replaces the old per-column
+    Python loop.
+    """
+    outcomes = np.asarray(outcomes, dtype=np.int64)
+    shifts = np.arange(num_qubits - 1, -1, -1, dtype=np.int64)
+    return ((outcomes[:, None] >> shifts[None, :]) & 1).astype(float)
 
 
 class DensityMatrixEstimator(BaseEstimator):

@@ -122,13 +122,20 @@ class Statevector:
     def sample_counts(
         self, shots: int, rng: np.random.Generator | None = None
     ) -> dict[str, int]:
-        """Sample measurement outcomes in the computational basis."""
+        """Sample measurement outcomes in the computational basis.
+
+        Draws ride the shared vectorized inverse-CDF sampler
+        (:func:`repro.quantum.measurement.sample_outcomes`) — one uniform
+        block and one cumulative pass instead of the O(2^n) setup
+        ``rng.choice`` performs per call.
+        """
         if shots < 1:
             raise ValueError("shots must be >= 1")
+        from .measurement import sample_outcomes  # local import to avoid a cycle
+
         rng = rng or np.random.default_rng()
         probabilities = self.probabilities()
-        probabilities = probabilities / probabilities.sum()
-        outcomes = rng.choice(probabilities.size, size=shots, p=probabilities)
+        outcomes = sample_outcomes(probabilities[None, :], rng.random((1, shots)))[0]
         unique, multiplicities = np.unique(outcomes, return_counts=True)
         width = self.num_qubits
         return {
