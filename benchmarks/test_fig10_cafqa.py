@@ -15,7 +15,12 @@ from repro.evaluation.experiments import format_figure10, run_figure10
 def test_fig10_cafqa(benchmark, preset):
     result = benchmark.pedantic(
         run_figure10,
-        kwargs={"preset": preset, "num_tasks": 4, "gap_percentages": (5.0, 10.0, 20.0, 30.0), "seed": 7},
+        kwargs={
+            "preset": preset,
+            "num_tasks": 4,
+            "gap_percentages": (5.0, 10.0, 20.0, 30.0),
+            "seed": 7,
+        },
         rounds=1, iterations=1,
     )
     print()

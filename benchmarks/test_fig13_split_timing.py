@@ -18,7 +18,12 @@ SPLIT_POINTS = (25, 50, 75)
 def test_fig13_split_timing(benchmark, preset):
     result = benchmark.pedantic(
         run_figure13,
-        kwargs={"preset": preset, "benchmarks": BENCHMARKS, "split_percentages": SPLIT_POINTS, "seed": 7},
+        kwargs={
+            "preset": preset,
+            "benchmarks": BENCHMARKS,
+            "split_percentages": SPLIT_POINTS,
+            "seed": 7,
+        },
         rounds=1, iterations=1,
     )
     print()

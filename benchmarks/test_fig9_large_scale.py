@@ -15,7 +15,12 @@ from repro.evaluation.experiments import format_figure9, run_figure9
 def test_fig9_large_scale(benchmark):
     result = benchmark.pedantic(
         run_figure9,
-        kwargs={"preset": "fast", "benchmarks": ("Ising25", "C2H2"), "include_noisy": True, "seed": 11},
+        kwargs={
+            "preset": "fast",
+            "benchmarks": ("Ising25", "C2H2"),
+            "include_noisy": True,
+            "seed": 11,
+        },
         rounds=1, iterations=1,
     )
     print()

@@ -19,10 +19,10 @@ import time
 
 import numpy as np
 
-from repro.core import TreeVQAConfig, TreeVQAController, VQATask
-from repro.quantum import default_worker_count
 from repro.ansatz import HardwareEfficientAnsatz
+from repro.core import TreeVQAConfig, TreeVQAController, VQATask
 from repro.hamiltonians import transverse_field_ising_chain
+from repro.quantum import default_worker_count
 
 NUM_TASKS = 16
 NUM_QUBITS = 6

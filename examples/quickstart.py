@@ -12,10 +12,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import IndependentVQABaseline, TreeVQAConfig, TreeVQAController, VQATask
 from repro.ansatz import HardwareEfficientAnsatz
-from repro.hamiltonians import transverse_field_ising_chain
+from repro.core import IndependentVQABaseline, TreeVQAConfig, TreeVQAController, VQATask
 from repro.evaluation.metrics import savings_at_threshold
+from repro.hamiltonians import transverse_field_ising_chain
 
 
 def main() -> None:

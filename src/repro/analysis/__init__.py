@@ -1,0 +1,61 @@
+"""reprolint: AST-based enforcement of the repo's reproducibility invariants.
+
+The test suite checks that the invariants hold *today*; this package checks
+that the code keeps promising them.  Five rules, each guarding a contract
+documented in ``docs/ARCHITECTURE.md``:
+
+========= ======================== ========================================
+Rule      Name                     Protects
+========= ======================== ========================================
+REPRO001  rng-discipline           seeded, stream-stable randomness
+REPRO002  backend-contract         ExecutionBackend/estimator protocol
+REPRO003  worker-safety            picklable dispatch payloads, pool sizing
+REPRO004  exponential-allocation   the 50–100 qubit wide-circuit band
+REPRO005  config-contract          documented/validated/forwarded knobs
+REPRO000  suppression-contract     the suppression mechanism itself
+========= ======================== ========================================
+
+Run it with ``python -m repro.analysis [paths] [--format=text|json]``;
+suppress an intentional violation in place with a justified comment::
+
+    risky_line()  # reprolint: disable=REPRO003 -- why this is safe here
+
+The justification text after ``--`` is mandatory, unused suppressions are
+themselves findings (REPRO000), and REPRO000 cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+# Importing the checker modules is what populates REGISTRY.
+from . import (  # noqa: F401  (imported for registration side effects)
+    allocation,
+    backend_contract,
+    config_contract,
+    rng,
+    worker_safety,
+)
+from .framework import (
+    META_RULE,
+    REGISTRY,
+    Checker,
+    Finding,
+    LintReport,
+    Suppression,
+    check_paths,
+    check_source,
+    iter_python_files,
+    register,
+)
+
+__all__ = [
+    "META_RULE",
+    "REGISTRY",
+    "Checker",
+    "Finding",
+    "LintReport",
+    "Suppression",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+    "register",
+]

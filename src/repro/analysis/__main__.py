@@ -1,0 +1,89 @@
+"""Command-line entry point: ``python -m repro.analysis [paths ...]``.
+
+Exit status: 0 when the tree is clean, 1 when findings were reported, 2 on
+usage errors (unknown rule ids, missing paths).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from .framework import REGISTRY, check_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: statically enforce the repo's reproducibility "
+            "invariants (RNG discipline, backend contracts, worker safety, "
+            "wide-path allocation, config contracts)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_id in sorted(REGISTRY):
+            checker = REGISTRY[rule_id]
+            print(f"{rule_id}  {checker.name:<24} {checker.description}")
+        return 0
+
+    rules = None
+    if options.rules:
+        rules = tuple(rule.strip() for rule in options.rules.split(",") if rule.strip())
+        unknown = [rule for rule in rules if rule not in REGISTRY]
+        if unknown:
+            parser.error(
+                f"unknown rule(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(REGISTRY))})"
+            )
+
+    try:
+        report = check_paths(options.paths, rules=rules)
+    except FileNotFoundError as error:
+        parser.error(str(error))
+
+    if options.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (
+            f"{len(report.findings)} finding(s) in {report.files_checked} "
+            f"file(s), {report.suppressed} suppressed"
+        )
+        print(("FAIL: " if report.findings else "OK: ") + summary)
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

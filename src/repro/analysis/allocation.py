@@ -1,0 +1,109 @@
+"""REPRO004 ``exponential-allocation``: no unguarded 2^n arrays on the wide path.
+
+The Pauli-propagation backend opened the 50–100 qubit band precisely by
+never materialising a dense state; a single stray ``np.zeros(2 **
+num_qubits)`` (or ``Statevector.zero_state(n)``) on the controller/scheduler
+path turns a sub-second wide round into a multi-petabyte allocation attempt.
+This rule flags exponential-dimension constructions in the modules that sit
+on the wide-circuit path unless they are *syntactically guarded* by a width
+check — either an enclosing ``if`` that compares a qubit-count-ish value, or
+a preceding width-guard statement in the same function (an ``if ... qubits
+... : raise/return`` gate, or a ``validate_*qubits(...)`` call).
+
+Dense backends (statevector, density-matrix, program execution) allocate
+2^n arrays by design and are only reachable below the width router's cap,
+so they are simply not in the scoped module list.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .astutil import compares_width, contains_exponential_dim, terminal_name
+from .framework import Checker, register
+
+__all__ = ["ExponentialAllocationChecker", "WIDE_PATH_MODULES"]
+
+#: Modules on the wide-circuit path: everything a 50–100 qubit propagation
+#: round flows through.  Dense backend modules are deliberately absent.
+WIDE_PATH_MODULES = (
+    "repro/core/*.py",
+    "repro/quantum/pauli_propagation.py",
+)
+
+#: numpy allocators whose dimension arguments we inspect.
+_NP_ALLOCATORS = frozenset({"zeros", "empty", "ones", "full", "eye", "identity"})
+#: Constructors that allocate 2^num_qubits amplitudes by definition.
+_STATE_CONSTRUCTORS = frozenset({"zero_state", "computational_basis", "from_statevector"})
+_STATE_OWNERS = frozenset({"Statevector", "DensityMatrix"})
+#: A call to one of these earlier in the function counts as a width guard.
+_VALIDATOR_RE = re.compile(r"validate_.*qubits|_validate_width")
+
+
+@register
+class ExponentialAllocationChecker(Checker):
+    rule = "REPRO004"
+    name = "exponential-allocation"
+    description = (
+        "2^n-sized constructions on the wide-circuit path need a syntactic "
+        "width guard"
+    )
+    modules = WIDE_PATH_MODULES
+
+    def visit_Call(self, node: ast.Call) -> None:
+        hazard = self._allocation_hazard(node)
+        if hazard is not None and not self._is_guarded(node):
+            self.report(
+                node,
+                f"{hazard} on the wide-circuit path without a width guard; "
+                "gate it behind an explicit qubit-count check (raise an "
+                "actionable error beyond the dense limit) or route through "
+                "term vectors",
+            )
+        self.generic_visit(node)
+
+    def _allocation_hazard(self, node: ast.Call) -> str | None:
+        callee = terminal_name(node.func)
+        if callee in _NP_ALLOCATORS:
+            arguments = list(node.args) + [keyword.value for keyword in node.keywords]
+            if any(contains_exponential_dim(argument) for argument in arguments):
+                return f"{callee}() allocates a 2^n-sized array"
+            return None
+        if callee in _STATE_CONSTRUCTORS and isinstance(node.func, ast.Attribute):
+            owner = terminal_name(node.func.value)
+            if owner in _STATE_OWNERS:
+                return f"{owner}.{callee}() materialises a dense 2^n state"
+        return None
+
+    def _is_guarded(self, node: ast.Call) -> bool:
+        enclosing_function: ast.AST | None = None
+        for ancestor in self.context.ancestors(node):
+            if isinstance(ancestor, ast.If) and compares_width(ancestor.test):
+                return True
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                enclosing_function = ancestor
+                break
+        if enclosing_function is None:
+            return False
+        return self._has_preceding_guard(enclosing_function, node.lineno)
+
+    @staticmethod
+    def _has_preceding_guard(function: ast.AST, lineno: int) -> bool:
+        """A width-comparing ``if`` that raises/returns, or a
+        ``validate_*qubits`` call, before ``lineno`` in the same function."""
+        for node in ast.walk(function):
+            if getattr(node, "lineno", lineno) >= lineno:
+                continue
+            if isinstance(node, ast.If) and compares_width(node.test):
+                if any(
+                    isinstance(child, (ast.Raise, ast.Return))
+                    for statement in node.body
+                    for child in ast.walk(statement)
+                ):
+                    return True
+            if isinstance(node, ast.Call):
+                callee = terminal_name(node.func)
+                if callee is not None and _VALIDATOR_RE.search(callee):
+                    return True
+        return False

@@ -1,0 +1,88 @@
+"""Small shared AST helpers for the reprolint checkers."""
+
+from __future__ import annotations
+
+import ast
+import re
+
+__all__ = [
+    "dotted_name",
+    "terminal_name",
+    "is_width_name",
+    "mentions_width_name",
+    "contains_exponential_dim",
+    "compares_width",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None.
+
+    Call nodes resolve through their ``func`` so ``np.random.default_rng()``
+    and ``np.random.default_rng`` both yield ``"np.random.default_rng"``.
+    """
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func)
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+def terminal_name(node: ast.AST) -> str | None:
+    """The last identifier of a Name/Attribute/Call chain (``c`` of ``a.b.c``)."""
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func)
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+#: Identifier fragments that mark a value as a qubit count / system width.
+_WIDTH_NAME_RE = re.compile(r"qubit|width", re.IGNORECASE)
+
+
+def is_width_name(name: str | None) -> bool:
+    return bool(name and _WIDTH_NAME_RE.search(name))
+
+
+def mentions_width_name(node: ast.AST) -> bool:
+    """Whether any identifier inside ``node`` looks like a qubit count."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and is_width_name(child.id):
+            return True
+        if isinstance(child, ast.Attribute) and is_width_name(child.attr):
+            return True
+    return False
+
+
+def contains_exponential_dim(node: ast.AST) -> bool:
+    """Whether ``node`` contains a ``2 ** <width>`` / ``1 << <width>`` term."""
+    for child in ast.walk(node):
+        if not isinstance(child, ast.BinOp):
+            continue
+        base_is_two = (
+            isinstance(child.left, ast.Constant) and child.left.value == 2
+        )
+        base_is_one = (
+            isinstance(child.left, ast.Constant) and child.left.value == 1
+        )
+        if isinstance(child.op, ast.Pow) and base_is_two:
+            if mentions_width_name(child.right):
+                return True
+        if isinstance(child.op, ast.LShift) and base_is_one:
+            if mentions_width_name(child.right):
+                return True
+    return False
+
+
+def compares_width(test: ast.AST) -> bool:
+    """Whether an ``if`` test compares a qubit-count-ish value (a width guard)."""
+    for child in ast.walk(test):
+        if isinstance(child, ast.Compare) and mentions_width_name(child):
+            return True
+    return False

@@ -1,0 +1,160 @@
+"""REPRO002 ``backend-contract``: execution backends honour the protocol.
+
+``ExecutionBackend.run_batch`` documents the contract every implementation
+must uphold (ordering, composition-independence, determinism, all-or-nothing
+errors).  Two parts of it are checkable syntactically:
+
+* **Declarations** — every concrete ``ExecutionBackend`` subclass must
+  override ``run_batch`` and *explicitly* declare its ``name`` and its
+  ``provides_states`` capability flag (inheriting the base default silently
+  is how a term-vector backend ends up paired with a states-consuming
+  estimator).  Estimator subclasses must likewise declare at least one of
+  their capability flags (``consumes_term_vectors`` / ``consumes_states`` /
+  ``requires_backend``) — the scheduler's batching decisions key off them.
+* **Request immutability** — ``run_batch`` must never mutate its request
+  objects: requests are frozen, shared with the caller, and (under
+  ``execution_workers``) pickled across process boundaries, so in-place
+  mutation either raises at runtime or silently diverges worker state.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .astutil import terminal_name
+from .framework import Checker, register
+
+__all__ = ["BackendContractChecker"]
+
+_BACKEND_BASE = "ExecutionBackend"
+_ESTIMATOR_BASE = "BaseEstimator"
+_ESTIMATOR_FLAGS = ("consumes_term_vectors", "consumes_states", "requires_backend")
+#: Names run_batch conventionally binds request objects to.
+_REQUEST_NAMES = frozenset({"request", "req"})
+_REQUEST_SEQUENCES = frozenset({"requests", "reqs"})
+
+
+def _declared_attributes(cls: ast.ClassDef) -> set[str]:
+    """Class-body attribute names: assignments, annotations, and methods
+    (a ``@property`` def counts as declaring the attribute)."""
+    declared: set[str] = set()
+    for statement in cls.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name):
+                    declared.add(target.id)
+        elif isinstance(statement, ast.AnnAssign):
+            if isinstance(statement.target, ast.Name):
+                declared.add(statement.target.id)
+        elif isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            declared.add(statement.name)
+    return declared
+
+
+def _subclasses_of(tree: ast.Module, root: str) -> list[ast.ClassDef]:
+    """Classes deriving (transitively, within this module) from ``root``."""
+    classes = [node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)]
+    known = {root}
+    # Fixed-point pass so B(A) with A(ExecutionBackend) is found in any order.
+    changed = True
+    while changed:
+        changed = False
+        for cls in classes:
+            if cls.name in known:
+                continue
+            bases = {terminal_name(base) for base in cls.bases}
+            if bases & known:
+                known.add(cls.name)
+                changed = True
+    return [cls for cls in classes if cls.name in known and cls.name != root]
+
+
+@register
+class BackendContractChecker(Checker):
+    rule = "REPRO002"
+    name = "backend-contract"
+    description = (
+        "backends override run_batch, declare name/provides_states, never "
+        "mutate requests; estimators declare their capability flags"
+    )
+
+    def run(self) -> list:
+        for cls in _subclasses_of(self.context.tree, _BACKEND_BASE):
+            self._check_backend(cls)
+        for cls in _subclasses_of(self.context.tree, _ESTIMATOR_BASE):
+            self._check_estimator(cls)
+        return self.findings
+
+    def _check_backend(self, cls: ast.ClassDef) -> None:
+        declared = _declared_attributes(cls)
+        if "run_batch" not in declared:
+            self.report(
+                cls,
+                f"{cls.name} subclasses {_BACKEND_BASE} but does not override "
+                "run_batch; every backend must implement the batch contract",
+            )
+        for attribute in ("name", "provides_states"):
+            if attribute not in declared:
+                self.report(
+                    cls,
+                    f"{cls.name} must declare {attribute!r} explicitly "
+                    "(inheriting the base default hides the capability from "
+                    "reviewers and the scheduler's pairing logic)",
+                )
+        for statement in cls.body:
+            if (
+                isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and statement.name == "run_batch"
+            ):
+                self._check_no_request_mutation(cls, statement)
+
+    def _check_estimator(self, cls: ast.ClassDef) -> None:
+        declared = _declared_attributes(cls)
+        if not any(flag in declared for flag in _ESTIMATOR_FLAGS):
+            self.report(
+                cls,
+                f"{cls.name} must declare at least one capability flag "
+                f"({', '.join(_ESTIMATOR_FLAGS)}) so the scheduler knows "
+                "which backend payload to request",
+            )
+
+    def _check_no_request_mutation(
+        self, cls: ast.ClassDef, method: ast.FunctionDef
+    ) -> None:
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if self._is_request_attribute(target):
+                        self.report(
+                            node,
+                            f"{cls.name}.run_batch mutates a request object; "
+                            "requests are frozen shared payloads — build a "
+                            "new request (dataclasses.replace) instead",
+                        )
+            elif isinstance(node, ast.Call):
+                chain = terminal_name(node.func)
+                if chain == "__setattr__" and node.args:
+                    if self._is_request_name(node.args[0]):
+                        self.report(
+                            node,
+                            f"{cls.name}.run_batch sidesteps request "
+                            "immutability via object.__setattr__; requests "
+                            "must not be mutated after construction",
+                        )
+
+    @staticmethod
+    def _is_request_name(node: ast.AST) -> bool:
+        if isinstance(node, ast.Name) and node.id in _REQUEST_NAMES:
+            return True
+        return (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in _REQUEST_SEQUENCES
+        )
+
+    @classmethod
+    def _is_request_attribute(cls, target: ast.AST) -> bool:
+        return isinstance(target, ast.Attribute) and cls._is_request_name(target.value)

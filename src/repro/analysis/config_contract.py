@@ -1,0 +1,152 @@
+"""REPRO005 ``config-contract``: every TreeVQAConfig knob is a real contract.
+
+``TreeVQAConfig`` is the single configuration surface of the framework, and
+its class docstring is the documented contract for each knob.  Three things
+rot independently when a field is added casually:
+
+* the **docstring** silently omits the new knob (users discover it by
+  reading source);
+* **validation** never runs — a bad value sails through construction and
+  fails deep inside a round (or worse, silently changes behaviour, e.g. a
+  NaN threshold that disables divergence splits because ``x > nan`` is
+  always False);
+* **worker forwarding** — knobs that shape backend construction must flow
+  through ``_inner_backend_factory``'s closure, because that factory (not a
+  backend instance) is what gets pickled into every worker process; a knob
+  read anywhere else produces workers that quietly ignore it.
+
+The checker fires on any module defining ``class TreeVQAConfig`` and walks
+the transitive ``self.*`` closure of ``__post_init__`` (for validation
+reachability) and ``_inner_backend_factory`` (for worker forwarding).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .framework import Checker, register
+
+__all__ = ["ConfigContractChecker"]
+
+_CONFIG_CLASS = "TreeVQAConfig"
+#: Annotation identifiers marking a field as numeric (validation required).
+_NUMERIC_ANNOTATIONS = frozenset({"int", "float"})
+#: Fields that shape backend construction and therefore must be read inside
+#: the ``_inner_backend_factory`` closure to reach worker processes.
+_WORKER_FIELD_RE = re.compile(r"^(propagation_|noise_)|^backend(_factory)?$")
+_VALIDATION_ROOT = "__post_init__"
+_FORWARDING_ROOT = "_inner_backend_factory"
+
+
+def _annotation_names(annotation: ast.AST) -> set[str]:
+    return {
+        node.id for node in ast.walk(annotation) if isinstance(node, ast.Name)
+    }
+
+
+def _self_attribute_closure(cls: ast.ClassDef, root: str) -> set[str]:
+    """All ``self.<attr>`` names referenced transitively from method ``root``
+    (following ``self.method()`` calls into other methods of ``cls``)."""
+    methods = {
+        statement.name: statement
+        for statement in cls.body
+        if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    referenced: set[str] = set()
+    pending = [root]
+    visited: set[str] = set()
+    while pending:
+        name = pending.pop()
+        if name in visited or name not in methods:
+            continue
+        visited.add(name)
+        for node in ast.walk(methods[name]):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                referenced.add(node.attr)
+                if node.attr in methods:
+                    pending.append(node.attr)
+    return referenced
+
+
+@register
+class ConfigContractChecker(Checker):
+    rule = "REPRO005"
+    name = "config-contract"
+    description = (
+        "TreeVQAConfig fields need a docstring entry, reachable validation "
+        "for numeric knobs, and worker forwarding for backend-shaping knobs"
+    )
+
+    def run(self) -> list:
+        for node in ast.walk(self.context.tree):
+            if isinstance(node, ast.ClassDef) and node.name == _CONFIG_CLASS:
+                self._check_config_class(node)
+        return self.findings
+
+    def _check_config_class(self, cls: ast.ClassDef) -> None:
+        fields = [
+            statement
+            for statement in cls.body
+            if isinstance(statement, ast.AnnAssign)
+            and isinstance(statement.target, ast.Name)
+            and not statement.target.id.startswith("_")
+        ]
+        if not fields:
+            return
+        docstring = ast.get_docstring(cls) or ""
+        if not docstring:
+            self.report(
+                cls,
+                f"{cls.name} has no class docstring; each field needs a "
+                "documented contract",
+            )
+        has_post_init = any(
+            isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and statement.name == _VALIDATION_ROOT
+            for statement in cls.body
+        )
+        if not has_post_init:
+            self.report(
+                cls,
+                f"{cls.name} defines fields but no {_VALIDATION_ROOT}; "
+                "numeric knobs need a reachable validation branch",
+            )
+        validated = (
+            _self_attribute_closure(cls, _VALIDATION_ROOT) if has_post_init else set()
+        )
+        forwarded = _self_attribute_closure(cls, _FORWARDING_ROOT)
+        for field_assignment in fields:
+            assert isinstance(field_assignment.target, ast.Name)
+            field_name = field_assignment.target.id
+            if docstring and not re.search(
+                rf"\b{re.escape(field_name)}\b", docstring
+            ):
+                self.report(
+                    field_assignment,
+                    f"field {field_name!r} is undocumented in the "
+                    f"{cls.name} docstring; every knob needs a contract "
+                    "entry (default, range, interactions)",
+                )
+            is_numeric = bool(
+                _annotation_names(field_assignment.annotation) & _NUMERIC_ANNOTATIONS
+            )
+            if is_numeric and has_post_init and field_name not in validated:
+                self.report(
+                    field_assignment,
+                    f"numeric field {field_name!r} has no validation branch "
+                    f"reachable from {_VALIDATION_ROOT}; reject out-of-range "
+                    "(and non-finite) values at construction time",
+                )
+            if _WORKER_FIELD_RE.search(field_name) and field_name not in forwarded:
+                self.report(
+                    field_assignment,
+                    f"backend-shaping field {field_name!r} is not read inside "
+                    f"the {_FORWARDING_ROOT} closure, so worker processes "
+                    "rebuild backends without it; forward it through the "
+                    "pickled factory",
+                )

@@ -1,0 +1,426 @@
+"""reprolint core: file walker, checker registry, suppressions, reporting.
+
+The repo's correctness story rests on a handful of *cross-cutting contracts*
+that no single unit test owns: the bit-identical batching invariant, the
+sampling estimator's RNG derivation rule, the multi-process picklability
+rules, and the "no dense 2^n allocation on wide systems" discipline
+(``docs/ARCHITECTURE.md``).  Violations of any of them are cheap to write
+and expensive to catch — the parity suites only fail one full CI cycle
+later, and some hazards (an unseeded RNG fallback) pass every parity test
+while still breaking reproducibility for users.
+
+This module provides the machinery to enforce those contracts *statically*,
+in seconds, from nothing but the stdlib ``ast``/``tokenize`` modules:
+
+* :class:`Checker` — an ``ast.NodeVisitor`` with a rule id, a human name,
+  and an optional module scope; concrete rules live in the sibling modules
+  and register themselves via :func:`register`.
+* :func:`check_source` / :func:`check_paths` — parse a file once, run every
+  registered checker over the tree, and apply suppression comments.
+* Suppressions — ``# reprolint: disable=RULE -- justification`` on (or one
+  line above) the offending line, or ``# reprolint: disable-file=RULE --
+  justification`` anywhere for a module-wide exemption.  A justification is
+  **required**: a bare ``disable`` is itself reported (REPRO000), as is a
+  suppression that matches no finding (so stale exemptions cannot
+  accumulate).
+
+Findings carry ``path:line:col`` locations and are rendered as text or JSON
+by :mod:`repro.analysis.__main__`.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import io
+import re
+import tokenize
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "REGISTRY",
+    "META_RULE",
+    "check_paths",
+    "check_source",
+    "canonical_module_path",
+    "iter_python_files",
+    "register",
+]
+
+#: Rule id used for framework-level findings: malformed or unused
+#: suppression comments and files that fail to parse.  Unsuppressable by
+#: design — it reports problems with the suppression machinery itself.
+META_RULE = "REPRO000"
+META_RULE_NAME = "suppression-contract"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    name: str
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return f"{self.location()}: {self.rule}[{self.name}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "name": self.name,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# reprolint: disable[-file]=...`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    file_level: bool
+    used: bool = False
+
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s+--\s*(?P<why>\S.*?))?\s*$"
+)
+
+
+class ModuleContext:
+    """Everything the checkers need about one module: tree, source, scope.
+
+    ``relpath`` is the *canonical* module path (``repro/quantum/backend.py``)
+    that rule scoping patterns match against — derived from the filesystem
+    path for real files, or passed verbatim by tests exercising fixture
+    snippets.
+    """
+
+    def __init__(self, path: str, relpath: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+        self._parents: dict[int, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def matches(self, patterns: Sequence[str]) -> bool:
+        """Whether this module's canonical path matches any fnmatch pattern."""
+        return any(fnmatch.fnmatch(self.relpath, pattern) for pattern in patterns)
+
+
+class Checker(ast.NodeVisitor):
+    """Base class for one lint rule.
+
+    Subclasses set ``rule`` (``"REPRO001"``), ``name`` (a short slug shown in
+    reports), ``description`` (one line for ``--list-rules``), and optionally
+    ``modules`` — fnmatch patterns of canonical module paths the rule is
+    scoped to (``None`` runs everywhere).  The framework instantiates one
+    checker per (rule, module) pair and calls :meth:`run`.
+    """
+
+    rule = "REPRO999"
+    name = "abstract"
+    description = ""
+    #: fnmatch patterns of canonical module paths; None = every module.
+    modules: tuple[str, ...] | None = None
+
+    def __init__(self, context: ModuleContext) -> None:
+        self.context = context
+        self.findings: list[Finding] = []
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.context.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=self.rule,
+                name=self.name,
+                message=message,
+            )
+        )
+
+    def run(self) -> list[Finding]:
+        self.visit(self.context.tree)
+        return self.findings
+
+
+#: rule id -> checker class, in registration (= rule) order.
+REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if cls.rule in REGISTRY:
+        raise ValueError(f"duplicate checker rule {cls.rule!r}")
+    REGISTRY[cls.rule] = cls
+    return cls
+
+
+def canonical_module_path(path: str | Path) -> str:
+    """Module path rooted at the ``repro`` package, for rule scoping.
+
+    ``src/repro/quantum/backend.py`` → ``repro/quantum/backend.py``; paths
+    outside a ``repro`` package tree are returned relative as given (module-
+    scoped rules then simply never match them).
+    """
+    parts = Path(path).as_posix().split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return Path(path).as_posix().lstrip("./")
+
+
+def _parse_suppressions(source: str) -> tuple[list[Suppression], list[tuple[int, str]]]:
+    """All suppression comments in ``source``, plus malformed-comment errors.
+
+    Returns ``(suppressions, errors)`` where each error is ``(line,
+    message)``.  A suppression without the required ``-- justification``
+    trailer is an error and does **not** suppress anything.
+    """
+    suppressions: list[Suppression] = []
+    errors: list[tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [], []  # the ast parse reports the real error
+    for line, comment in comments:
+        if "reprolint" not in comment:
+            continue
+        match = _SUPPRESSION_RE.search(comment)
+        if match is None:
+            errors.append(
+                (line, "malformed reprolint comment; expected "
+                       "'# reprolint: disable=RULE -- justification'")
+            )
+            continue
+        rules = tuple(
+            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+        )
+        why = (match.group("why") or "").strip()
+        if not why:
+            errors.append(
+                (line, f"suppression of {', '.join(rules)} needs a justification: "
+                       "'# reprolint: disable=RULE -- why this is safe'")
+            )
+            continue
+        if any(rule == META_RULE for rule in rules):
+            errors.append((line, f"{META_RULE} cannot be suppressed"))
+            continue
+        unknown = [rule for rule in rules if rule not in REGISTRY]
+        if unknown:
+            errors.append(
+                (line, f"suppression names unknown rule(s) {', '.join(unknown)}; "
+                       f"known rules: {', '.join(sorted(REGISTRY))}")
+            )
+            continue
+        suppressions.append(
+            Suppression(
+                line=line,
+                rules=rules,
+                justification=why,
+                file_level=match.group("kind") == "disable-file",
+            )
+        )
+    return suppressions, errors
+
+
+def _apply_suppressions(
+    findings: list[Finding],
+    suppressions: list[Suppression],
+    path: str,
+) -> tuple[list[Finding], int, list[Finding]]:
+    """Filter findings through suppressions; report unused suppressions.
+
+    A line-level suppression covers findings of its rules on the same line
+    or the line directly below (so a standalone comment can precede the
+    offending statement).  Returns ``(kept, suppressed_count, meta)`` where
+    ``meta`` are REPRO000 findings for suppressions that matched nothing.
+    """
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        covered = False
+        for suppression in suppressions:
+            if finding.rule not in suppression.rules:
+                continue
+            if suppression.file_level or finding.line in (
+                suppression.line,
+                suppression.line + 1,
+            ):
+                suppression.used = True
+                covered = True
+        if covered:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    meta = [
+        Finding(
+            path=path,
+            line=suppression.line,
+            col=0,
+            rule=META_RULE,
+            name=META_RULE_NAME,
+            message=(
+                f"unused suppression of {', '.join(suppression.rules)} "
+                "(no matching finding; remove the stale comment)"
+            ),
+        )
+        for suppression in suppressions
+        if not suppression.used
+    ]
+    return kept, suppressed, meta
+
+
+def check_source(
+    source: str,
+    relpath: str,
+    *,
+    path: str | None = None,
+    rules: Sequence[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Lint one module's source; returns ``(findings, suppressed_count)``.
+
+    ``relpath`` is the canonical module path used for rule scoping; ``path``
+    (default: ``relpath``) is what findings display.  ``rules`` restricts the
+    run to a subset of rule ids (the meta rule always runs).
+    """
+    display = path if path is not None else relpath
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=display,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                rule=META_RULE,
+                name="parse-error",
+                message=f"file does not parse: {error.msg}",
+            )
+        ], 0
+    context = ModuleContext(path=display, relpath=relpath, source=source, tree=tree)
+    findings: list[Finding] = []
+    for rule_id, checker_cls in REGISTRY.items():
+        if rules is not None and rule_id not in rules:
+            continue
+        if checker_cls.modules is not None and not context.matches(checker_cls.modules):
+            continue
+        findings.extend(checker_cls(context).run())
+    suppressions, comment_errors = _parse_suppressions(source)
+    kept, suppressed, unused_meta = _apply_suppressions(findings, suppressions, display)
+    kept.extend(unused_meta)
+    kept.extend(
+        Finding(
+            path=display, line=line, col=0,
+            rule=META_RULE, name=META_RULE_NAME, message=message,
+        )
+        for line, message in comment_errors
+    )
+    kept.sort(key=lambda finding: (finding.path, finding.line, finding.col, finding.rule))
+    return kept, suppressed
+
+
+#: Directory names never descended into by the walker.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: set[Path] = set()
+    ordered: list[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates = [root]
+        elif root.is_dir():
+            candidates = sorted(
+                candidate
+                for candidate in root.rglob("*.py")
+                if not (_SKIP_DIRS & set(candidate.parts))
+            )
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                ordered.append(candidate)
+    return ordered
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run over a set of paths."""
+
+    findings: list[Finding]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "findings": [finding.as_dict() for finding in self.findings],
+        }
+
+
+def check_paths(
+    paths: Sequence[str | Path], *, rules: Sequence[str] | None = None
+) -> LintReport:
+    """Lint every Python file under ``paths`` and aggregate the findings."""
+    findings: list[Finding] = []
+    suppressed = 0
+    files = iter_python_files(paths)
+    for file_path in files:
+        source = file_path.read_text(encoding="utf-8")
+        file_findings, file_suppressed = check_source(
+            source,
+            canonical_module_path(file_path),
+            path=file_path.as_posix(),
+            rules=rules,
+        )
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+    return LintReport(findings=findings, files_checked=len(files), suppressed=suppressed)

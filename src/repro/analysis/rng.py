@@ -1,0 +1,120 @@
+"""REPRO001 ``rng-discipline``: every random draw must be deterministic.
+
+The reproducibility story (``docs/ARCHITECTURE.md``) hangs on one rule: all
+randomness is derived from explicit seeds, and *request-keyed* randomness —
+the sampling estimator's per-evaluation child generators — is derived by the
+documented ``SeedSequence(entropy, spawn_key=(k,))`` rule, which lives in
+the estimator layer and nowhere else.  Three syntactic hazards break it:
+
+* ``np.random.default_rng()`` **with no seed** draws fresh OS entropy, so
+  results silently differ between runs (and between batched/sequential
+  execution).  The classic shape is the fallback ``rng = rng or
+  np.random.default_rng()``, which hides nondeterminism behind an optional
+  parameter — exactly the bug this rule's flagship finding caught in
+  ``Statevector.sample_counts``.
+* ``np.random.seed(...)`` and the legacy ``np.random.<sampler>()`` module
+  functions mutate *global* interpreter-wide state, which no amount of
+  seeding makes batching/worker-count independent.
+* ``np.random.SeedSequence`` construction outside the estimator layer: a
+  second spawn-key derivation could collide with the estimator's stream,
+  de-correlating nothing while appearing seeded.
+
+Seeded ``default_rng(seed)`` construction is allowed anywhere — determinism
+then flows from the config's seed plumbing.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .astutil import dotted_name
+from .framework import Checker, register
+
+__all__ = ["RngDisciplineChecker", "ESTIMATOR_LAYER_MODULES"]
+
+#: Modules allowed to construct SeedSequences: the estimator layer owns the
+#: documented per-request derivation rule.
+ESTIMATOR_LAYER_MODULES = ("repro/quantum/sampling.py",)
+
+#: ``np.random`` attributes that are *not* legacy global-state samplers.
+_NON_LEGACY = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@register
+class RngDisciplineChecker(Checker):
+    rule = "REPRO001"
+    name = "rng-discipline"
+    description = (
+        "no unseeded default_rng(), no global np.random state, SeedSequence "
+        "derivation only in the estimator layer"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        if chain is not None:
+            self._check_chain(node, chain)
+        self.generic_visit(node)
+
+    def _check_chain(self, node: ast.Call, chain: str) -> None:
+        parts = chain.split(".")
+        # Normalise ``numpy.random.X`` / ``np.random.X`` to the tail.
+        if len(parts) >= 3 and parts[-3] in ("np", "numpy") and parts[-2] == "random":
+            tail = parts[-1]
+        elif len(parts) == 2 and parts[-2] in ("np", "numpy") and parts[-1] == "random":
+            # A bare ``np.random(...)`` call is not a thing; ignore.
+            return
+        elif parts[-1] in ("default_rng", "SeedSequence") and (
+            len(parts) == 1 or parts[-2] == "random"
+        ):
+            # ``from numpy.random import default_rng`` style.
+            tail = parts[-1]
+        else:
+            return
+        if tail == "seed":
+            self.report(
+                node,
+                "np.random.seed mutates global RNG state; construct an "
+                "explicit np.random.default_rng(seed) and thread it through",
+            )
+        elif tail == "RandomState":
+            self.report(
+                node,
+                "np.random.RandomState is the legacy global-state API; use "
+                "np.random.default_rng(seed)",
+            )
+        elif tail == "default_rng":
+            if not node.args and not node.keywords:
+                self.report(
+                    node,
+                    "unseeded np.random.default_rng() draws fresh OS entropy "
+                    "and makes results irreproducible; require an explicit "
+                    "Generator (or derive one via the estimator layer's "
+                    "SeedSequence(entropy, spawn_key=(k,)) rule)",
+                )
+        elif tail == "SeedSequence":
+            if not self.context.matches(ESTIMATOR_LAYER_MODULES):
+                self.report(
+                    node,
+                    "SeedSequence derivation outside the estimator layer "
+                    f"({', '.join(ESTIMATOR_LAYER_MODULES)}) risks colliding "
+                    "with the documented spawn_key streams; plumb a seeded "
+                    "default_rng(seed) instead",
+                )
+        elif tail not in _NON_LEGACY and tail.islower():
+            self.report(
+                node,
+                f"np.random.{tail} consumes global RNG state; draw from an "
+                "explicit np.random.Generator instead",
+            )

@@ -1,0 +1,103 @@
+"""REPRO003 ``worker-safety``: dispatch payloads must survive the pool.
+
+``ParallelBackend`` pickles backend factories and execution requests into
+worker processes.  Under the ``spawn`` start method (the portable one, and
+the one ``backend_factory`` is documented against) only *module-level*
+callables pickle — lambdas, closures, and locally defined classes/functions
+raise ``PicklingError`` the first time a pool is actually used, typically in
+production rather than in the in-process test run.  Two checks:
+
+* Factory hygiene — inside any factory-shaped function (``make_backend``,
+  ``*_factory``, ``make_*``) and for any ``*_factory=`` keyword argument, no
+  lambdas or locally defined functions/classes.  ``functools.partial`` over
+  a module-level callable is the sanctioned spelling.
+* CPU accounting — ``multiprocessing.cpu_count()`` / ``os.cpu_count()``
+  report the whole machine and oversubscribe cgroup-limited containers; the
+  pool sizing rule is ``len(os.sched_getaffinity(0))``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from .astutil import dotted_name, terminal_name
+from .framework import Checker, register
+
+__all__ = ["WorkerSafetyChecker"]
+
+#: Function names treated as picklable-factory scopes.
+_FACTORY_NAME_RE = re.compile(r"(^make_|_factory$|factory)")
+#: Keyword arguments whose values ship to worker processes.
+_FACTORY_KEYWORD_RE = re.compile(r"(_factory$|^factory$|^target$)")
+#: dataclasses.field(default_factory=...) stores the callable on the class,
+#: never inside pickled instances — exempt.
+_EXEMPT_CALLEES = frozenset({"field"})
+
+
+@register
+class WorkerSafetyChecker(Checker):
+    rule = "REPRO003"
+    name = "worker-safety"
+    description = (
+        "no lambdas/closures in factory scopes or *_factory arguments; "
+        "sched_getaffinity instead of cpu_count"
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        chain = dotted_name(node.func)
+        if chain in ("multiprocessing.cpu_count", "os.cpu_count", "cpu_count"):
+            self.report(
+                node,
+                f"{chain}() reports the whole machine and oversubscribes "
+                "cgroup/affinity-limited containers; size pools with "
+                "len(os.sched_getaffinity(0))",
+            )
+        callee = terminal_name(node.func)
+        if callee not in _EXEMPT_CALLEES:
+            for keyword in node.keywords:
+                if (
+                    keyword.arg
+                    and _FACTORY_KEYWORD_RE.search(keyword.arg)
+                    and isinstance(keyword.value, ast.Lambda)
+                ):
+                    self.report(
+                        keyword.value,
+                        f"lambda passed as {keyword.arg!r} cannot be pickled "
+                        "into worker processes under spawn; use a module-"
+                        "level callable or functools.partial",
+                    )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if _FACTORY_NAME_RE.search(node.name):
+            self._check_factory_scope(node)
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def _check_factory_scope(self, factory: ast.FunctionDef) -> None:
+        for node in ast.walk(factory):
+            if node is factory:
+                continue
+            if isinstance(node, ast.Lambda):
+                self.report(
+                    node,
+                    f"lambda inside factory {factory.name!r} is not picklable "
+                    "under spawn; return functools.partial over a module-"
+                    "level callable",
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.report(
+                    node,
+                    f"locally defined function {node.name!r} inside factory "
+                    f"{factory.name!r} is a closure workers cannot unpickle; "
+                    "hoist it to module level",
+                )
+            elif isinstance(node, ast.ClassDef):
+                self.report(
+                    node,
+                    f"locally defined class {node.name!r} inside factory "
+                    f"{factory.name!r} cannot be pickled into workers; hoist "
+                    "it to module level",
+                )

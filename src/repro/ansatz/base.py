@@ -80,10 +80,19 @@ class Ansatz:
         return state.evolve(self.bound_circuit(parameters))
 
     def initial_parameters(
-        self, rng: np.random.Generator | None = None, scale: float = 0.1
+        self, rng: np.random.Generator, scale: float = 0.1
     ) -> np.ndarray:
-        """Small random initial parameters (near the reference state)."""
-        rng = rng or np.random.default_rng()
+        """Small random initial parameters (near the reference state).
+
+        ``rng`` is required — an implicit fresh generator here would make
+        starting points differ between runs, breaking trajectory parity.
+        """
+        if not isinstance(rng, np.random.Generator):
+            raise TypeError(
+                "initial_parameters requires an explicit np.random.Generator; "
+                "pass np.random.default_rng(seed) so starting points are "
+                "reproducible"
+            )
         return rng.normal(0.0, scale, size=self.num_parameters)
 
     def zero_parameters(self) -> np.ndarray:

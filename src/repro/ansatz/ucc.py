@@ -23,7 +23,9 @@ def _z_chain(num_qubits: int, start: int, stop: int) -> dict[int, str]:
     return {q: "Z" for q in range(start + 1, stop)}
 
 
-def single_excitation_paulis(num_qubits: int, occupied: int, virtual: int) -> list[tuple[str, float]]:
+def single_excitation_paulis(
+    num_qubits: int, occupied: int, virtual: int
+) -> list[tuple[str, float]]:
     """Pauli decomposition of the anti-Hermitian single excitation a†_v a_o - h.c.
 
     Returns ``(label, sign)`` pairs; the excitation generator is

@@ -100,7 +100,9 @@ def run_pes_scan(
     tasks, family = build_pes_tasks(molecule, precision=precision, bond_range=bond_range)
     config = config or TreeVQAConfig(max_rounds=150)
     ansatz = HardwareEfficientAnsatz(
-        family.num_qubits, num_layers=ansatz_layers, initial_bitstring=family.hartree_fock_bitstring()
+        family.num_qubits,
+        num_layers=ansatz_layers,
+        initial_bitstring=family.hartree_fock_bitstring(),
     )
     if method == "treevqa":
         result: RunResult = TreeVQAController(tasks, ansatz, config).run()

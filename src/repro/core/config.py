@@ -9,6 +9,7 @@ splits).
 
 from __future__ import annotations
 
+import math
 import os
 from collections.abc import Callable
 from dataclasses import dataclass, field
@@ -16,8 +17,8 @@ from functools import partial
 
 from ..optimizers import COBYLA, SPSA, IterativeOptimizer
 from ..quantum.backend import BACKEND_REGISTRY, ExecutionBackend, make_execution_backend
-from ..quantum.parallel import ParallelBackend
 from ..quantum.noise import NoiseModel, get_backend_profile
+from ..quantum.parallel import ParallelBackend
 from ..quantum.sampling import (
     BaseEstimator,
     DensityMatrixEstimator,
@@ -65,6 +66,9 @@ class TreeVQAConfig:
             bypass it.
         individual_slope_threshold: Threshold on per-task slopes (default
             0.0, which reproduces the paper's "any slope_i > 0" condition).
+            Must be finite: a NaN would silently disable divergence-based
+            splits (``slope > nan`` is always False), so non-finite values
+            are rejected at construction time.
         split_check_every: Check the split condition every k iterations.
             Default 1; must be ≥ 1.
         num_split_children: Number of children per split (default 2, as in
@@ -168,7 +172,9 @@ class TreeVQAConfig:
             run used plans.
         forced_split_iteration: §9.1 study — force exactly one split (per
             root cluster) at this cluster iteration.  Default ``None``
-            (condition-based splitting).
+            (condition-based splitting); must be ≥ 1 when set (the trigger
+            compares against 1-based cluster iterations, so 0 or negative
+            values would force the split before any optimization happened).
         disable_automatic_splits: §9.1 study — suppress condition-based
             splits (default False).
         record_trajectory: Record per-task energy/shots trajectories
@@ -177,7 +183,10 @@ class TreeVQAConfig:
         seed: Seed for optimizers, estimators and spectral clustering
             (default 0; ``None`` draws fresh OS entropy — runs are then not
             reproducible and the parity guarantees above become
-            distributional rather than bitwise between repeats).
+            distributional rather than bitwise between repeats).  Must be
+            ≥ 0 when set: ``np.random.SeedSequence`` rejects negative
+            entropy, and validating here fails at configuration time rather
+            than deep inside the first sampling round.
     """
 
     max_total_shots: int | None = None
@@ -225,17 +234,31 @@ class TreeVQAConfig:
             raise ValueError("warmup_iterations must be >= 0")
         if self.epsilon_split < 0:
             raise ValueError("epsilon_split must be >= 0")
+        if not math.isfinite(self.individual_slope_threshold):
+            # A NaN here would silently disable divergence splits: every
+            # ``slope > threshold`` comparison is False against NaN.
+            raise ValueError("individual_slope_threshold must be finite")
         if self.num_split_children < 2:
             raise ValueError("num_split_children must be >= 2")
         if self.min_cluster_size < 1:
             raise ValueError("min_cluster_size must be >= 1")
         if self.split_check_every < 1:
             raise ValueError("split_check_every must be >= 1")
+        if self.forced_split_iteration is not None and self.forced_split_iteration < 1:
+            raise ValueError("forced_split_iteration must be >= 1 when set")
+        if self.seed is not None and self.seed < 0:
+            # np.random.SeedSequence rejects negative entropy; fail at
+            # configuration time instead of inside the first sampling round.
+            raise ValueError("seed must be >= 0 when set (or None for OS entropy)")
         if self.optimizer_factory is None and self.optimizer not in _OPTIMIZERS:
-            raise ValueError(f"unknown optimizer {self.optimizer!r}; choose from {sorted(_OPTIMIZERS)}")
+            raise ValueError(
+                f"unknown optimizer {self.optimizer!r}; choose from {sorted(_OPTIMIZERS)}"
+            )
         # Like the optimizer path, a supplied factory makes the name moot.
         if self.estimator_factory is None and self.estimator not in _ESTIMATORS:
-            raise ValueError(f"unknown estimator {self.estimator!r}; choose from {sorted(_ESTIMATORS)}")
+            raise ValueError(
+                f"unknown estimator {self.estimator!r}; choose from {sorted(_ESTIMATORS)}"
+            )
         if self.backend_factory is None and self.backend not in BACKEND_REGISTRY:
             raise ValueError(
                 f"unknown backend {self.backend!r}; choose from {sorted(BACKEND_REGISTRY)}"

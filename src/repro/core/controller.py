@@ -225,7 +225,11 @@ class TreeVQAController:
         stats = program_cache_stats()
         baseline = self._program_cache_baseline
         delta: dict = {
-            key: stats[key] - baseline[key] if key in ("hits", "misses", "evictions") else stats[key]
+            key: (
+                stats[key] - baseline[key]
+                if key in ("hits", "misses", "evictions")
+                else stats[key]
+            )
             for key in stats
         }
         worker_stats = getattr(self.backend, "worker_cache_stats", None)

@@ -57,11 +57,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (cluster imports conf
 __all__ = ["RoundScheduler"]
 
 
+#: Widest system for which per-request estimation may build a dense state
+#: (matches the dense-reference discipline in :mod:`repro.core.task`).
+_DENSE_STATE_QUBIT_LIMIT = 26
+
+
 def _request_state(request: ExecutionRequest) -> Statevector | None:
     """Initial state for per-request estimation, honouring a bitstring-only
-    request the same way the backend path's state preparation does."""
+    request the same way the backend path's state preparation does.
+
+    Raises on wide requests rather than attempting the 2^n allocation: the
+    per-request path is a dense-regime fallback, and wide circuits belong on
+    the term-vector (propagation) path.
+    """
     if request.initial_state is not None or request.initial_bitstring is None:
         return request.initial_state
+    if request.num_qubits > _DENSE_STATE_QUBIT_LIMIT:
+        raise ValueError(
+            f"per-request estimation cannot materialize a dense "
+            f"2^{request.num_qubits} state (limit: {_DENSE_STATE_QUBIT_LIMIT} "
+            "qubits); pair wide circuits with a term-vector estimator and the "
+            "'pauli_propagation'/'auto' backend"
+        )
     return Statevector.computational_basis(
         request.num_qubits, request.initial_bitstring
     )

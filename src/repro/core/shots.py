@@ -51,7 +51,8 @@ def shots_for_run(
     """N_overall = iterations × evals/iter × N_per_eval (paper §2.2)."""
     if num_iterations < 0 or evaluations_per_iteration < 1:
         raise ValueError("invalid iteration or evaluation count")
-    return num_iterations * evaluations_per_iteration * shots_per_evaluation(operator, shots_per_term)
+    per_evaluation = shots_per_evaluation(operator, shots_per_term)
+    return num_iterations * evaluations_per_iteration * per_evaluation
 
 
 @dataclass(frozen=True)

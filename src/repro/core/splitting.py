@@ -52,7 +52,10 @@ def evaluate_split_condition(
     if abs(report.mixed_slope) < epsilon_split:
         return SplitDecision(
             should_split=True,
-            reason=f"stalled: |mixed slope| {abs(report.mixed_slope):.3e} < epsilon {epsilon_split:.3e}",
+            reason=(
+                f"stalled: |mixed slope| {abs(report.mixed_slope):.3e} "
+                f"< epsilon {epsilon_split:.3e}"
+            ),
             mixed_slope=report.mixed_slope,
             worst_individual_slope=worst,
         )

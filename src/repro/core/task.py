@@ -23,6 +23,11 @@ __all__ = ["VQATask"]
 # reference unless the caller supplies one.
 _EXACT_REFERENCE_QUBIT_LIMIT = 24
 
+# Widest system for which a dense 2^n reference state may be materialized
+# (2^26 complex amplitudes = 1 GiB).  Wider tasks run on the propagation
+# backend, which prepares from the bitstring label and never needs this.
+_DENSE_STATE_QUBIT_LIMIT = 26
+
 
 @dataclass
 class VQATask:
@@ -95,7 +100,19 @@ class VQATask:
         return self.reference_energy
 
     def initial_state(self) -> Statevector:
-        """The reference computational-basis state (|0...0> when unspecified)."""
+        """The reference computational-basis state (|0...0> when unspecified).
+
+        Raises beyond :data:`_DENSE_STATE_QUBIT_LIMIT` qubits: wide tasks
+        are served by the propagation backend, which prepares from
+        :attr:`resolved_initial_bitstring` without a dense state.
+        """
+        if self.num_qubits > _DENSE_STATE_QUBIT_LIMIT:
+            raise ValueError(
+                f"cannot materialize a dense 2^{self.num_qubits} initial state "
+                f"(limit: {_DENSE_STATE_QUBIT_LIMIT} qubits); use "
+                "backend='pauli_propagation' or 'auto', which prepare from "
+                "the bitstring label"
+            )
         return Statevector.computational_basis(
             self.num_qubits, self.resolved_initial_bitstring
         )

@@ -26,18 +26,6 @@ from .common import (
     get_preset,
     run_comparison,
 )
-from .figure4 import Figure4Result, format_figure4, run_figure4, run_figure4a
-from .figure6 import Figure6Panel, Figure6Result, format_figure6, run_figure6, run_figure6_panel
-from .figure7 import Figure7Panel, Figure7Result, format_figure7, run_figure7, run_figure7_panel
-from .figure8 import Figure8Result, PrecisionPoint, format_figure8, run_figure8
-from .figure9 import (
-    Figure9Result,
-    LargeScaleBenchmarkResult,
-    LargeScaleTaskResult,
-    format_figure9,
-    run_figure9,
-    run_large_scale_benchmark,
-)
 from .figure10 import Figure10Result, GapRecoveryPoint, format_figure10, run_figure10
 from .figure11 import Figure11Bar, Figure11Result, format_figure11, run_figure11
 from .figure12 import Figure12Bar, Figure12Result, format_figure12, run_figure12
@@ -50,6 +38,18 @@ from .figure14 import (
     run_figure14,
     run_threshold_sweep,
     run_window_size_sweep,
+)
+from .figure4 import Figure4Result, format_figure4, run_figure4, run_figure4a
+from .figure6 import Figure6Panel, Figure6Result, format_figure6, run_figure6, run_figure6_panel
+from .figure7 import Figure7Panel, Figure7Result, format_figure7, run_figure7, run_figure7_panel
+from .figure8 import Figure8Result, PrecisionPoint, format_figure8, run_figure8
+from .figure9 import (
+    Figure9Result,
+    LargeScaleBenchmarkResult,
+    LargeScaleTaskResult,
+    format_figure9,
+    run_figure9,
+    run_large_scale_benchmark,
 )
 from .table1 import Table1Row, format_table1, run_table1
 from .table2 import Table2Result, Table2Row, format_table2, run_table2

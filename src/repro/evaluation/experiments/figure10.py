@@ -14,9 +14,9 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from ...ansatz import HardwareEfficientAnsatz
+from ...core.task import VQATask
 from ...hamiltonians.catalog import BenchmarkSuite
 from ...hamiltonians.molecular import MolecularFamily, get_molecule
-from ...core.task import VQATask
 from ...initialization.cafqa import cafqa_search
 from ..reporting import format_table
 from .common import BenchmarkComparison, Preset, default_config, get_preset, run_comparison
@@ -118,7 +118,12 @@ def run_figure10(
 
     # CAFQA search on the scan-centre Hamiltonian; parameters shared by all tasks.
     center_task = tasks[len(tasks) // 2]
-    cafqa = cafqa_search(center_task.hamiltonian, ansatz, num_sweeps=1 if preset.name == "fast" else 2, seed=seed)
+    cafqa = cafqa_search(
+        center_task.hamiltonian,
+        ansatz,
+        num_sweeps=1 if preset.name == "fast" else 2,
+        seed=seed,
+    )
 
     cafqa_energies: dict[str, float] = {}
     task_gaps: dict[str, tuple[float, float]] = {}
@@ -181,7 +186,12 @@ def run_figure10(
 def format_figure10(result: Figure10Result) -> str:
     """Render the gap-recovery comparison."""
     rows = [
-        [point.gap_recovered_percent, point.treevqa_shots, point.baseline_shots, point.savings_ratio]
+        [
+            point.gap_recovered_percent,
+            point.treevqa_shots,
+            point.baseline_shots,
+            point.savings_ratio,
+        ]
         for point in result.points
     ]
     headline = result.headline_savings()

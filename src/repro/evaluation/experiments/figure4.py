@@ -105,7 +105,11 @@ def format_figure4(result: Figure4Result) -> str:
         rows.append(cells)
     sections.append(format_table(headers, rows, title="Fig. 4a: H2 ground-state amplitudes"))
     sections.append(
-        format_heatmap(labels, result.overlap_matrix, title="Fig. 4b: ground-state overlap (normalised)")
+        format_heatmap(
+            labels,
+            result.overlap_matrix,
+            title="Fig. 4b: ground-state overlap (normalised)",
+        )
     )
     sections.append(
         format_heatmap(

@@ -153,7 +153,10 @@ def format_figure6(result: Figure6Result) -> str:
                 f"Fig. 6 [{panel.benchmark}] — max common fidelity "
                 f"{panel.max_common_fidelity:.3f}, shot savings "
                 f"{panel.headline_savings:.1f}x" if panel.headline_savings
-                else f"Fig. 6 [{panel.benchmark}] — max common fidelity {panel.max_common_fidelity:.3f}"
+                else (
+                    f"Fig. 6 [{panel.benchmark}] — max common fidelity "
+                    f"{panel.max_common_fidelity:.3f}"
+                )
             ),
         )
         sections.append(table)

@@ -13,8 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ...applications.pes import build_pes_tasks
 from ...ansatz import HardwareEfficientAnsatz
+from ...applications.pes import build_pes_tasks
 from ...hamiltonians.catalog import BenchmarkSuite
 from ...hamiltonians.molecular import get_molecule
 from ..metrics import savings_at_threshold

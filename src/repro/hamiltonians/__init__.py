@@ -1,8 +1,8 @@
 """Benchmark Hamiltonian families: molecules, spin chains, MaxCut / IEEE-14."""
 
 from .catalog import (
-    BenchmarkSuite,
     VQE_SUITE_NAMES,
+    BenchmarkSuite,
     build_suite,
     chemistry_suite,
     ising_large_suite,
@@ -25,7 +25,13 @@ from .maxcut import (
     maxcut_minimization_hamiltonian,
     qubo_to_ising,
 )
-from .molecular import MOLECULES, MolecularFamily, MoleculeSpec, get_molecule, hartree_fock_bitstring
+from .molecular import (
+    MOLECULES,
+    MolecularFamily,
+    MoleculeSpec,
+    get_molecule,
+    hartree_fock_bitstring,
+)
 from .spin import (
     heisenberg_xxz_chain,
     tfim_field_scan,

@@ -16,7 +16,7 @@ from ..ansatz import Ansatz, HardwareEfficientAnsatz, MultiAngleQAOAAnsatz, UCCS
 from ..core.task import VQATask
 from .ieee14 import LOAD_SCENARIOS, LoadScenario, edge_weight_variance, load_scaled_graphs
 from .maxcut import maxcut_minimization_hamiltonian
-from .molecular import MOLECULES, MolecularFamily, get_molecule, hartree_fock_bitstring
+from .molecular import MOLECULES, MolecularFamily, get_molecule
 from .spin import tfim_field_scan, transverse_field_ising_chain, xxz_anisotropy_scan
 
 __all__ = [

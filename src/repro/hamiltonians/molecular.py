@@ -31,7 +31,7 @@ Table 1 can be reported.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import combinations
 
 import numpy as np
@@ -182,7 +182,9 @@ class MolecularFamily:
                 terms[model.pauli] = terms.get(model.pauli, 0.0) + value
         return PauliOperator(spec.num_qubits, terms)
 
-    def scan(self, bond_lengths: list[float] | tuple[float, ...] | None = None) -> list[tuple[float, PauliOperator]]:
+    def scan(
+        self, bond_lengths: list[float] | tuple[float, ...] | None = None
+    ) -> list[tuple[float, PauliOperator]]:
         """Hamiltonians over a bond-length scan (default: the §7.1 instances)."""
         lengths = bond_lengths if bond_lengths is not None else self.spec.default_bond_lengths
         return [(float(length), self.hamiltonian(float(length))) for length in lengths]
@@ -223,7 +225,12 @@ class MolecularFamily:
         # Four-local correlation terms to reach the target term count.
         quad_pool = list(combinations(range(n), 4))
         rng.shuffle(quad_pool)
-        patterns = [("X", "X", "Y", "Y"), ("X", "Y", "Y", "X"), ("Y", "X", "X", "Y"), ("X", "X", "X", "X")]
+        patterns = [
+            ("X", "X", "Y", "Y"),
+            ("X", "Y", "Y", "X"),
+            ("Y", "X", "X", "Y"),
+            ("X", "X", "X", "X"),
+        ]
         pattern_index = 0
         for quad in quad_pool:
             if len(paulis) >= spec.num_terms - 1:

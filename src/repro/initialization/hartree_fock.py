@@ -13,7 +13,12 @@ from ..core.task import VQATask
 from ..hamiltonians.molecular import hartree_fock_bitstring
 from ..quantum.statevector import Statevector
 
-__all__ = ["hartree_fock_bitstring", "hartree_fock_state", "hartree_fock_energy", "assign_hartree_fock"]
+__all__ = [
+    "hartree_fock_bitstring",
+    "hartree_fock_state",
+    "hartree_fock_energy",
+    "assign_hartree_fock",
+]
 
 
 def hartree_fock_state(num_qubits: int, num_particles: int) -> Statevector:

@@ -91,7 +91,11 @@ class SPSA(IterativeOptimizer):
         self._delta = None
 
     def calibrate(
-        self, objective: Objective, parameters: np.ndarray, target_step: float = 0.1, samples: int = 5
+        self,
+        objective: Objective,
+        parameters: np.ndarray,
+        target_step: float = 0.1,
+        samples: int = 5,
     ) -> float:
         """Set ``learning_rate`` so the first update magnitude is roughly ``target_step``.
 
@@ -104,9 +108,12 @@ class SPSA(IterativeOptimizer):
         c = self.perturbation
         for _ in range(max(samples, 1)):
             delta = self.rng.choice([-1.0, 1.0], size=parameters.size)
-            diff = float(objective(parameters + c * delta)) - float(objective(parameters - c * delta))
+            plus = float(objective(parameters + c * delta))
+            minus = float(objective(parameters - c * delta))
+            diff = plus - minus
             magnitudes.append(abs(diff) / (2.0 * c))
         typical = float(np.mean(magnitudes))
         if typical > 0:
-            self.learning_rate = target_step * ((self.stability_constant + 1) ** self.alpha) / typical
+            scaled = (self.stability_constant + 1) ** self.alpha
+            self.learning_rate = target_step * scaled / typical
         return self.learning_rate

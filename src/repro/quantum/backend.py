@@ -296,6 +296,7 @@ class StatevectorBackend(ExecutionBackend):
     """
 
     name = "statevector"
+    provides_states = True
 
     def __init__(self) -> None:
         self.batches_run = 0
@@ -371,6 +372,7 @@ class CliffordBackend(ExecutionBackend):
     """
 
     name = "clifford"
+    provides_states = True
 
     def __init__(self, fallback: ExecutionBackend | None = None) -> None:
         self.fallback = fallback if fallback is not None else StatevectorBackend()

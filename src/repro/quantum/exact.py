@@ -79,7 +79,8 @@ def ground_state(operator: PauliOperator, *, compute_gap: bool = False) -> Groun
         eigenvalues, eigenvectors = np.linalg.eigh(matrix)
         energy = float(eigenvalues[0])
         vector = eigenvectors[:, 0]
-        gap = float(eigenvalues[1] - eigenvalues[0]) if compute_gap and len(eigenvalues) > 1 else None
+        has_gap = compute_gap and len(eigenvalues) > 1
+        gap = float(eigenvalues[1] - eigenvalues[0]) if has_gap else None
     else:
         matrix = pauli_to_sparse(operator)
         k = 2 if compute_gap else 1
@@ -89,7 +90,8 @@ def ground_state(operator: PauliOperator, *, compute_gap: bool = False) -> Groun
         eigenvectors = eigenvectors[:, order]
         energy = float(eigenvalues[0])
         vector = eigenvectors[:, 0]
-        gap = float(eigenvalues[1] - eigenvalues[0]) if compute_gap and len(eigenvalues) > 1 else None
+        has_gap = compute_gap and len(eigenvalues) > 1
+        gap = float(eigenvalues[1] - eigenvalues[0]) if has_gap else None
 
     return GroundStateResult(energy=energy, statevector=Statevector(vector), gap=gap)
 

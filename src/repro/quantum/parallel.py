@@ -108,6 +108,7 @@ def default_worker_count() -> int:
     try:
         return max(len(os.sched_getaffinity(0)), 1)
     except (AttributeError, OSError):  # pragma: no cover - non-Linux fallback
+        # reprolint: disable=REPRO003 -- non-Linux fallback; sched_getaffinity is unavailable
         return max(os.cpu_count() or 1, 1)
 
 

@@ -9,7 +9,6 @@ and computes coefficient-vector distances (paper §5.2.1, §5.2.4).
 
 from __future__ import annotations
 
-import math
 from collections.abc import Iterable, Iterator, Mapping
 from dataclasses import dataclass
 

@@ -102,7 +102,9 @@ def apply_gate_batched(
     return np.moveaxis(out, range(1, k + 1), axes)
 
 
-def _moveaxis_order(ndim: int, source: Sequence[int], destination: Sequence[int]) -> tuple[int, ...]:
+def _moveaxis_order(
+    ndim: int, source: Sequence[int], destination: Sequence[int]
+) -> tuple[int, ...]:
     """The transpose order :func:`np.moveaxis` uses for these source/destination
     axes — precomputed once per tape entry so gate application skips the
     per-call axis normalisation (``a.transpose(order)`` is exactly what

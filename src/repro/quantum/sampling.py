@@ -39,8 +39,6 @@ from .circuit import QuantumCircuit
 from .engine import compiled_pauli_operator
 from .measurement import (
     MeasurementPlan,
-    basis_rotation_circuit as _basis_rotation_circuit,
-    measurement_basis as _measurement_basis,
     measurement_plan_for,
 )
 from .pauli import PauliOperator, PauliString

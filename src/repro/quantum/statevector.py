@@ -119,10 +119,13 @@ class Statevector:
         transformed = apply_pauli_string(tensor, label)
         return float(np.vdot(tensor, transformed).real)
 
-    def sample_counts(
-        self, shots: int, rng: np.random.Generator | None = None
-    ) -> dict[str, int]:
+    def sample_counts(self, shots: int, rng: np.random.Generator) -> dict[str, int]:
         """Sample measurement outcomes in the computational basis.
+
+        ``rng`` is required: which generator draws here decides whether runs
+        are reproducible, so callers must pass a seeded
+        ``np.random.Generator`` (the estimator layer derives per-request ones
+        from its documented SeedSequence rule).
 
         Draws ride the shared vectorized inverse-CDF sampler
         (:func:`repro.quantum.measurement.sample_outcomes`) — one uniform
@@ -131,9 +134,13 @@ class Statevector:
         """
         if shots < 1:
             raise ValueError("shots must be >= 1")
+        if not isinstance(rng, np.random.Generator):
+            raise TypeError(
+                "sample_counts requires an explicit np.random.Generator; "
+                "pass np.random.default_rng(seed) so draws are reproducible"
+            )
         from .measurement import sample_outcomes  # local import to avoid a cycle
 
-        rng = rng or np.random.default_rng()
         probabilities = self.probabilities()
         outcomes = sample_outcomes(probabilities[None, :], rng.random((1, shots)))[0]
         unique, multiplicities = np.unique(outcomes, return_counts=True)

@@ -1,0 +1,407 @@
+"""Per-rule fixtures: one firing and one clean snippet per checker.
+
+``check_source`` takes the canonical module path explicitly, so scoped rules
+(estimator-layer exemptions, wide-path modules) are exercised with virtual
+paths — no files need to exist on disk.
+"""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+from repro.analysis import check_source
+
+
+def rules_in(source: str, relpath: str = "repro/fake.py") -> list[str]:
+    findings, _ = check_source(dedent(source), relpath)
+    return sorted({finding.rule for finding in findings})
+
+
+class TestRngDiscipline:
+    def test_unseeded_default_rng_fires(self):
+        assert rules_in(
+            """
+            import numpy as np
+            def draw():
+                return np.random.default_rng().random()
+            """
+        ) == ["REPRO001"]
+
+    def test_seeded_default_rng_is_clean(self):
+        assert rules_in(
+            """
+            import numpy as np
+            def draw(seed):
+                return np.random.default_rng(seed).random()
+            """
+        ) == []
+
+    def test_global_seed_and_legacy_samplers_fire(self):
+        assert rules_in(
+            """
+            import numpy as np
+            np.random.seed(0)
+            x = np.random.normal(0.0, 1.0)
+            """
+        ) == ["REPRO001"]
+
+    def test_seed_sequence_outside_estimator_layer_fires(self):
+        source = """
+            import numpy as np
+            seq = np.random.SeedSequence(entropy=7, spawn_key=(1,))
+            """
+        assert rules_in(source, "repro/core/helper.py") == ["REPRO001"]
+
+    def test_seed_sequence_inside_estimator_layer_is_clean(self):
+        source = """
+            import numpy as np
+            seq = np.random.SeedSequence(entropy=7, spawn_key=(1,))
+            """
+        assert rules_in(source, "repro/quantum/sampling.py") == []
+
+    def test_imported_default_rng_alias_is_caught(self):
+        assert rules_in(
+            """
+            from numpy.random import default_rng
+            rng = default_rng()
+            """
+        ) == ["REPRO001"]
+
+
+class TestBackendContract:
+    COMPLETE = """
+        class ExecutionBackend:
+            name = "abstract"
+            provides_states = True
+
+        class GoodBackend(ExecutionBackend):
+            name = "good"
+            provides_states = True
+
+            def run_batch(self, requests, *, need_states=False):
+                return [None for _ in requests]
+        """
+
+    def test_complete_backend_is_clean(self):
+        assert rules_in(self.COMPLETE) == []
+
+    def test_missing_run_batch_and_flags_fire(self):
+        assert rules_in(
+            """
+            class ExecutionBackend:
+                pass
+
+            class LazyBackend(ExecutionBackend):
+                pass
+            """
+        ) == ["REPRO002"]
+
+    def test_transitive_subclass_is_checked(self):
+        assert rules_in(
+            """
+            class ExecutionBackend:
+                pass
+
+            class Mid(ExecutionBackend):
+                name = "mid"
+                provides_states = True
+                def run_batch(self, requests, *, need_states=False):
+                    return []
+
+            class Leaf(Mid):
+                pass
+            """
+        ) == ["REPRO002"]
+
+    def test_request_mutation_fires(self):
+        assert rules_in(
+            """
+            class ExecutionBackend:
+                pass
+
+            class Mutator(ExecutionBackend):
+                name = "mutator"
+                provides_states = False
+                def run_batch(self, requests, *, need_states=False):
+                    for request in requests:
+                        request.tag = "hijacked"
+                    return []
+            """
+        ) == ["REPRO002"]
+
+    def test_estimator_without_capability_flags_fires(self):
+        assert rules_in(
+            """
+            class BaseEstimator:
+                pass
+
+            class VagueEstimator(BaseEstimator):
+                def estimate(self, result):
+                    return 0.0
+            """
+        ) == ["REPRO002"]
+
+    def test_estimator_with_flag_is_clean(self):
+        assert rules_in(
+            """
+            class BaseEstimator:
+                pass
+
+            class TermEstimator(BaseEstimator):
+                consumes_term_vectors = True
+            """
+        ) == []
+
+
+class TestWorkerSafety:
+    def test_cpu_count_fires(self):
+        assert rules_in(
+            """
+            import multiprocessing
+            workers = multiprocessing.cpu_count()
+            """
+        ) == ["REPRO003"]
+
+    def test_sched_getaffinity_is_clean(self):
+        assert rules_in(
+            """
+            import os
+            workers = len(os.sched_getaffinity(0))
+            """
+        ) == []
+
+    def test_lambda_factory_keyword_fires(self):
+        assert rules_in(
+            """
+            def launch(pool):
+                pool.submit(backend_factory=lambda: object())
+            """
+        ) == ["REPRO003"]
+
+    def test_lambda_inside_factory_function_fires(self):
+        assert rules_in(
+            """
+            def make_backend():
+                return lambda: object()
+            """
+        ) == ["REPRO003"]
+
+    def test_nested_def_inside_factory_fires(self):
+        assert rules_in(
+            """
+            def make_backend():
+                def inner():
+                    return object()
+                return inner
+            """
+        ) == ["REPRO003"]
+
+    def test_partial_factory_is_clean(self):
+        assert rules_in(
+            """
+            from functools import partial
+
+            def build(kind):
+                return object()
+
+            def make_backend(kind):
+                return partial(build, kind)
+            """
+        ) == []
+
+    def test_dataclass_default_factory_lambda_is_exempt(self):
+        assert rules_in(
+            """
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Result:
+                values: list = field(default_factory=lambda: [])
+            """
+        ) == []
+
+
+class TestExponentialAllocation:
+    WIDE = "repro/core/fake.py"
+
+    def test_unguarded_dense_allocation_fires(self):
+        assert rules_in(
+            """
+            import numpy as np
+            def amplitudes(num_qubits):
+                return np.zeros(2 ** num_qubits, dtype=complex)
+            """,
+            self.WIDE,
+        ) == ["REPRO004"]
+
+    def test_unguarded_state_construction_fires(self):
+        assert rules_in(
+            """
+            def state(num_qubits):
+                return Statevector.zero_state(num_qubits)
+            """,
+            self.WIDE,
+        ) == ["REPRO004"]
+
+    def test_enclosing_width_guard_is_clean(self):
+        assert rules_in(
+            """
+            import numpy as np
+            def amplitudes(num_qubits):
+                if num_qubits <= 20:
+                    return np.zeros(2 ** num_qubits, dtype=complex)
+                return None
+            """,
+            self.WIDE,
+        ) == []
+
+    def test_preceding_raise_guard_is_clean(self):
+        assert rules_in(
+            """
+            import numpy as np
+            def amplitudes(num_qubits):
+                if num_qubits > 20:
+                    raise ValueError("too wide")
+                return np.zeros(1 << num_qubits, dtype=complex)
+            """,
+            self.WIDE,
+        ) == []
+
+    def test_dense_backend_modules_are_out_of_scope(self):
+        assert rules_in(
+            """
+            import numpy as np
+            def amplitudes(num_qubits):
+                return np.zeros(2 ** num_qubits, dtype=complex)
+            """,
+            "repro/quantum/statevector.py",
+        ) == []
+
+    def test_non_width_exponent_is_clean(self):
+        assert rules_in(
+            """
+            import numpy as np
+            def table(depth):
+                return np.zeros(2 ** depth)
+            """,
+            self.WIDE,
+        ) == []
+
+
+class TestConfigContract:
+    def test_documented_validated_config_is_clean(self):
+        assert rules_in(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class TreeVQAConfig:
+                '''Config.
+
+                Attributes:
+                    max_rounds: Round cap; must be >= 1.
+                '''
+
+                max_rounds: int = 200
+
+                def __post_init__(self):
+                    if self.max_rounds < 1:
+                        raise ValueError("max_rounds must be >= 1")
+            """,
+            "repro/core/config.py",
+        ) == []
+
+    def test_undocumented_unvalidated_field_fires(self):
+        findings, _ = check_source(
+            dedent(
+                """
+                from dataclasses import dataclass
+
+                @dataclass
+                class TreeVQAConfig:
+                    '''Config.
+
+                    Attributes:
+                        max_rounds: Round cap; must be >= 1.
+                    '''
+
+                    max_rounds: int = 200
+                    mystery_knob: float = 0.0
+
+                    def __post_init__(self):
+                        if self.max_rounds < 1:
+                            raise ValueError("max_rounds must be >= 1")
+                """
+            ),
+            "repro/core/config.py",
+        )
+        messages = [finding.message for finding in findings]
+        assert all(finding.rule == "REPRO005" for finding in findings)
+        assert any("undocumented" in message for message in messages)
+        assert any("validation branch" in message for message in messages)
+
+    def test_validation_via_helper_method_is_reachable(self):
+        assert rules_in(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class TreeVQAConfig:
+                '''Config.
+
+                Attributes:
+                    max_rounds: Round cap; must be >= 1.
+                '''
+
+                max_rounds: int = 200
+
+                def __post_init__(self):
+                    self._validate()
+
+                def _validate(self):
+                    if self.max_rounds < 1:
+                        raise ValueError("max_rounds must be >= 1")
+            """,
+            "repro/core/config.py",
+        ) == []
+
+    def test_unforwarded_backend_knob_fires(self):
+        findings, _ = check_source(
+            dedent(
+                """
+                from dataclasses import dataclass
+
+                @dataclass
+                class TreeVQAConfig:
+                    '''Config.
+
+                    Attributes:
+                        noise_scale: Noise strength; must be finite.
+                    '''
+
+                    noise_scale: float = 0.0
+
+                    def __post_init__(self):
+                        if self.noise_scale < 0:
+                            raise ValueError("noise_scale must be >= 0")
+
+                    def _inner_backend_factory(self):
+                        return object
+                """
+            ),
+            "repro/core/config.py",
+        )
+        assert [finding.rule for finding in findings] == ["REPRO005"]
+        assert "worker processes" in findings[0].message
+
+    def test_other_classes_are_ignored(self):
+        assert rules_in(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class SomeOtherConfig:
+                undocumented: int = 0
+            """,
+            "repro/core/config.py",
+        ) == []

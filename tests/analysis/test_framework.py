@@ -1,0 +1,215 @@
+"""Framework-level behaviour: suppressions, scoping, reporting, CLI."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    META_RULE,
+    REGISTRY,
+    check_paths,
+    check_source,
+)
+from repro.analysis.framework import canonical_module_path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: A snippet with exactly one REPRO001 finding (unseeded default_rng).
+UNSEEDED = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+def findings_of(source: str, relpath: str = "repro/fake.py"):
+    findings, suppressed = check_source(source, relpath)
+    return findings, suppressed
+
+
+class TestCanonicalPaths:
+    def test_src_prefix_is_stripped(self):
+        assert (
+            canonical_module_path("src/repro/quantum/backend.py")
+            == "repro/quantum/backend.py"
+        )
+
+    def test_deepest_repro_component_roots_the_path(self):
+        assert (
+            canonical_module_path("/x/repro/src/repro/core/task.py")
+            == "repro/core/task.py"
+        )
+
+    def test_paths_outside_repro_pass_through(self):
+        assert canonical_module_path("./scripts/tool.py") == "scripts/tool.py"
+
+
+class TestSuppressions:
+    def test_same_line_suppression_with_justification(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  "
+            "# reprolint: disable=REPRO001 -- fixture exercises the raw API\n"
+        )
+        findings, suppressed = findings_of(source)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_line_above_suppression(self):
+        source = (
+            "import numpy as np\n"
+            "# reprolint: disable=REPRO001 -- fixture exercises the raw API\n"
+            "rng = np.random.default_rng()\n"
+        )
+        findings, suppressed = findings_of(source)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_file_level_suppression_covers_any_line(self):
+        source = (
+            "# reprolint: disable-file=REPRO001 -- legacy RNG fixture module\n"
+            "import numpy as np\n\n\n"
+            "rng = np.random.default_rng()\n"
+        )
+        findings, suppressed = findings_of(source)
+        assert findings == []
+        assert suppressed == 1
+
+    def test_missing_justification_is_a_meta_finding_and_does_not_suppress(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  # reprolint: disable=REPRO001\n"
+        )
+        findings, suppressed = findings_of(source)
+        assert suppressed == 0
+        rules = sorted(finding.rule for finding in findings)
+        assert rules == [META_RULE, "REPRO001"]
+        meta = next(f for f in findings if f.rule == META_RULE)
+        assert "justification" in meta.message
+
+    def test_unknown_rule_is_reported(self):
+        source = "x = 1  # reprolint: disable=REPRO999 -- because\n"
+        findings, _ = findings_of(source)
+        assert [f.rule for f in findings] == [META_RULE]
+        assert "unknown rule" in findings[0].message
+
+    def test_meta_rule_cannot_be_suppressed(self):
+        source = "x = 1  # reprolint: disable=REPRO000 -- trying anyway\n"
+        findings, _ = findings_of(source)
+        assert [f.rule for f in findings] == [META_RULE]
+        assert "cannot be suppressed" in findings[0].message
+
+    def test_unused_suppression_is_reported(self):
+        source = "x = 1  # reprolint: disable=REPRO001 -- stale exemption\n"
+        findings, _ = findings_of(source)
+        assert [f.rule for f in findings] == [META_RULE]
+        assert "unused suppression" in findings[0].message
+
+    def test_suppression_of_other_rule_does_not_hide_finding(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  "
+            "# reprolint: disable=REPRO003 -- wrong rule\n"
+        )
+        findings, suppressed = findings_of(source)
+        assert suppressed == 0
+        rules = sorted(finding.rule for finding in findings)
+        # The unmatched suppression is itself flagged as unused.
+        assert rules == [META_RULE, "REPRO001"]
+
+
+class TestReporting:
+    def test_syntax_error_becomes_parse_finding(self):
+        findings, _ = findings_of("def broken(:\n")
+        assert [f.rule for f in findings] == [META_RULE]
+        assert findings[0].name == "parse-error"
+
+    def test_findings_carry_locations(self):
+        findings, _ = findings_of(UNSEEDED)
+        (finding,) = findings
+        assert finding.line == 2
+        assert finding.render().startswith("repro/fake.py:2:")
+
+    def test_rules_filter_restricts_run(self):
+        findings, _ = check_source(UNSEEDED, "repro/fake.py", rules=("REPRO004",))
+        assert findings == []
+
+    def test_check_paths_json_schema(self, tmp_path):
+        module = tmp_path / "repro" / "thing.py"
+        module.parent.mkdir()
+        module.write_text(UNSEEDED, encoding="utf-8")
+        report = check_paths([tmp_path])
+        payload = report.as_dict()
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+        assert payload["suppressed"] == 0
+        (finding,) = payload["findings"]
+        assert set(finding) == {"path", "line", "col", "rule", "name", "message"}
+        assert finding["rule"] == "REPRO001"
+
+    def test_registry_has_all_five_rules(self):
+        assert sorted(REGISTRY) == [
+            "REPRO001",
+            "REPRO002",
+            "REPRO003",
+            "REPRO004",
+            "REPRO005",
+        ]
+
+
+class TestCli:
+    def run_cli(self, *args: str, cwd: Path | None = None):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd or REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        result = self.run_cli(str(clean))
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "OK" in result.stdout
+
+    def test_findings_exit_one_with_location(self, tmp_path):
+        dirty = tmp_path / "repro" / "dirty.py"
+        dirty.parent.mkdir()
+        dirty.write_text(UNSEEDED, encoding="utf-8")
+        result = self.run_cli(str(dirty))
+        assert result.returncode == 1
+        assert f"{dirty.as_posix()}:2:" in result.stdout
+        assert "REPRO001" in result.stdout
+
+    def test_json_format_is_machine_readable(self, tmp_path):
+        dirty = tmp_path / "repro" / "dirty.py"
+        dirty.parent.mkdir()
+        dirty.write_text(UNSEEDED, encoding="utf-8")
+        result = self.run_cli(str(dirty), "--format=json")
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload["findings"][0]["rule"] == "REPRO001"
+
+    def test_unknown_rule_is_usage_error(self):
+        result = self.run_cli("--rules=NOPE", "src")
+        assert result.returncode == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        result = self.run_cli(str(tmp_path / "absent"))
+        assert result.returncode == 2
+
+    def test_list_rules(self):
+        result = self.run_cli("--list-rules")
+        assert result.returncode == 0
+        for rule in ("REPRO001", "REPRO005"):
+            assert rule in result.stdout
+
+
+@pytest.mark.parametrize("rule", sorted(REGISTRY))
+def test_every_rule_has_name_and_description(rule):
+    checker = REGISTRY[rule]
+    assert checker.name and checker.name != "abstract"
+    assert checker.description

@@ -1,0 +1,21 @@
+"""Smoke test: the shipped tree satisfies its own invariants.
+
+This is the in-suite twin of the CI lint gate — it fails the fast tier
+immediately if a change reintroduces an unseeded RNG, an unguarded dense
+allocation, a contract-less backend, or a stale/unjustified suppression.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import check_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_lint_clean():
+    report = check_paths([REPO_ROOT / "src"])
+    assert report.files_checked > 0
+    rendered = "\n".join(finding.render() for finding in report.findings)
+    assert report.clean, f"reprolint findings:\n{rendered}"

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import networkx as nx
 import numpy as np
 import pytest
+from scipy.linalg import expm
 
 from repro.ansatz import (
     HardwareEfficientAnsatz,
@@ -18,9 +20,6 @@ from repro.hamiltonians.maxcut import maxcut_minimization_hamiltonian
 from repro.quantum.exact import ground_state_energy
 from repro.quantum.pauli import PauliOperator, PauliString
 from repro.quantum.statevector import Statevector, StatevectorSimulator
-
-import networkx as nx
-from scipy.linalg import expm
 
 
 class TestPauliRotation:

@@ -99,7 +99,8 @@ class TestSplitCondition:
     def test_individual_threshold_relaxation(self):
         report = self._report(-0.5, [-0.1, 0.001])
         assert evaluate_split_condition(report, 1e-3).should_split
-        assert not evaluate_split_condition(report, 1e-3, individual_slope_threshold=0.01).should_split
+        held = evaluate_split_condition(report, 1e-3, individual_slope_threshold=0.01)
+        assert not held.should_split
 
     def test_invalid_epsilon(self):
         with pytest.raises(ValueError):

@@ -10,8 +10,8 @@ from repro.core import (
     TreeVQAConfig,
     VQATask,
 )
-from repro.core.results import RunResult, TaskOutcome, TaskTrajectory
 from repro.core.baseline import IndependentBaselineResult
+from repro.core.results import RunResult, TaskOutcome, TaskTrajectory
 from repro.core.tree import ExecutionTree
 from repro.hamiltonians import transverse_field_ising_chain
 from repro.optimizers import COBYLA, SPSA

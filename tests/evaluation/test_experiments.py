@@ -14,22 +14,22 @@ from repro.evaluation.experiments import (
     Preset,
     build_vqe_suite,
     default_config,
+    format_figure13,
     format_figure4,
     format_figure6,
-    format_figure13,
     format_table1,
     get_preset,
     run_comparison,
+    run_figure13,
     run_figure4,
     run_figure4a,
     run_figure6_panel,
-    run_figure13,
     run_large_scale_benchmark,
     run_table1,
 )
+from repro.evaluation.experiments.figure14 import run_window_size_sweep
 from repro.evaluation.experiments.figure6 import Figure6Result
 from repro.evaluation.experiments.figure7 import run_figure7_panel
-from repro.evaluation.experiments.figure14 import run_window_size_sweep
 
 TINY = Preset(
     name="fast", num_tasks=3, max_rounds=40, baseline_iterations=40,

@@ -27,8 +27,12 @@ def _make_result(energies, shots, reference=-4.0):
         trajectory.record(s, e)
     ledger = ShotLedger()
     ledger.charge("t", 1, shots[-1])
-    outcome = TaskOutcome(task, energies[-1], "x", task.fidelity(energies[-1]), task.error(energies[-1]))
-    return RunResult(outcomes=[outcome], trajectories={"t": trajectory}, ledger=ledger, total_rounds=3)
+    outcome = TaskOutcome(
+        task, energies[-1], "x", task.fidelity(energies[-1]), task.error(energies[-1])
+    )
+    return RunResult(
+        outcomes=[outcome], trajectories={"t": trajectory}, ledger=ledger, total_rounds=3
+    )
 
 
 class TestMetrics:

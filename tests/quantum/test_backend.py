@@ -14,8 +14,8 @@ from repro.quantum import (
     Parameter,
     PauliOperator,
     QuantumCircuit,
-    StatevectorBackend,
     Statevector,
+    StatevectorBackend,
     clear_program_cache,
     compile_circuit_program,
     make_execution_backend,

@@ -25,12 +25,12 @@ from repro.quantum import (
     ExecutionRequest,
     PauliOperator,
     QuantumCircuit,
-    StatevectorBackend,
     Statevector,
+    StatevectorBackend,
     compile_circuit_program,
     make_execution_backend,
 )
-from repro.quantum.density_matrix import DensityMatrixSimulator, DensityMatrix
+from repro.quantum.density_matrix import DensityMatrix, DensityMatrixSimulator
 from repro.quantum.engine import compiled_pauli_operator
 from repro.quantum.noise import NoiseModel, get_backend_profile
 

@@ -38,7 +38,9 @@ class TestEngineParity:
             naive = np.array([state.pauli_expectation(p) for p in engine.paulis])
             np.testing.assert_allclose(vector, naive, atol=1e-10)
 
-    @pytest.mark.parametrize("label", ["X", "Y", "Z", "I", "XY", "YZ", "ZI", "YY", "XYZ", "ZYX", "III"])
+    @pytest.mark.parametrize(
+        "label", ["X", "Y", "Z", "I", "XY", "YZ", "ZI", "YY", "XYZ", "ZYX", "III"]
+    )
     def test_single_term_matches_dense_matrix(self, label):
         rng = np.random.default_rng(hash(label) % 2 ** 32)
         state = random_state(len(label), rng)

@@ -97,8 +97,12 @@ class TestEstimators:
         exact = ExactEstimator().estimate(circuit, operator).value
         noisy_small = ShotNoiseEstimator(shots_per_term=16, seed=0)
         noisy_large = ShotNoiseEstimator(shots_per_term=65536, seed=0)
-        small_errors = [abs(noisy_small.estimate(circuit, operator).value - exact) for _ in range(20)]
-        large_errors = [abs(noisy_large.estimate(circuit, operator).value - exact) for _ in range(20)]
+        small_errors = [
+            abs(noisy_small.estimate(circuit, operator).value - exact) for _ in range(20)
+        ]
+        large_errors = [
+            abs(noisy_large.estimate(circuit, operator).value - exact) for _ in range(20)
+        ]
         assert np.mean(large_errors) < np.mean(small_errors)
 
     def test_shot_noise_variance_reported(self, circuit, operator):

@@ -22,14 +22,13 @@ import pytest
 from repro.ansatz import HardwareEfficientAnsatz
 from repro.quantum import (
     CliffordBackend,
-    DensityMatrixBackend,
     ExecutionRequest,
     NoiseModel,
     ParallelBackend,
     ParallelExecutionError,
     PauliOperator,
-    StatevectorBackend,
     Statevector,
+    StatevectorBackend,
     compile_circuit_program,
     make_execution_backend,
 )

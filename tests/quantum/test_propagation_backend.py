@@ -30,8 +30,8 @@ from repro.quantum import (
     PauliPropagationBackend,
     PauliPropagationConfig,
     QuantumCircuit,
-    StatevectorBackend,
     Statevector,
+    StatevectorBackend,
     WidthRoutedBackend,
     clear_conjugation_cache,
     conjugation_cache_stats,

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.quantum.circuit import QuantumCircuit
-from repro.quantum.pauli import PauliOperator, PauliString
+from repro.quantum.pauli import PauliString
 from repro.quantum.statevector import Statevector, StatevectorSimulator, apply_pauli_string
 
 
@@ -154,9 +154,13 @@ class TestSamplingAndSimulator:
         assert sum(counts.values()) == 2000
         assert abs(counts.get("00", 0) - 1000) < 150
 
-    def test_sample_counts_validates_shots(self, bell_state):
+    def test_sample_counts_validates_shots(self, bell_state, rng):
         with pytest.raises(ValueError):
-            bell_state.sample_counts(0)
+            bell_state.sample_counts(0, rng)
+
+    def test_sample_counts_requires_explicit_rng(self, bell_state):
+        with pytest.raises(TypeError, match="explicit np.random.Generator"):
+            bell_state.sample_counts(10, None)
 
     def test_simulator_counts_runs(self):
         simulator = StatevectorSimulator()
