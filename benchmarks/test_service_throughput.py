@@ -1,0 +1,173 @@
+"""Macro-benchmark: the job service's shared pool vs. back-to-back runs.
+
+Measures what :class:`~repro.service.TreeVQAService` exists for: N jobs
+multiplexed onto **one** shared two-worker pool amortize the per-job
+execution setup — worker-process spawn (a fresh interpreter importing numpy
+and the repro stack under the ``spawn`` start method), program shipping, and
+worker-side compile caches — that back-to-back runs pay N times over.  Both
+legs run the *same* four jobs on identical two-worker pools under the same
+start method; only the pool lifetime differs (one shared pool vs. one fresh
+pool per job), so the measured ratio is pure amortization, not a different
+amount of physics.
+
+The legs must also be provably the same work: every job's outcome is
+asserted bit-identical between the service leg and the back-to-back leg
+(the shared-tenancy bit-identity contract, measured here on 4 jobs).
+
+Results are appended to ``BENCH_service.json`` at the repo root so CI can
+upload them as a machine-readable artifact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from functools import partial
+from pathlib import Path
+
+import numpy as np
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.core import TreeVQAConfig, TreeVQAController, VQATask
+from repro.hamiltonians import transverse_field_ising_chain
+from repro.quantum.backend import make_execution_backend
+from repro.quantum.parallel import ParallelBackend
+from repro.service import TreeVQAService
+
+_RESULTS_PATH = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+NUM_QUBITS = 8
+NUM_TASKS = 4
+NUM_LAYERS = 2
+ROUNDS = 3
+NUM_JOBS = 4
+WORKERS = 2
+#: Worker processes are spawned (not forked) so each pays the honest
+#: fresh-interpreter import cost the service amortizes across jobs.
+START_METHOD = "spawn"
+MIN_SPEEDUP = 1.5
+
+
+def _record(key: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into the shared JSON artifact."""
+    existing = {}
+    if _RESULTS_PATH.exists():
+        existing = json.loads(_RESULTS_PATH.read_text())
+    existing[key] = payload
+    _RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+
+
+def _make_tasks() -> list[VQATask]:
+    fields = np.linspace(0.7, 1.3, NUM_TASKS)
+    return [
+        VQATask(
+            name=f"tfim@{field:.3f}",
+            hamiltonian=transverse_field_ising_chain(NUM_QUBITS, float(field)),
+            scan_parameter=float(field),
+        )
+        for field in fields
+    ]
+
+
+def _make_config(seed: int) -> TreeVQAConfig:
+    return TreeVQAConfig(
+        max_rounds=ROUNDS,
+        warmup_iterations=2,
+        window_size=2,
+        epsilon_split=1e-3,
+        optimizer_kwargs={"learning_rate": 0.3, "perturbation": 0.15},
+        seed=seed,
+    )
+
+
+def _fingerprint(result) -> dict:
+    return {
+        outcome.task.name: (
+            outcome.energy,
+            outcome.source,
+            tuple(result.trajectories[outcome.task.name].energies),
+        )
+        for outcome in result.outcomes
+    }
+
+
+def _run_back_to_back(ansatz, seeds):
+    """Each job sequentially, each on its own fresh two-worker pool."""
+    fingerprints = []
+    start = time.perf_counter()
+    for seed in seeds:
+        backend = ParallelBackend(
+            partial(make_execution_backend, "statevector"),
+            workers=WORKERS,
+            start_method=START_METHOD,
+        )
+        try:
+            controller = TreeVQAController(
+                _make_tasks(), ansatz, _make_config(seed), backend=backend
+            )
+            fingerprints.append(_fingerprint(controller.run()))
+        finally:
+            backend.close()
+    return time.perf_counter() - start, fingerprints
+
+
+def _run_service(ansatz, seeds):
+    """The same jobs concurrently, multiplexed onto one shared pool."""
+
+    async def scenario():
+        async with TreeVQAService(
+            workers=WORKERS, start_method=START_METHOD
+        ) as service:
+            jobs = [
+                await service.submit(_make_tasks(), ansatz, _make_config(seed))
+                for seed in seeds
+            ]
+            results = await asyncio.gather(*(job.result() for job in jobs))
+        return [_fingerprint(result) for result in results]
+
+    start = time.perf_counter()
+    fingerprints = asyncio.run(scenario())
+    return time.perf_counter() - start, fingerprints
+
+
+def test_shared_pool_service_at_least_1_5x_back_to_back():
+    ansatz = HardwareEfficientAnsatz(NUM_QUBITS, num_layers=NUM_LAYERS)
+    seeds = list(range(3, 3 + NUM_JOBS))
+
+    # Warm the parent-process program cache so both legs start from the same
+    # compiled state and the measured difference is pool lifetime only.
+    TreeVQAController(_make_tasks(), ansatz, _make_config(seeds[0])).run()
+
+    sequential_seconds, sequential_fps = _run_back_to_back(ansatz, seeds)
+    service_seconds, service_fps = _run_service(ansatz, seeds)
+
+    # Identical work: every job bit-identical across the two legs.
+    assert service_fps == sequential_fps
+
+    speedup = sequential_seconds / service_seconds
+    print(
+        f"\nservice throughput ({NUM_JOBS} jobs x {NUM_TASKS} tasks x "
+        f"{NUM_QUBITS} qubits, {ROUNDS} rounds, {WORKERS}-worker pool, "
+        f"{START_METHOD}): back-to-back {sequential_seconds:.2f} s, "
+        f"service {service_seconds:.2f} s, speedup {speedup:.1f}x"
+    )
+    _record(
+        "service_shared_pool_4jobs",
+        {
+            "num_jobs": NUM_JOBS,
+            "num_tasks": NUM_TASKS,
+            "num_qubits": NUM_QUBITS,
+            "rounds": ROUNDS,
+            "workers": WORKERS,
+            "start_method": START_METHOD,
+            "back_to_back_seconds": sequential_seconds,
+            "service_seconds": service_seconds,
+            "speedup": speedup,
+            "floor": MIN_SPEEDUP,
+        },
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"shared-pool service only {speedup:.2f}x faster than back-to-back "
+        f"(expected >= {MIN_SPEEDUP}x)"
+    )

@@ -6,6 +6,8 @@ Reproduction of Hou, Bharadwaj & Ravi (ASPLOS 2026).  Typical entry points:
   tree-structured shared execution (the paper's contribution).
 * :class:`repro.core.IndependentVQABaseline` — the conventional one-task-at-a-
   time baseline used for every comparison.
+* :class:`repro.service.TreeVQAService` — an asyncio job service multiplexing
+  many concurrent TreeVQA runs onto one shared execution pool.
 * :mod:`repro.hamiltonians` — benchmark Hamiltonian families (molecules, spin
   chains, MaxCut on the IEEE 14-bus system).
 * :mod:`repro.evaluation.experiments` — runners that regenerate every table
@@ -30,6 +32,7 @@ _SUBPACKAGES = (
     "initialization",
     "optimizers",
     "quantum",
+    "service",
 )
 
 __all__ = ["__version__", *_SUBPACKAGES]

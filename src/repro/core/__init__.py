@@ -3,7 +3,7 @@
 from .baseline import IndependentBaselineResult, IndependentVQABaseline
 from .cluster import ClusterStepRecord, VQACluster
 from .config import TreeVQAConfig
-from .controller import TreeVQAController
+from .controller import RoundSnapshot, TreeVQAController, live_controller_count
 from .mixed_hamiltonian import MixedHamiltonian, build_mixed_hamiltonian
 from .monitor import SlopeMonitor, SlopeReport, linear_regression_slope
 from .postprocess import PostProcessSelection, select_best_states
@@ -35,6 +35,8 @@ __all__ = [
     "VQACluster",
     "TreeVQAConfig",
     "TreeVQAController",
+    "RoundSnapshot",
+    "live_controller_count",
     "MixedHamiltonian",
     "build_mixed_hamiltonian",
     "SlopeMonitor",

@@ -146,7 +146,10 @@ class TreeVQAConfig:
             ``REPRO_EXECUTION_WORKERS`` environment variable supplies the
             value (the CI parallel smoke uses this); ``0`` there forces
             in-process execution, so an env-driven matrix can express the
-            workers-off leg.
+            workers-off leg.  Jobs submitted to a
+            :class:`~repro.service.TreeVQAService` must leave this unset —
+            the service owns the one shared pool all jobs multiplex onto,
+            and sizes it at service construction.
         use_circuit_programs: Compile each cluster's ansatz once into a
             reusable :class:`~repro.quantum.program.CircuitProgram` and ask
             with (program, parameter-row) payloads instead of freshly bound
@@ -154,22 +157,30 @@ class TreeVQAConfig:
             bound-circuit request path).
         program_cache_size: LRU capacity of the persistent (process-wide)
             circuit-program cache.  ``None`` (default) leaves the current
-            process-wide limit untouched; a value is applied via
+            process-wide limit untouched; a value *grows* the limit via
             :func:`~repro.quantum.program.set_program_cache_limit` when a
-            controller is constructed.  See
+            controller is constructed.  The cache is shared by every live
+            controller and job in the process, so a controller never
+            *shrinks* it (that would evict a concurrent run's compiled
+            programs mid-flight): a value below the current limit is ignored
+            with an actionable ``RuntimeWarning`` — shrink deliberately via
+            ``set_program_cache_limit`` or by sizing the cache on the owning
+            :class:`~repro.service.TreeVQAService`.  See
             :func:`~repro.quantum.program.program_cache_stats` for hit/miss
             statistics (a per-run delta is attached to every controller
-            result under ``metadata["program_cache"]``).
+            result under ``metadata["program_cache"]``; with overlapping
+            runs the delta is clamped at ≥ 0 and labelled ``"shared"``).
         measurement_plan_cache_size: LRU capacity of the persistent
             (process-wide) measurement-plan cache used by the ``sampling``
             estimator (compile-once QWC grouping, basis rotations, and
             support masks per operator fingerprint).  ``None`` (default)
-            leaves the current process-wide limit untouched; a value is
-            applied via
+            leaves the current process-wide limit untouched; a value grows
+            the limit via
             :func:`~repro.quantum.measurement.set_measurement_plan_cache_limit`
-            at controller construction, and a per-run stats delta is
-            attached under ``metadata["measurement_plan_cache"]`` when the
-            run used plans.
+            at controller construction — never shrinks it, with the same
+            shared-cache warning semantics as ``program_cache_size`` — and a
+            per-run stats delta is attached under
+            ``metadata["measurement_plan_cache"]`` when the run used plans.
         forced_split_iteration: §9.1 study — force exactly one split (per
             root cluster) at this cluster iteration.  Default ``None``
             (condition-based splitting); must be ≥ 1 when set (the trigger

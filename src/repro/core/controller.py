@@ -18,22 +18,40 @@ trajectories under the exact estimator), and all expectation values flow
 through the compiled Pauli engine (:mod:`repro.quantum.engine`); the final
 §5.3 pass evaluates the whole (task, cluster) grid through one batched
 engine call in :func:`~repro.core.postprocess.select_best_states`.
+
+Round-by-round execution and shared backends
+--------------------------------------------
+:meth:`TreeVQAController.run` is a thin loop over the resumable primitives
+:meth:`~TreeVQAController.step_round` (advance one round, report a
+:class:`RoundSnapshot`) and :meth:`~TreeVQAController.finalize` (the §5.3
+pass).  The job service (:mod:`repro.service`) drives those primitives
+directly so many controllers can interleave their rounds on **one** shared
+:class:`~repro.quantum.parallel.ParallelBackend` pool.  Ownership is
+explicit: a controller closes only execution resources it created itself —
+a backend passed in via the ``backend=`` argument belongs to the caller and
+is never closed (or shrunk, see the cache-limit rules below) by a finishing
+run.
 """
 
 from __future__ import annotations
 
+import threading
+import warnings
+import weakref
 from collections import defaultdict
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..ansatz.base import Ansatz
+from ..quantum.backend import ExecutionBackend
 from ..quantum.measurement import (
     measurement_plan_cache_stats,
     set_measurement_plan_cache_limit,
 )
 from ..quantum.pauli_propagation import conjugation_cache_stats
 from ..quantum.program import program_cache_stats, set_program_cache_limit
-from .cluster import VQACluster
+from .cluster import ClusterStepRecord, VQACluster
 from .config import TreeVQAConfig
 from .postprocess import select_best_states
 from .results import TaskOutcome, TaskTrajectory, TreeVQAResult
@@ -42,7 +60,108 @@ from .shots import ShotLedger
 from .task import VQATask
 from .tree import ExecutionTree
 
-__all__ = ["TreeVQAController"]
+__all__ = ["RoundSnapshot", "TreeVQAController", "live_controller_count"]
+
+
+#: Registry of live (constructed, not yet closed) controllers in this
+#: process.  Process-wide caches (programs, measurement plans) are shared by
+#: every live controller, so per-run cache-stat deltas are only attributable
+#: to a single run while exactly one controller is alive — the delta
+#: reporting below labels itself ``"shared": True`` otherwise.  A WeakSet so
+#: a controller that is constructed but never run/closed cannot pin the
+#: count forever.
+_LIVE_CONTROLLERS: "weakref.WeakSet[TreeVQAController]" = weakref.WeakSet()
+_LIVE_LOCK = threading.Lock()
+
+#: Cache-stat keys that are cumulative counters (reported as per-run deltas);
+#: the remaining keys (``size``, ``limit``) are point-in-time values.
+_COUNTER_KEYS = ("hits", "misses", "evictions")
+
+
+def live_controller_count() -> int:
+    """Number of live controllers registered in this process.
+
+    A controller registers at construction and unregisters at
+    :meth:`TreeVQAController.close` (``run()`` closes on return); the job
+    service keeps one live controller per running job.
+    """
+    with _LIVE_LOCK:
+        return len(_LIVE_CONTROLLERS)
+
+
+def _register_controller(controller: "TreeVQAController") -> None:
+    with _LIVE_LOCK:
+        if _LIVE_CONTROLLERS:
+            # An overlap can only *begin* at a registration, so marking the
+            # incumbents (and the newcomer, in __init__) here makes the
+            # shared-tenancy flag sticky even for overlaps that end before
+            # the incumbent's next round-boundary check.
+            for live in _LIVE_CONTROLLERS:
+                live._observed_shared = True
+        _LIVE_CONTROLLERS.add(controller)
+
+
+def _unregister_controller(controller: "TreeVQAController") -> None:
+    with _LIVE_LOCK:
+        _LIVE_CONTROLLERS.discard(controller)
+
+
+def _apply_cache_limit_request(
+    kind: str, requested: int, current_limit: int, setter
+) -> None:
+    """Apply a config-requested cache limit without clobbering co-tenants.
+
+    The program / measurement-plan caches are **process-wide**: shrinking one
+    from a controller would evict a concurrent run's entries mid-flight (the
+    shared-pool service multiplexes many controllers onto these caches).  A
+    controller may therefore only *grow* a cache; a shrink request is ignored
+    with an actionable warning naming the deliberate paths.
+    """
+    if requested > current_limit:
+        setter(requested)
+    elif requested < current_limit:
+        warnings.warn(
+            f"ignoring {kind} cache limit {requested}: the process-wide cache "
+            f"already holds up to {current_limit} entries and is shared by "
+            "every live controller and job, so shrinking it here would evict "
+            "a concurrent run's compiled entries mid-flight; to shrink it "
+            f"deliberately call {setter.__name__}({requested}) directly, or "
+            "size the cache on the owning TreeVQAService",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+
+@dataclass(frozen=True)
+class RoundSnapshot:
+    """What one controller round did — the unit the job service streams.
+
+    ``records`` are the completed per-cluster step records in strict cluster
+    order (the same records ``on_record`` observed); ``splits`` maps each
+    splitting parent to its new children.  ``shots_this_round`` counts only
+    this round's charges, while ``total_shots`` is the run's cumulative
+    ledger total after the round.
+    """
+
+    round_index: int
+    records: tuple[ClusterStepRecord, ...]
+    splits: tuple[tuple[str, tuple[str, ...]], ...]
+    shots_this_round: int
+    total_shots: int
+    num_active_clusters: int
+
+    @property
+    def individual_losses(self) -> dict[str, float]:
+        """Per-task energies recombined from this round's step records."""
+        losses: dict[str, float] = {}
+        for record in self.records:
+            losses.update(record.individual_losses)
+        return losses
+
+    @property
+    def mixed_losses(self) -> dict[str, float]:
+        """Per-cluster mixed losses for this round."""
+        return {record.cluster_id: record.mixed_loss for record in self.records}
 
 
 class TreeVQAController:
@@ -55,6 +174,7 @@ class TreeVQAController:
         config: TreeVQAConfig | None = None,
         *,
         initial_parameters: np.ndarray | dict[str, np.ndarray] | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         if not tasks:
             raise ValueError("tasks must be non-empty")
@@ -71,22 +191,41 @@ class TreeVQAController:
         self.ansatz = ansatz
         self.config = config or TreeVQAConfig()
         self._initial_parameters = initial_parameters
-        # The program cache is process-wide; the knob (when set) adjusts its
-        # LRU capacity for this and subsequent runs.  Stats are snapshotted
-        # here so the result metadata reports this run's cache activity, not
-        # the process-cumulative counters (concurrent controllers in one
-        # process still share the cache, and their activity is not separable).
+        # The program / measurement-plan caches are process-wide and shared
+        # by every live controller and job.  A config knob may only *grow*
+        # them here: silently shrinking would evict a concurrent run's
+        # compiled entries mid-flight (only the cache owner — the process,
+        # or a TreeVQAService — may shrink deliberately).  Stats are
+        # snapshotted so result metadata reports this run's cache activity
+        # as a delta, clamped and labelled below when runs overlap.
         if self.config.program_cache_size is not None:
-            set_program_cache_limit(self.config.program_cache_size)
+            _apply_cache_limit_request(
+                "program",
+                self.config.program_cache_size,
+                program_cache_stats()["limit"],
+                set_program_cache_limit,
+            )
         if self.config.measurement_plan_cache_size is not None:
-            set_measurement_plan_cache_limit(self.config.measurement_plan_cache_size)
+            _apply_cache_limit_request(
+                "measurement-plan",
+                self.config.measurement_plan_cache_size,
+                measurement_plan_cache_stats()["limit"],
+                set_measurement_plan_cache_limit,
+            )
         self._program_cache_baseline = program_cache_stats()
         self._measurement_plan_cache_baseline = measurement_plan_cache_stats()
         self._conjugation_cache_baseline = conjugation_cache_stats()
         self.estimator = self.config.make_estimator()
-        self.backend = self.config.make_backend()
+        #: Whether this controller created (and therefore closes) its
+        #: backend.  A caller-supplied backend — the service's shared pool —
+        #: is never closed by a finishing run.
+        self.owns_backend = backend is None
+        self.backend = self.config.make_backend() if backend is None else backend
         self.scheduler = RoundScheduler(
-            self.backend, self.estimator, max_batch_size=self.config.max_batch_size
+            self.backend,
+            self.estimator,
+            max_batch_size=self.config.max_batch_size,
+            owns_backend=self.owns_backend,
         )
         self.ledger = ShotLedger(shots_per_term=self.config.shots_per_pauli_term)
         self.tree = ExecutionTree()
@@ -96,6 +235,12 @@ class TreeVQAController:
         self._clusters = self._build_root_clusters()
         self._rounds_completed = 0
         self._has_run = False
+        self._finalized = False
+        _register_controller(self)
+        #: Sticky flag: did another live controller overlap this run at any
+        #: observed point?  Deltas over shared process-wide counters are not
+        #: attributable to a single run then — metadata labels them.
+        self._observed_shared = live_controller_count() > 1
 
     # -- setup -------------------------------------------------------------------
 
@@ -137,6 +282,11 @@ class TreeVQAController:
         """Clusters that are still optimising (not retired)."""
         return [cluster for cluster in self._clusters if not cluster.retired]
 
+    @property
+    def rounds_completed(self) -> int:
+        """Rounds executed so far (for round-by-round drivers)."""
+        return self._rounds_completed
+
     def _budget_exhausted(self) -> bool:
         budget = self.config.max_total_shots
         return budget is not None and self.ledger.total >= budget
@@ -147,26 +297,70 @@ class TreeVQAController:
         Controllers are run-once, so execution resources the backend may
         hold (the worker pool of a
         :class:`~repro.quantum.parallel.ParallelBackend` under
-        ``execution_workers``) are released before returning; the backend
-        object stays inspectable and would lazily respawn its pool if
-        dispatched again.
+        ``execution_workers``) are released before returning — *if* this
+        controller owns its backend; a caller-supplied (shared) backend is
+        left running.  The backend object stays inspectable and would lazily
+        respawn its pool if dispatched again.
         """
-        if self._has_run:
+        if self._has_run or self._rounds_completed > 0 or self._finalized:
             raise RuntimeError("controller.run() may only be called once per instance")
         self._has_run = True
-        config = self.config
         try:
-            while self._rounds_completed < config.max_rounds and not self._budget_exhausted():
-                self._rounds_completed += 1
-                self._run_round()
-            return self._finalize()
+            while self.step_round() is not None:
+                pass
+            return self.finalize()
         finally:
             self.close()
 
+    def step_round(self) -> RoundSnapshot | None:
+        """Advance the run by exactly one round (the resumable primitive).
+
+        Returns a :class:`RoundSnapshot` of the round's completed steps,
+        splits, and shot charges — or ``None`` when the run is over (round
+        limit reached or shot budget exhausted) and :meth:`finalize` should
+        be called.  Unlike :meth:`run`, stepping never releases execution
+        resources: an external driver (the job service) decides when shared
+        backends close.
+        """
+        if self._finalized:
+            raise RuntimeError("controller already finalized")
+        if self._rounds_completed >= self.config.max_rounds or self._budget_exhausted():
+            return None
+        if not self._observed_shared and live_controller_count() > 1:
+            self._observed_shared = True
+        shots_before = self.ledger.total
+        self._rounds_completed += 1
+        records, splits = self._run_round()
+        return RoundSnapshot(
+            round_index=self._rounds_completed,
+            records=tuple(record for _, record in records),
+            splits=tuple(splits),
+            shots_this_round=self.ledger.total - shots_before,
+            total_shots=self.ledger.total,
+            num_active_clusters=len(self.active_clusters),
+        )
+
+    def finalize(self) -> TreeVQAResult:
+        """Run the §5.3 post-processing pass and assemble the result.
+
+        May be called once, after :meth:`step_round` returned ``None`` (or
+        early, to post-process a partially executed run — the job service
+        does this for cancelled jobs when asked).  Does not release any
+        execution resources; pair with :meth:`close`.
+        """
+        if self._finalized:
+            raise RuntimeError("controller already finalized")
+        self._finalized = True
+        return self._assemble_result()
+
     def close(self) -> None:
-        """Release backend-held execution resources (idempotent; also called
-        at the end of :meth:`run` and on context-manager exit)."""
+        """Release owned execution resources and unregister (idempotent; also
+        called at the end of :meth:`run` and on context-manager exit).  A
+        caller-supplied backend is never closed — the scheduler's
+        ``owns_backend`` flag keeps a finishing run from tearing a shared
+        worker pool down under concurrent tenants."""
         self.scheduler.close()
+        _unregister_controller(self)
 
     def __enter__(self) -> "TreeVQAController":
         return self
@@ -174,7 +368,12 @@ class TreeVQAController:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _run_round(self) -> None:
+    def _run_round(
+        self,
+    ) -> tuple[
+        list[tuple[VQACluster, ClusterStepRecord]],
+        list[tuple[str, tuple[str, ...]]],
+    ]:
         """Step every active cluster once through one batched dispatch.
 
         The scheduler gathers all active clusters' asks, executes them as
@@ -182,7 +381,8 @@ class TreeVQAController:
         order — so shot charging, trajectory recording, and the budget break
         happen in exactly the order the sequential per-cluster loop used.
         Splits are applied after the round's steps complete (a split decision
-        depends only on the splitting cluster's own state).
+        depends only on the splitting cluster's own state).  Returns the
+        reported (cluster, record) pairs and the applied splits.
         """
         pending = list(self.active_clusters)
 
@@ -199,6 +399,7 @@ class TreeVQAController:
 
         completed = self.scheduler.run_round(pending, on_record=on_record)
         stepped = {cluster.cluster_id for cluster, _ in completed}
+        splits: list[tuple[str, tuple[str, ...]]] = []
         next_clusters: list[VQACluster] = []
         for cluster in pending:
             if cluster.cluster_id not in stepped:
@@ -212,9 +413,35 @@ class TreeVQAController:
                 for child in children:
                     self.tree.add_child(cluster.cluster_id, child.cluster_id, child.task_names)
                 next_clusters.extend(children)
+                splits.append(
+                    (cluster.cluster_id, tuple(child.cluster_id for child in children))
+                )
             else:
                 next_clusters.append(cluster)
         self._clusters = next_clusters
+        return completed, splits
+
+    def _cache_delta(self, stats: dict, baseline: dict) -> dict:
+        """Per-run delta over shared cumulative cache counters.
+
+        Counter deltas are clamped at ≥ 0: the counters are process-wide, so
+        a concurrent run's evictions (or a cache clear) can drive a naive
+        ``now - baseline`` negative.  When another live controller/job
+        overlapped this run the delta also includes misses/hits that run
+        caused — the entry is labelled ``"shared": True`` then, so consumers
+        know the numbers describe the tenancy, not this run alone.
+        """
+        delta = {
+            key: (
+                max(stats[key] - baseline[key], 0)
+                if key in _COUNTER_KEYS
+                else stats[key]
+            )
+            for key in stats
+        }
+        if self._observed_shared or live_controller_count() > 1:
+            delta["shared"] = True
+        return delta
 
     def _program_cache_delta(self) -> dict[str, int | dict[str, int]]:
         """This run's program-cache activity (counters since construction;
@@ -222,16 +449,9 @@ class TreeVQAController:
         execution the backend's worker-pool program-shipping stats ride
         along under a ``"workers"`` sub-key, so cache behaviour on both
         sides of the process boundary lands in one metadata entry."""
-        stats = program_cache_stats()
-        baseline = self._program_cache_baseline
-        delta: dict = {
-            key: (
-                stats[key] - baseline[key]
-                if key in ("hits", "misses", "evictions")
-                else stats[key]
-            )
-            for key in stats
-        }
+        delta: dict = self._cache_delta(
+            program_cache_stats(), self._program_cache_baseline
+        )
         worker_stats = getattr(self.backend, "worker_cache_stats", None)
         if worker_stats is not None:
             delta["workers"] = worker_stats()
@@ -241,14 +461,9 @@ class TreeVQAController:
         """This run's measurement-plan-cache activity, or None when the run
         compiled and hit no plans (non-sampling estimators) — mirroring the
         program-cache entry's delta-vs-baseline reporting."""
-        stats = measurement_plan_cache_stats()
-        baseline = self._measurement_plan_cache_baseline
-        delta = {
-            key: stats[key] - baseline[key]
-            if key in ("hits", "misses", "evictions")
-            else stats[key]
-            for key in stats
-        }
+        delta = self._cache_delta(
+            measurement_plan_cache_stats(), self._measurement_plan_cache_baseline
+        )
         if delta["hits"] == 0 and delta["misses"] == 0:
             return None
         return delta
@@ -262,19 +477,14 @@ class TreeVQAController:
         backend_stats = getattr(self.backend, "propagation_stats", None)
         if not totals and backend_stats is None:
             return None
-        stats = conjugation_cache_stats()
-        baseline = self._conjugation_cache_baseline
-        totals["conjugation_cache"] = {
-            key: stats[key] - baseline[key]
-            if key in ("hits", "misses", "evictions")
-            else stats[key]
-            for key in stats
-        }
+        totals["conjugation_cache"] = self._cache_delta(
+            conjugation_cache_stats(), self._conjugation_cache_baseline
+        )
         if backend_stats is not None:
             totals["backend"] = backend_stats()
         return totals
 
-    def _finalize(self) -> TreeVQAResult:
+    def _assemble_result(self) -> TreeVQAResult:
         """Post-processing (§5.3) and result assembly."""
         final_clusters = self.active_clusters or self._clusters
         # Propagation-capable backends (pure propagation / width routing)

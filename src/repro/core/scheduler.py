@@ -93,12 +93,19 @@ class RoundScheduler:
         estimator: BaseEstimator,
         *,
         max_batch_size: int | None = None,
+        owns_backend: bool = True,
     ) -> None:
         if max_batch_size is not None and max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1 when set")
         self.backend = backend
         self.estimator = estimator
         self.max_batch_size = max_batch_size
+        #: Whether :meth:`close` may release the backend's execution
+        #: resources.  ``False`` for backends owned by an outer layer (the
+        #: job service's shared worker pool, which many schedulers
+        #: multiplex): a finishing run must never tear the pool down under
+        #: concurrent tenants.
+        self.owns_backend = owns_backend
         #: Backend dispatches performed (0 when the estimator forces the
         #: per-request path; the backend never ran then).
         self.batches_executed = 0
@@ -284,8 +291,13 @@ class RoundScheduler:
         Backends without a ``close`` method (every in-process backend) make
         this a no-op; a :class:`~repro.quantum.parallel.ParallelBackend`
         shuts its worker pool down.  The scheduler remains usable — such
-        backends respawn lazily on the next dispatch.
+        backends respawn lazily on the next dispatch.  Schedulers built over
+        a backend they do not own (``owns_backend=False`` — the job
+        service's shared pool) never touch it: closing would drop every
+        co-tenant's warm worker program caches and in-flight shards.
         """
+        if not self.owns_backend:
+            return
         close = getattr(self.backend, "close", None)
         if close is not None:
             close()

@@ -71,6 +71,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import traceback
 import warnings
 from collections.abc import Callable, Sequence
@@ -252,6 +253,16 @@ class ParallelBackend(ExecutionBackend):
         #: Local template instance: serves the scheduler's capability probing
         #: (name, provides_states, noise_model) and in-process fallback.
         self._inner = inner_factory()
+        #: Serializes pool lifecycle and dispatch across threads: a shared
+        #: pool (the job service multiplexes many controllers onto one
+        #: ParallelBackend) may be dispatched from an executor thread while
+        #: another thread calls close() — without the lock, a close landing
+        #: mid-dispatch would orphan in-flight shard replies in the pipes
+        #: and desynchronise every later dispatch.  Reentrant because the
+        #: dead-worker fallback path (_mark_broken) closes from inside
+        #: run_batch.  Dispatches serialize; that cannot change results
+        #: (per-request execution is deterministic and order-independent).
+        self._lock = threading.RLock()
         self.workers = resolved
         self._start_method = start_method
         self._pool: list[_Worker] | None = None
@@ -346,7 +357,13 @@ class ParallelBackend(ExecutionBackend):
         A later ``run_batch`` lazily respawns a fresh pool, so a closed
         backend remains usable — including after a worker crash marked the
         pool broken; the program-shipping bookkeeping restarts with it.
+        Thread-safe: a close racing an in-flight dispatch waits for the
+        dispatch to finish rather than reaping the pool under it.
         """
+        with self._lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
         self._broken = False
         pool, self._pool = self._pool, None
         if not pool:
@@ -421,8 +438,17 @@ class ParallelBackend(ExecutionBackend):
         See :meth:`ExecutionBackend.run_batch` for the contract.  Worker-side
         request failures raise :class:`ParallelExecutionError`; a dead worker
         process triggers the documented warn-and-fall-back-in-process path.
+        Dispatches from different threads serialize under the lifecycle lock
+        (the wire protocol is strictly request/reply per worker), so a shared
+        pool can serve multiple driver threads safely.
         """
         requests = list(requests)
+        with self._lock:
+            return self._run_batch_locked(requests, need_states)
+
+    def _run_batch_locked(
+        self, requests: list[ExecutionRequest], need_states: bool
+    ) -> list[BackendResult]:
         self.batches_run += 1
         self.requests_run += len(requests)
         if not requests:

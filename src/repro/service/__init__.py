@@ -1,0 +1,28 @@
+"""Asyncio job service: many concurrent TreeVQA runs, one shared backend.
+
+:class:`TreeVQAService` multiplexes concurrent jobs onto a single shared
+:class:`~repro.quantum.parallel.ParallelBackend` pool and the process-wide
+program / measurement-plan caches, dispatching rounds fair-share
+(round-robin) with backpressure riding the shot ledger.  Each submission
+returns a :class:`Job` streaming :class:`RoundUpdate`\\ s round by round.
+Concurrent jobs are bit-identical to solo runs — see
+``docs/ARCHITECTURE.md`` ("Job service").
+"""
+
+from .dispatcher import FairShareDispatcher
+from .errors import JobCancelledError, ServiceClosedError, ServiceError
+from .job import Job, JobState
+from .service import TreeVQAService
+from .streams import RoundStream, RoundUpdate
+
+__all__ = [
+    "FairShareDispatcher",
+    "Job",
+    "JobCancelledError",
+    "JobState",
+    "RoundStream",
+    "RoundUpdate",
+    "ServiceClosedError",
+    "ServiceError",
+    "TreeVQAService",
+]

@@ -1,0 +1,139 @@
+"""Fair-share dispatch bookkeeping: who runs the next round, who waits.
+
+The shared backend executes one round dispatch at a time (the pool itself
+parallelises *within* a dispatch, across its worker processes), so the
+scheduling question is purely *whose* round goes next.
+:class:`FairShareDispatcher` answers it round-robin: running jobs sit in a
+rotation queue, each pick takes the least-recently-served job, and a job
+re-enters the rotation at the back after its round completes.  Every job
+therefore advances one round per cycle regardless of how many tenants are
+active — a long job cannot starve a short one, and interleaving cannot
+change any job's results (each job's rounds still execute in its own strict
+order; see the concurrency-parity tests).
+
+Admission control implements the service's backpressure: submissions queue
+(FIFO) until both caps clear —
+
+* ``max_running_jobs``: at most this many jobs in the rotation;
+* ``max_inflight_shots``: admission pauses while the shots charged by
+  currently *running* jobs reach the cap (a finishing job releases its
+  charge).  At least one job is always admitted when the rotation is empty,
+  so an over-cap single job can still run to completion rather than
+  deadlock the queue.
+
+This is plain synchronous bookkeeping — the asyncio layer above
+(:class:`~repro.service.service.TreeVQAService`) owns all awaiting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .job import Job, JobState
+
+__all__ = ["FairShareDispatcher"]
+
+
+class FairShareDispatcher:
+    """Round-robin rotation over running jobs plus FIFO admission queue."""
+
+    def __init__(
+        self,
+        *,
+        max_running_jobs: int | None = None,
+        max_inflight_shots: int | None = None,
+    ) -> None:
+        if max_running_jobs is not None and max_running_jobs < 1:
+            raise ValueError("max_running_jobs must be >= 1 when set")
+        if max_inflight_shots is not None and max_inflight_shots < 1:
+            raise ValueError("max_inflight_shots must be >= 1 when set")
+        self.max_running_jobs = max_running_jobs
+        self.max_inflight_shots = max_inflight_shots
+        self._queued: deque[Job] = deque()
+        self._rotation: deque[Job] = deque()
+        self._running: dict[str, Job] = {}
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def num_queued(self) -> int:
+        return len(self._queued)
+
+    @property
+    def num_running(self) -> int:
+        return len(self._running)
+
+    @property
+    def empty(self) -> bool:
+        """No job queued or running — the dispatch loop may sleep."""
+        return not self._queued and not self._running
+
+    def inflight_shots(self) -> int:
+        """Shots charged so far by currently running jobs."""
+        return sum(job.shots_used for job in self._running.values())
+
+    # -- admission ----------------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Queue a submission (FIFO; admission happens on :meth:`admit_ready`)."""
+        self._queued.append(job)
+
+    def _may_admit(self) -> bool:
+        if not self._running:
+            # Always admit into an idle rotation: a cap tighter than one
+            # job's own footprint must not deadlock the queue.
+            return True
+        if self.max_running_jobs is not None and len(self._running) >= self.max_running_jobs:
+            return False
+        if (
+            self.max_inflight_shots is not None
+            and self.inflight_shots() >= self.max_inflight_shots
+        ):
+            return False
+        return True
+
+    def admit_ready(self) -> list[Job]:
+        """Move queued jobs into the rotation while the caps allow.
+
+        Returns the newly admitted jobs (already marked ``RUNNING``), in
+        submission order.  Called by the dispatch loop before every pick and
+        after every completion, so released capacity is reused immediately.
+        """
+        admitted: list[Job] = []
+        while self._queued and self._may_admit():
+            job = self._queued.popleft()
+            if job.cancel_requested:
+                # Cancelled while waiting for admission: never ran, so it
+                # terminates here without entering the rotation.
+                job._mark_cancelled()
+                continue
+            job.state = JobState.RUNNING
+            self._running[job.job_id] = job
+            self._rotation.append(job)
+            admitted.append(job)
+        return admitted
+
+    # -- rotation -----------------------------------------------------------------
+
+    def next_round(self) -> Job | None:
+        """The least-recently-served running job, or None when idle.
+
+        The job leaves the rotation while its round executes; the dispatch
+        loop puts it back with :meth:`requeue` (or retires it with
+        :meth:`finish`), so one job can never hold two in-flight rounds.
+        """
+        if not self._rotation:
+            return None
+        return self._rotation.popleft()
+
+    def requeue(self, job: Job) -> None:
+        """Return a job to the back of the rotation after a completed round."""
+        self._rotation.append(job)
+
+    def finish(self, job: Job) -> None:
+        """Retire a job (done / cancelled / failed) and release its capacity."""
+        self._running.pop(job.job_id, None)
+        try:
+            self._rotation.remove(job)
+        except ValueError:
+            pass

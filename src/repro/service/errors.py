@@ -1,0 +1,17 @@
+"""Exception types of the TreeVQA job service."""
+
+from __future__ import annotations
+
+__all__ = ["JobCancelledError", "ServiceClosedError", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A job-service contract violation (invalid submission, bad config)."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service no longer accepts submissions (``aclose()`` was called)."""
+
+
+class JobCancelledError(ServiceError):
+    """Raised by :meth:`~repro.service.job.Job.result` for cancelled jobs."""

@@ -1,0 +1,133 @@
+"""The Job handle: what ``TreeVQAService.submit`` returns to a tenant.
+
+A job owns one :class:`~repro.core.controller.TreeVQAController` (its own
+optimizers, estimator — and therefore its own RNG streams — and shot
+ledger) but **no** execution resources: the controller is constructed over
+the service's shared backend with ``owns_backend=False``, so a finishing or
+cancelled job can never tear the pool down under its co-tenants.  The
+service's dispatch loop drives ``controller.step_round()`` and feeds this
+handle; tenants consume :attr:`Job.updates` and await :meth:`Job.result`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+from typing import TYPE_CHECKING
+
+from .errors import JobCancelledError
+from .streams import RoundStream, RoundUpdate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.controller import RoundSnapshot, TreeVQAController
+    from ..core.results import TreeVQAResult
+
+__all__ = ["Job", "JobState"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a submitted job.
+
+    ``QUEUED`` → ``RUNNING`` → one of ``DONE`` / ``CANCELLED`` / ``FAILED``.
+    Backpressure (the service's concurrency / in-flight-shot caps) holds
+    jobs in ``QUEUED``; a cancel request lands at the next round boundary —
+    a round already executing completes (its shots were consumed and its
+    update is still streamed) before the job turns ``CANCELLED``.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.CANCELLED, JobState.FAILED)
+
+
+class Job:
+    """Handle of one submitted TreeVQA run."""
+
+    def __init__(self, job_id: str, controller: "TreeVQAController") -> None:
+        self.job_id = job_id
+        self.controller = controller
+        self.state = JobState.QUEUED
+        #: Async iterator of per-round updates; closes when the job ends.
+        self.updates = RoundStream()
+        self.rounds_completed = 0
+        self.shots_used = 0
+        self._cancel_requested = False
+        self._result_future: asyncio.Future = asyncio.get_running_loop().create_future()
+
+    # -- tenant API ---------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state.terminal
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel_requested
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent; no-op once terminal).
+
+        Takes effect at the next round boundary: an in-flight round always
+        completes — its work happened on the shared pool and its shots were
+        charged — and is still streamed before the job turns ``CANCELLED``.
+        Only this job stops; the shared backend and every other job are
+        untouched.
+        """
+        if not self.state.terminal:
+            self._cancel_requested = True
+
+    async def result(self) -> "TreeVQAResult":
+        """Await the final :class:`~repro.core.results.TreeVQAResult`.
+
+        Raises :class:`~repro.service.errors.JobCancelledError` for
+        cancelled jobs and re-raises the original exception for failed ones.
+        """
+        return await asyncio.shield(self._result_future)
+
+    def __repr__(self) -> str:
+        return (
+            f"Job(id={self.job_id!r}, state={self.state.value}, "
+            f"rounds={self.rounds_completed}, shots={self.shots_used})"
+        )
+
+    # -- service-side transitions ---------------------------------------------------
+
+    def _publish_round(self, snapshot: "RoundSnapshot") -> RoundUpdate:
+        self.rounds_completed = snapshot.round_index
+        self.shots_used = snapshot.total_shots
+        update = RoundUpdate.from_snapshot(self.job_id, snapshot)
+        self.updates.publish(update)
+        return update
+
+    def _finish(self, result: "TreeVQAResult") -> None:
+        self.state = JobState.DONE
+        self.updates.close()
+        if not self._result_future.done():
+            self._result_future.set_result(result)
+
+    def _fail(self, error: BaseException) -> None:
+        self.state = JobState.FAILED
+        self.updates.close()
+        if not self._result_future.done():
+            self._result_future.set_exception(error)
+            # Mark retrieved: a tenant that never awaits result() (it may
+            # only consume the stream) must not trigger the event loop's
+            # "exception was never retrieved" teardown warning.  A later
+            # await still re-raises.
+            self._result_future.exception()
+
+    def _mark_cancelled(self) -> None:
+        self.state = JobState.CANCELLED
+        self.updates.close()
+        if not self._result_future.done():
+            self._result_future.set_exception(
+                JobCancelledError(f"job {self.job_id!r} was cancelled")
+            )
+            self._result_future.exception()

@@ -1,0 +1,102 @@
+"""Round-by-round streaming: the updates a job publishes while it runs.
+
+Every completed controller round becomes one :class:`RoundUpdate` pushed
+onto the job's :class:`RoundStream`.  The stream is a plain async iterator
+(``async for update in job.updates``) backed by an unbounded
+:class:`asyncio.Queue`: round payloads are small (per-cluster losses and
+shot counters, never states), so a slow consumer buffers kilobytes, not
+amplitudes, and the producer — the service's dispatch loop — never blocks
+on a tenant's consumption rate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle guard (typing only)
+    from ..core.controller import RoundSnapshot
+
+__all__ = ["RoundStream", "RoundUpdate"]
+
+
+@dataclass(frozen=True)
+class RoundUpdate:
+    """One job round, as streamed to the submitter.
+
+    ``mixed_losses`` maps each stepped cluster to its mixed loss for the
+    round, ``individual_losses`` maps every member task to its recombined
+    energy, and ``splits`` maps each splitting parent cluster to its new
+    children.  Shot counters are the job's own (the service-wide ledger
+    aggregates across jobs separately).
+    """
+
+    job_id: str
+    round_index: int
+    mixed_losses: dict[str, float]
+    individual_losses: dict[str, float]
+    shots_this_round: int
+    total_shots: int
+    num_active_clusters: int
+    splits: tuple[tuple[str, tuple[str, ...]], ...]
+
+    @classmethod
+    def from_snapshot(cls, job_id: str, snapshot: "RoundSnapshot") -> "RoundUpdate":
+        return cls(
+            job_id=job_id,
+            round_index=snapshot.round_index,
+            mixed_losses=snapshot.mixed_losses,
+            individual_losses=snapshot.individual_losses,
+            shots_this_round=snapshot.shots_this_round,
+            total_shots=snapshot.total_shots,
+            num_active_clusters=snapshot.num_active_clusters,
+            splits=snapshot.splits,
+        )
+
+
+class RoundStream:
+    """Async iterator of :class:`RoundUpdate`\\ s with an explicit close.
+
+    The producer calls :meth:`publish` per round and :meth:`close` exactly
+    once when the job reaches a terminal state; consumers iterate until the
+    stream drains (updates published before the close are always delivered,
+    in order).  Iterating a never-closed stream waits — the service
+    guarantees every job's stream closes, whatever the outcome.
+    """
+
+    _CLOSE = object()
+
+    def __init__(self) -> None:
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether the producer has finished (buffered updates may remain)."""
+        return self._closed
+
+    def publish(self, update: RoundUpdate) -> None:
+        """Enqueue one round update (producer side)."""
+        if self._closed:
+            raise RuntimeError("cannot publish to a closed RoundStream")
+        self._queue.put_nowait(update)
+
+    def close(self) -> None:
+        """Mark the stream finished (idempotent); consumers drain then stop."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put_nowait(self._CLOSE)
+
+    def __aiter__(self) -> "RoundStream":
+        return self
+
+    async def __anext__(self) -> RoundUpdate:
+        item = await self._queue.get()
+        if item is self._CLOSE:
+            # Re-arm the sentinel so concurrent/subsequent iterations also
+            # terminate instead of hanging on an empty queue.
+            self._queue.put_nowait(self._CLOSE)
+            raise StopAsyncIteration
+        return item

@@ -1,0 +1,341 @@
+"""Shared-backend ownership, grow-only cache limits, delta attribution.
+
+These are the lifecycle contracts the job service builds on:
+
+* a controller closes only execution resources it created itself —
+  ``run()`` on a caller-supplied backend must never tear a shared worker
+  pool down under concurrent tenants;
+* a controller config may only *grow* the process-wide program /
+  measurement-plan caches (a shrink warns and is ignored — only the cache
+  owner shrinks deliberately);
+* per-run cache-stat deltas over the shared counters are clamped at ≥ 0
+  and labelled ``"shared": True`` whenever another live controller
+  overlapped the run;
+* ``step_round()`` / ``finalize()`` — the resumable primitives the service
+  drives — reproduce ``run()`` bit-identically.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import TreeVQAConfig, TreeVQAController
+from repro.core.controller import live_controller_count
+from repro.core.scheduler import RoundScheduler
+from repro.quantum.backend import StatevectorBackend, make_execution_backend
+from repro.quantum.measurement import (
+    measurement_plan_cache_stats,
+    set_measurement_plan_cache_limit,
+)
+from repro.quantum.parallel import ParallelBackend
+from repro.quantum.program import program_cache_stats, set_program_cache_limit
+
+
+def make_config(seed=3, **overrides) -> TreeVQAConfig:
+    base = dict(
+        max_rounds=3,
+        warmup_iterations=2,
+        window_size=3,
+        epsilon_split=1e-3,
+        optimizer_kwargs={"learning_rate": 0.3, "perturbation": 0.15},
+        seed=seed,
+    )
+    base.update(overrides)
+    return TreeVQAConfig(**base)
+
+
+def fingerprint(result) -> dict:
+    return {
+        outcome.task.name: (
+            outcome.energy,
+            outcome.source,
+            tuple(result.trajectories[outcome.task.name].energies),
+            tuple(result.trajectories[outcome.task.name].cumulative_shots),
+        )
+        for outcome in result.outcomes
+    }
+
+
+@pytest.fixture
+def restore_cache_limits():
+    program_limit = program_cache_stats()["limit"]
+    plan_limit = measurement_plan_cache_stats()["limit"]
+    yield
+    set_program_cache_limit(program_limit)
+    set_measurement_plan_cache_limit(plan_limit)
+
+
+class TestBackendOwnership:
+    def test_default_controller_owns_its_backend(self, tfim_tasks, small_ansatz):
+        controller = TreeVQAController(tfim_tasks, small_ansatz, make_config())
+        try:
+            assert controller.owns_backend
+            assert controller.scheduler.owns_backend
+        finally:
+            controller.close()
+
+    def test_supplied_backend_is_not_owned_and_survives_run(
+        self, tfim_tasks, small_ansatz
+    ):
+        shared = ParallelBackend(StatevectorBackend, workers=2)
+        try:
+            first = TreeVQAController(
+                tfim_tasks, small_ansatz, make_config(3), backend=shared
+            )
+            assert not first.owns_backend
+            assert not first.scheduler.owns_backend
+            first.run()
+            # run() closed the controller — but not the shared pool.
+            assert shared._pool is not None
+            # A second tenant reuses the same warm pool.
+            second = TreeVQAController(
+                tfim_tasks, small_ansatz, make_config(4), backend=shared
+            )
+            second.run()
+            assert shared._pool is not None
+            assert shared.worker_cache_stats()["program_reuses"] > 0
+        finally:
+            shared.close()
+        assert shared._pool is None
+
+    def test_unowned_scheduler_close_leaves_backend_open(self):
+        backend = ParallelBackend(StatevectorBackend, workers=2)
+        estimator = TreeVQAConfig().make_estimator()
+        try:
+            backend._ensure_pool()
+            RoundScheduler(backend, estimator, owns_backend=False).close()
+            assert backend._pool is not None
+            RoundScheduler(backend, estimator, owns_backend=True).close()
+            assert backend._pool is None
+        finally:
+            backend.close()
+
+    def test_live_controller_registry_tracks_construction_and_close(
+        self, tfim_tasks, small_ansatz
+    ):
+        baseline = live_controller_count()
+        controller = TreeVQAController(tfim_tasks, small_ansatz, make_config())
+        assert live_controller_count() == baseline + 1
+        with TreeVQAController(tfim_tasks, small_ansatz, make_config(4)) as second:
+            assert live_controller_count() == baseline + 2
+            assert second._observed_shared
+        assert live_controller_count() == baseline + 1
+        controller.close()
+        controller.close()  # idempotent
+        assert live_controller_count() == baseline
+
+
+class TestGrowOnlyCacheLimits:
+    def test_config_may_grow_the_shared_caches(
+        self, tfim_tasks, small_ansatz, restore_cache_limits
+    ):
+        bigger = program_cache_stats()["limit"] + 16
+        plan_bigger = measurement_plan_cache_stats()["limit"] + 8
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            controller = TreeVQAController(
+                tfim_tasks,
+                small_ansatz,
+                make_config(
+                    program_cache_size=bigger,
+                    measurement_plan_cache_size=plan_bigger,
+                ),
+            )
+        controller.close()
+        assert program_cache_stats()["limit"] == bigger
+        assert measurement_plan_cache_stats()["limit"] == plan_bigger
+
+    def test_config_shrink_warns_and_is_ignored(
+        self, tfim_tasks, small_ansatz, restore_cache_limits
+    ):
+        current = program_cache_stats()["limit"]
+        with pytest.warns(RuntimeWarning) as caught:
+            controller = TreeVQAController(
+                tfim_tasks,
+                small_ansatz,
+                make_config(program_cache_size=current - 1),
+            )
+        controller.close()
+        assert program_cache_stats()["limit"] == current
+        message = str(caught[0].message)
+        # The warning must be actionable: name the deliberate paths.
+        assert "set_program_cache_limit" in message
+        assert "TreeVQAService" in message
+
+    def test_measurement_plan_shrink_warns_and_is_ignored(
+        self, tfim_tasks, small_ansatz, restore_cache_limits
+    ):
+        current = measurement_plan_cache_stats()["limit"]
+        with pytest.warns(RuntimeWarning, match="set_measurement_plan_cache_limit"):
+            controller = TreeVQAController(
+                tfim_tasks,
+                small_ansatz,
+                make_config(measurement_plan_cache_size=current - 1),
+            )
+        controller.close()
+        assert measurement_plan_cache_stats()["limit"] == current
+
+    def test_equal_limit_is_a_silent_noop(
+        self, tfim_tasks, small_ansatz, restore_cache_limits
+    ):
+        current = program_cache_stats()["limit"]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            controller = TreeVQAController(
+                tfim_tasks, small_ansatz, make_config(program_cache_size=current)
+            )
+        controller.close()
+        assert program_cache_stats()["limit"] == current
+
+
+class TestCacheDeltaAttribution:
+    def test_negative_counter_deltas_are_clamped(self, tfim_tasks, small_ansatz):
+        controller = TreeVQAController(tfim_tasks, small_ansatz, make_config())
+        try:
+            stats = dict(controller._program_cache_baseline)
+            baseline = dict(stats)
+            # A concurrent cache clear / co-tenant eviction can drive the
+            # shared cumulative counters *below* this run's baseline.
+            stats["hits"] = baseline["hits"] - 5
+            stats["misses"] = baseline["misses"] + 3
+            delta = controller._cache_delta(stats, baseline)
+            assert delta["hits"] == 0
+            assert delta["misses"] == 3
+        finally:
+            controller.close()
+
+    def test_solo_run_metadata_is_not_labelled_shared(self, tfim_tasks, small_ansatz):
+        assert live_controller_count() == 0, "leaked controller from another test"
+        result = TreeVQAController(tfim_tasks, small_ansatz, make_config()).run()
+        assert "shared" not in result.metadata["program_cache"]
+
+    def test_overlapping_controllers_label_deltas_shared(
+        self, tfim_tasks, small_ansatz
+    ):
+        with TreeVQAController(tfim_tasks, small_ansatz, make_config(4)):
+            result = TreeVQAController(tfim_tasks, small_ansatz, make_config(3)).run()
+        assert result.metadata["program_cache"]["shared"] is True
+
+    def test_shared_flag_is_sticky_across_the_run(self, tfim_tasks, small_ansatz):
+        controller = TreeVQAController(tfim_tasks, small_ansatz, make_config())
+        overlap = TreeVQAController(tfim_tasks, small_ansatz, make_config(4))
+        overlap.close()  # overlap ends before the first round even runs
+        while controller.step_round() is not None:
+            pass
+        result = controller.finalize()
+        controller.close()
+        assert result.metadata["program_cache"]["shared"] is True
+
+
+class TestResumablePrimitives:
+    def test_step_round_loop_matches_run_bit_identically(
+        self, tfim_tasks, small_ansatz
+    ):
+        reference = TreeVQAController(tfim_tasks, small_ansatz, make_config()).run()
+        controller = TreeVQAController(tfim_tasks, small_ansatz, make_config())
+        snapshots = []
+        while (snapshot := controller.step_round()) is not None:
+            snapshots.append(snapshot)
+        stepped = controller.finalize()
+        controller.close()
+        assert fingerprint(stepped) == fingerprint(reference)
+        assert [s.round_index for s in snapshots] == list(
+            range(1, reference.total_rounds + 1)
+        )
+        assert snapshots[-1].total_shots == reference.ledger.total
+        assert sum(s.shots_this_round for s in snapshots) == reference.ledger.total
+
+    def test_snapshot_payload_mirrors_records(self, tfim_tasks, small_ansatz):
+        controller = TreeVQAController(tfim_tasks, small_ansatz, make_config())
+        try:
+            snapshot = controller.step_round()
+            assert snapshot.round_index == 1 == controller.rounds_completed
+            assert snapshot.num_active_clusters == len(controller.active_clusters)
+            assert set(snapshot.individual_losses) == {
+                task.name for task in tfim_tasks
+            }
+            assert set(snapshot.mixed_losses) == {
+                record.cluster_id for record in snapshot.records
+            }
+        finally:
+            controller.close()
+
+    def test_step_round_returns_none_after_round_limit(self, tfim_tasks, small_ansatz):
+        controller = TreeVQAController(
+            tfim_tasks, small_ansatz, make_config(max_rounds=1)
+        )
+        try:
+            assert controller.step_round() is not None
+            assert controller.step_round() is None
+            assert controller.step_round() is None
+        finally:
+            controller.close()
+
+    def test_finalize_twice_and_step_after_finalize_raise(
+        self, tfim_tasks, small_ansatz
+    ):
+        controller = TreeVQAController(
+            tfim_tasks, small_ansatz, make_config(max_rounds=1)
+        )
+        try:
+            controller.step_round()
+            controller.finalize()
+            with pytest.raises(RuntimeError, match="finalized"):
+                controller.finalize()
+            with pytest.raises(RuntimeError, match="finalized"):
+                controller.step_round()
+        finally:
+            controller.close()
+
+    def test_run_after_stepping_raises(self, tfim_tasks, small_ansatz):
+        controller = TreeVQAController(tfim_tasks, small_ansatz, make_config())
+        try:
+            controller.step_round()
+            with pytest.raises(RuntimeError, match="once"):
+                controller.run()
+        finally:
+            controller.close()
+
+    def test_early_finalize_post_processes_a_partial_run(
+        self, tfim_tasks, small_ansatz
+    ):
+        controller = TreeVQAController(tfim_tasks, small_ansatz, make_config())
+        try:
+            controller.step_round()
+            result = controller.finalize()
+            assert result.total_rounds == 1
+            assert len(result.outcomes) == len(tfim_tasks)
+        finally:
+            controller.close()
+
+    def test_budget_exhaustion_stops_stepping(self, tfim_tasks, small_ansatz):
+        probe = TreeVQAController(tfim_tasks, small_ansatz, make_config())
+        first = probe.step_round()
+        probe.finalize()
+        probe.close()
+        controller = TreeVQAController(
+            tfim_tasks,
+            small_ansatz,
+            make_config(max_rounds=50, max_total_shots=first.total_shots),
+        )
+        try:
+            assert controller.step_round() is not None
+            assert controller.step_round() is None
+        finally:
+            controller.close()
+
+    def test_width_routed_backend_can_be_shared(self, tfim_tasks, small_ansatz):
+        """Explicit backend ownership also holds for registry backends
+        constructed outside the controller (the service's in-process mode)."""
+        shared = make_execution_backend("statevector")
+        reference = TreeVQAController(tfim_tasks, small_ansatz, make_config()).run()
+        results = [
+            TreeVQAController(
+                tfim_tasks, small_ansatz, make_config(), backend=shared
+            ).run()
+            for _ in range(2)
+        ]
+        for result in results:
+            assert fingerprint(result) == fingerprint(reference)
