@@ -58,6 +58,12 @@ def run_once(tasks, ansatz, workers: int | None):
         disable_automatic_splits=True,
         seed=2,
         execution_workers=workers,
+        # Reply deadline per worker shard: a hung (not merely slow) worker is
+        # reaped, respawned, and its shard rerouted within this many seconds
+        # instead of stalling the round forever.  Size it far above the
+        # slowest expected shard — reaping a healthy-but-busy worker costs a
+        # respawn and a retry (results stay bit-identical either way).
+        worker_timeout_s=120.0,
     )
     controller = TreeVQAController(tasks, ansatz, config)
     start = time.perf_counter()

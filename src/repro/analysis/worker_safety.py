@@ -14,6 +14,12 @@ production rather than in the in-process test run.  Two checks:
 * CPU accounting — ``multiprocessing.cpu_count()`` / ``os.cpu_count()``
   report the whole machine and oversubscribe cgroup-limited containers; the
   pool sizing rule is ``len(os.sched_getaffinity(0))``.
+* Lock-across-recv (transport modules) — worker-transport implementations
+  must never hold a lock across a blocking ``recv``: a hung worker would
+  then deadlock ``close()`` / health checks from every other thread, turning
+  one degraded shard into a stuck process.  Deadlines poll *outside* any
+  lock; serializing whole dispatches is the caller's job
+  (``ParallelBackend``'s lifecycle lock), never the endpoint's.
 """
 
 from __future__ import annotations
@@ -33,6 +39,9 @@ _FACTORY_KEYWORD_RE = re.compile(r"(_factory$|^factory$|^target$)")
 #: dataclasses.field(default_factory=...) stores the callable on the class,
 #: never inside pickled instances — exempt.
 _EXEMPT_CALLEES = frozenset({"field"})
+#: Modules holding worker-transport implementations, where the
+#: lock-across-recv invariant applies (fnmatch; ``*`` crosses ``/``).
+_TRANSPORT_MODULES = ("repro/*transport*.py",)
 
 
 @register
@@ -41,7 +50,8 @@ class WorkerSafetyChecker(Checker):
     name = "worker-safety"
     description = (
         "no lambdas/closures in factory scopes or *_factory arguments; "
-        "sched_getaffinity instead of cpu_count"
+        "sched_getaffinity instead of cpu_count; no lock held across a "
+        "blocking recv in transport modules"
     )
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -75,6 +85,38 @@ class WorkerSafetyChecker(Checker):
         self.generic_visit(node)
 
     visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_With(self, node: ast.With) -> None:
+        self._check_lock_across_recv(node)
+        self.generic_visit(node)
+
+    visit_AsyncWith = visit_With
+
+    def _check_lock_across_recv(self, node: ast.With) -> None:
+        """Transport modules: no ``with <lock>:`` body may call ``recv``.
+
+        A blocking recv under a lifecycle lock turns a hung worker into a
+        deadlocked pool — ``close()`` and health checks from other threads
+        queue behind a wait that never ends.  The sanctioned shape polls
+        with a deadline outside any lock (see
+        ``transport.LocalProcessEndpoint.recv``).
+        """
+        if not self.context.matches(_TRANSPORT_MODULES):
+            return
+        if not any(
+            "lock" in (dotted_name(item.context_expr) or "").lower()
+            for item in node.items
+        ):
+            return
+        for child in ast.walk(node):
+            if isinstance(child, ast.Call) and terminal_name(child.func) == "recv":
+                self.report(
+                    child,
+                    "recv() under a lock: a hung worker would deadlock "
+                    "close()/health checks from other threads; poll with a "
+                    "deadline outside the lock and let the caller serialize "
+                    "dispatches",
+                )
 
     def _check_factory_scope(self, factory: ast.FunctionDef) -> None:
         for node in ast.walk(factory):

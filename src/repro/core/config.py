@@ -150,6 +150,19 @@ class TreeVQAConfig:
             :class:`~repro.service.TreeVQAService` must leave this unset —
             the service owns the one shared pool all jobs multiplex onto,
             and sizes it at service construction.
+        worker_timeout_s: Deadline in seconds for each worker shard reply
+            (validated > 0 when set); requires ``execution_workers``.
+            ``None`` (default) waits indefinitely — the safe choice for
+            arbitrarily large batches — while a value bounds every reply
+            wait, so a hung (not dead) worker is reaped, respawned, and its
+            shard rerouted within that many seconds instead of deadlocking
+            the round.  Results are unaffected either way (rerouted and
+            original execution are bit-identical); size it generously above
+            the slowest expected shard (e.g. several minutes for
+            density-matrix workloads) so slow-but-healthy workers are never
+            reaped.  Jobs submitted to a service must leave this unset too —
+            the deadline is a property of the shared pool, set at service
+            construction.
         use_circuit_programs: Compile each cluster's ansatz once into a
             reusable :class:`~repro.quantum.program.CircuitProgram` and ask
             with (program, parameter-row) payloads instead of freshly bound
@@ -224,6 +237,7 @@ class TreeVQAConfig:
     propagation_max_terms: int | None = None
     max_batch_size: int | None = None
     execution_workers: int | None = None
+    worker_timeout_s: float | None = None
     use_circuit_programs: bool = True
     program_cache_size: int | None = None
     measurement_plan_cache_size: int | None = None
@@ -334,6 +348,14 @@ class TreeVQAConfig:
                     self.execution_workers = workers
         if self.execution_workers is not None and self.execution_workers < 1:
             raise ValueError("execution_workers must be >= 1 when set")
+        if self.worker_timeout_s is not None:
+            if not self.worker_timeout_s > 0:
+                raise ValueError("worker_timeout_s must be > 0 when set")
+            if self.execution_workers is None:
+                raise ValueError(
+                    "worker_timeout_s requires execution_workers (the deadline "
+                    "bounds worker shard replies; in-process execution has none)"
+                )
         if self.program_cache_size is not None and self.program_cache_size < 1:
             raise ValueError("program_cache_size must be >= 1 when set")
         if (
@@ -440,4 +462,8 @@ class TreeVQAConfig:
         factory = self._inner_backend_factory()
         if self.execution_workers is None:
             return factory()
-        return ParallelBackend(factory, workers=self.execution_workers)
+        return ParallelBackend(
+            factory,
+            workers=self.execution_workers,
+            worker_timeout_s=self.worker_timeout_s,
+        )

@@ -221,6 +221,10 @@ class TreeVQAController:
         #: is never closed by a finishing run.
         self.owns_backend = backend is None
         self.backend = self.config.make_backend() if backend is None else backend
+        #: Fault-tolerance counter snapshot of a (possibly shared) worker
+        #: pool at construction, so this run's transport metadata reports its
+        #: own fault-handling events, not the pool's lifetime totals.
+        self._transport_baseline = self._transport_counters()
         self.scheduler = RoundScheduler(
             self.backend,
             self.estimator,
@@ -457,6 +461,40 @@ class TreeVQAController:
             delta["workers"] = worker_stats()
         return delta
 
+    _TRANSPORT_COUNTERS = (
+        "shard_retries",
+        "worker_respawns",
+        "deadline_timeouts",
+        "fallback_shards",
+        "fallback_batches",
+    )
+
+    def _transport_counters(self) -> dict[str, int] | None:
+        """The backend pool's fault-tolerance counters (None when the backend
+        has no worker pool)."""
+        worker_stats = getattr(self.backend, "worker_cache_stats", None)
+        if worker_stats is None:
+            return None
+        stats = worker_stats()
+        return {key: stats.get(key, 0) for key in self._TRANSPORT_COUNTERS}
+
+    def _transport_metadata(self) -> dict[str, int] | None:
+        """This run's worker-fault handling (retries, respawns, deadline
+        reaps, in-process fallbacks) as deltas against the construction-time
+        snapshot, or None when the run saw no faults — the common case stays
+        out of the metadata, and a shared service pool's earlier incidents
+        are not billed to this job."""
+        if self._transport_baseline is None:
+            return None
+        counters = self._transport_counters()
+        delta = {
+            key: max(counters[key] - self._transport_baseline[key], 0)
+            for key in self._TRANSPORT_COUNTERS
+        }
+        if not any(delta.values()):
+            return None
+        return delta
+
     def _measurement_plan_cache_delta(self) -> dict[str, int] | None:
         """This run's measurement-plan-cache activity, or None when the run
         compiled and hit no plans (non-sampling estimators) — mirroring the
@@ -532,6 +570,11 @@ class TreeVQAController:
                 **(
                     {"propagation": propagation}
                     if (propagation := self._propagation_metadata()) is not None
+                    else {}
+                ),
+                **(
+                    {"transport": transport}
+                    if (transport := self._transport_metadata()) is not None
                     else {}
                 ),
             },

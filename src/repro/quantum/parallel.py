@@ -12,9 +12,11 @@ completed.
 :class:`ParallelBackend` composes rather than replaces: it wraps a factory
 for any inner backend (statevector, Clifford-routed, density-matrix, or a
 custom one), shards each ``run_batch`` across a persistent pool of worker
-processes, executes every shard through the inner backend's own
-``run_batch``, and merges the :class:`~repro.quantum.backend.BackendResult`
-payloads back in the original request order.
+endpoints spawned through a :class:`~repro.quantum.transport.WorkerTransport`
+(local processes by default), executes every shard through the inner
+backend's own ``run_batch``, and merges the
+:class:`~repro.quantum.backend.BackendResult` payloads back in the original
+request order.
 
 Bit-identity contract (extends the batching invariant)
 ------------------------------------------------------
@@ -29,6 +31,11 @@ Results are **bit-identical** to in-process dispatch for any worker count —
   invariant), so re-grouping requests into per-worker shards cannot change
   any request's amplitudes;
 * results are merged by original request index, never by completion order.
+
+The same three facts extend the contract to *partial failure*: a rerouted
+shard re-executes the same (program, parameter-row, initial state) triples
+on a fresh worker — or, as the last resort, in-process — so any
+interleaving of crashes, hangs, and retries merges to the same payloads.
 
 Shot-noise and sampling randomness belong to the *estimator* layer, which
 never crosses a process boundary: the round scheduler converts backend
@@ -52,27 +59,39 @@ the least-loaded workers.  A program is pickled to a given worker only once
 counters are surfaced as :meth:`ParallelBackend.worker_cache_stats` (the
 controller folds them into ``metadata["program_cache"]["workers"]``).
 
-Failure semantics
------------------
-An exception raised *inside* a worker (an invalid request, an oversized
-density matrix, ...) is re-raised in the parent as
-:class:`ParallelExecutionError` carrying the remote traceback — the same
-control flow in-process execution would have produced.  A worker process
-*dying* (OOM kill, segfault, manual ``kill``) is different: the pool is torn
-down, an actionable :class:`RuntimeWarning` is emitted, and the batch — plus
-every subsequent one — executes in-process through the wrapper's own inner
-backend instance, so the round completes with identical results.  A payload
-that cannot cross the process boundary at all (an unpicklable object inside
-a custom request) takes the same warn-and-fall-back path — in-process
-execution needs no pickling, so the round still completes.
+Failure semantics (shard-granular)
+----------------------------------
+The failure domain is one worker's *shard*, never the batch:
+
+* An exception raised *inside* a worker (an invalid request, an oversized
+  density matrix, ...) is re-raised in the parent as
+  :class:`ParallelExecutionError` carrying the remote traceback — the same
+  control flow in-process execution would have produced.  Deterministic, so
+  never retried; the pool survives intact.
+* A worker endpoint *failing* (process died, pipe broke, reply garbled, or
+  — with ``worker_timeout_s`` set — no reply within the deadline) degrades
+  only its own shard: every healthy worker's completed replies are kept,
+  the failed endpoint is reaped and respawned, and the failed shard is
+  re-dispatched to the fresh worker with exponential backoff, up to
+  ``max_shard_retries`` attempts.  Each respawn warns actionably.
+* Only when a shard exhausts its retry budget do *those requests* (and only
+  those) execute in-process through the wrapper's own inner backend —
+  ``fallback_batches`` counts batches where that last resort fired.
+* An unpicklable payload is deterministic, not a wire failure: its shard
+  goes straight to in-process execution (pickling happens before any bytes
+  hit the pipe, so the pool stays healthy for every other shard).
+
+A hung-but-alive worker is indistinguishable from a slow one without a
+deadline, so ``recv`` blocks indefinitely by default (the pre-deadline
+behavior); set ``worker_timeout_s`` to bound every reply wait and convert
+hangs into reap-respawn-reroute events.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import threading
-import traceback
+import time
 import warnings
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field, replace
@@ -81,7 +100,15 @@ import numpy as np
 
 from .backend import BackendResult, ExecutionBackend, ExecutionRequest
 from .engine import compiled_pauli_operator
-from .statevector import Statevector
+from .transport import (
+    CIRCUIT_KIND,
+    PROGRAM_KIND,
+    DeadlineExceeded,
+    LocalProcessTransport,
+    TransportError,
+    WorkerEndpoint,
+    WorkerTransport,
+)
 
 __all__ = [
     "ParallelBackend",
@@ -113,111 +140,41 @@ def default_worker_count() -> int:
         return max(os.cpu_count() or 1, 1)
 
 
-# -- wire protocol ----------------------------------------------------------------
-#
-# Parent -> worker:  ("run", job_id, [encoded request, ...], need_states)
-#                    ("close",)
-# Worker -> parent:  ("ok", job_id, [BackendResult, ...])
-#                    ("error", job_id, formatted_traceback)
-#
-# Requests are encoded rather than pickled verbatim so the expensive,
-# reusable parts — the compiled CircuitProgram and the measured PauliOperator
-# (hundreds of terms for molecular workloads, identical across a cluster's
-# requests and rounds) — cross the boundary once per worker (later dispatches
-# carry only a small integer id), and so per-request extras that need not
-# cross (tags, memoised resolved circuits) stay behind.  Operators are
-# interned by *value* fingerprint, not identity, so an operator mutated
-# in-place (``chop``) ships fresh under a new id.
-
-_PROGRAM = "p"
-_CIRCUIT = "c"
-
-
 def _operator_fingerprint(operator) -> tuple:
     """Value key for operator interning (same shape the engine cache uses)."""
     return (operator.num_qubits, tuple((p.label, c) for p, c in operator.items()))
 
 
-def _decode_request(
-    encoded: tuple, programs: dict[int, object], operators: dict[int, object]
-) -> ExecutionRequest:
-    """Rebuild an :class:`ExecutionRequest` on the worker side, caching newly
-    shipped programs/operators (the worker's warm caches)."""
-    kind, payload, operator_ref, initial, bitstring = encoded
-    operator_id, operator = operator_ref
-    if operator is not None:
-        operators[operator_id] = operator
-    initial_state = None if initial is None else Statevector(initial)
-    if kind == _PROGRAM:
-        program_id, program, parameters = payload
-        if program is not None:
-            programs[program_id] = program
-        return ExecutionRequest(
-            circuit=None,
-            operator=operators[operator_id],
-            initial_state=initial_state,
-            initial_bitstring=bitstring,
-            program=programs[program_id],
-            parameters=parameters,
-        )
-    return ExecutionRequest(
-        circuit=payload,
-        operator=operators[operator_id],
-        initial_state=initial_state,
-        initial_bitstring=bitstring,
-    )
+@dataclass
+class _Worker:
+    """Parent-side handle of one pool slot (endpoint generations come and go)."""
 
+    index: int
+    endpoint: WorkerEndpoint | None = None
+    #: Program ids already pickled to the *current* endpoint (its cache
+    #: mirror; reset on respawn — a fresh worker has cold caches).
+    shipped: set[int] = field(default_factory=set)
+    #: Operator ids already pickled to the current endpoint.
+    shipped_operators: set[int] = field(default_factory=set)
+    #: Endpoints spawned for this slot so far (respawns = generation - 1).
+    generation: int = 0
+    #: Shard dispatches sent to this slot.
+    dispatches: int = 0
+    #: Cumulative seconds spent waiting on this slot's replies.
+    latency_s: float = 0.0
 
-def _worker_main(connection, inner_factory: Callable[[], ExecutionBackend]) -> None:
-    """Worker process loop: build the inner backend once, serve shards.
-
-    The backend instance and the decoded-program cache persist for the life
-    of the worker, so every dispatch after the first reuses the warm program
-    tapes, compiled Pauli engines, and any backend-internal caches (e.g. the
-    density-matrix backend's superoperator cache).
-    """
-    backend = inner_factory()
-    programs: dict[int, object] = {}
-    operators: dict[int, object] = {}
-    while True:
-        try:
-            message = connection.recv()
-        except (EOFError, OSError):
-            break
-        if message[0] == "close":
-            break
-        _, job_id, encoded_requests, need_states = message
-        try:
-            requests = [
-                _decode_request(item, programs, operators)
-                for item in encoded_requests
-            ]
-            results = backend.run_batch(requests, need_states=need_states)
-            # term_basis is derivable parent-side from each request's
-            # operator (the contract pins it to the operator's term order),
-            # so strip it from the reply — for a 100+-term operator it would
-            # otherwise re-pickle every PauliString per request per round,
-            # defeating the once-per-worker shipping of the request leg.
-            reply = ("ok", job_id, [replace(r, term_basis=()) for r in results])
-        except Exception:
-            reply = ("error", job_id, traceback.format_exc())
-        try:
-            connection.send(reply)
-        except (BrokenPipeError, OSError):  # parent went away; nothing to do
-            break
-    connection.close()
+    @property
+    def respawns(self) -> int:
+        return max(self.generation - 1, 0)
 
 
 @dataclass
-class _Worker:
-    """Parent-side handle of one pool member."""
+class _Shard:
+    """One worker slot's share of a batch, with its retry state."""
 
-    process: object
-    connection: object
-    #: Program ids already pickled to this worker (its cache mirror).
-    shipped: set[int] = field(default_factory=set)
-    #: Operator ids already pickled to this worker.
-    shipped_operators: set[int] = field(default_factory=set)
+    worker: int
+    indices: list[int]
+    attempts: int = 0
 
 
 class ParallelBackend(ExecutionBackend):
@@ -230,8 +187,24 @@ class ParallelBackend(ExecutionBackend):
             under the default ``fork`` start method any callable works.
         workers: Pool size (≥ 1; default: one per CPU).  ``workers=1`` is the
             exact degenerate case — same results, one worker process.
-        start_method: ``multiprocessing`` start method (default: ``"fork"``
-            where available, else ``"spawn"``).
+        start_method: ``multiprocessing`` start method for the default
+            :class:`~repro.quantum.transport.LocalProcessTransport` (default:
+            ``"fork"`` where available, else ``"spawn"``).  Ignored when an
+            explicit ``transport`` is given.
+        transport: The :class:`~repro.quantum.transport.WorkerTransport`
+            endpoints spawn through (default: local processes).  Tests inject
+            deterministic faults by wrapping it in a
+            :class:`~repro.quantum.transport.FaultInjectingTransport`.
+        worker_timeout_s: Deadline for each shard reply (> 0 when set).
+            ``None`` (default) blocks indefinitely — bit-for-bit the
+            pre-deadline behavior; a value converts a hung worker into a
+            reap-respawn-reroute event within that many seconds per wait.
+        max_shard_retries: How many times a failed shard is re-dispatched to
+            a respawned worker before its requests fall back to in-process
+            execution (default 2; 0 disables rerouting).
+        retry_backoff_s: Base of the exponential backoff between retry
+            attempts (default 0.05; attempt ``k`` sleeps ``base * 2**(k-1)``
+            seconds).  Keep 0 in deterministic-schedule tests.
 
     The pool spawns lazily on the first ``run_batch`` and must be released
     with :meth:`close` (or by using the backend as a context manager); the
@@ -245,10 +218,20 @@ class ParallelBackend(ExecutionBackend):
         *,
         workers: int | None = None,
         start_method: str | None = None,
+        transport: WorkerTransport | None = None,
+        worker_timeout_s: float | None = None,
+        max_shard_retries: int = 2,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         resolved = default_worker_count() if workers is None else int(workers)
         if resolved < 1:
             raise ValueError("workers must be >= 1")
+        if worker_timeout_s is not None and not worker_timeout_s > 0:
+            raise ValueError("worker_timeout_s must be > 0 when set")
+        if max_shard_retries < 0:
+            raise ValueError("max_shard_retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
         self._inner_factory = inner_factory
         #: Local template instance: serves the scheduler's capability probing
         #: (name, provides_states, noise_model) and in-process fallback.
@@ -258,15 +241,21 @@ class ParallelBackend(ExecutionBackend):
         #: ParallelBackend) may be dispatched from an executor thread while
         #: another thread calls close() — without the lock, a close landing
         #: mid-dispatch would orphan in-flight shard replies in the pipes
-        #: and desynchronise every later dispatch.  Reentrant because the
-        #: dead-worker fallback path (_mark_broken) closes from inside
-        #: run_batch.  Dispatches serialize; that cannot change results
-        #: (per-request execution is deterministic and order-independent).
+        #: and desynchronise every later dispatch.  Reentrant for historical
+        #: callers; endpoint recv itself never blocks under any *other* lock
+        #: (the transport contract), so close() always gets its turn at the
+        #: next dispatch boundary.  Dispatches serialize; that cannot change
+        #: results (per-request execution is deterministic and
+        #: order-independent).
         self._lock = threading.RLock()
         self.workers = resolved
-        self._start_method = start_method
+        self.transport = (
+            transport if transport is not None else LocalProcessTransport(start_method)
+        )
+        self.worker_timeout_s = worker_timeout_s
+        self.max_shard_retries = max_shard_retries
+        self.retry_backoff_s = retry_backoff_s
         self._pool: list[_Worker] | None = None
-        self._broken = False
         self._job_counter = 0
         #: fingerprint -> small pool-wide integer id (fingerprints are large
         #: structural tuples; only the id crosses the process boundary after
@@ -278,8 +267,18 @@ class ParallelBackend(ExecutionBackend):
         self.requests_run = 0
         #: Per-worker shard dispatches performed.
         self.shards_dispatched = 0
-        #: Batches executed in-process (pool broken or failed to start).
+        #: Batches in which at least one shard exhausted its retry budget and
+        #: executed in-process (the last resort).
         self.fallback_batches = 0
+        #: Shards that exhausted the retry budget (or were unpicklable) and
+        #: executed in-process.
+        self.fallback_shards = 0
+        #: Failed-shard re-dispatches to a respawned worker.
+        self.shard_retries = 0
+        #: Worker endpoints reaped and replaced after a wire failure.
+        self.worker_respawns = 0
+        #: Reply waits that exceeded ``worker_timeout_s`` (hung workers reaped).
+        self.deadline_timeouts = 0
         #: Times a program was pickled to some worker.
         self.programs_shipped = 0
         #: Program-path requests served from a worker's warm program cache.
@@ -324,64 +323,73 @@ class ParallelBackend(ExecutionBackend):
     # -- lifecycle --------------------------------------------------------------
 
     def _ensure_pool(self) -> list[_Worker]:
-        if self._pool is not None:
-            return self._pool
-        method = self._start_method
-        if method is None:
-            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        context = multiprocessing.get_context(method)
-        pool: list[_Worker] = []
-        try:
-            for index in range(self.workers):
-                parent_end, child_end = context.Pipe()
-                process = context.Process(
-                    target=_worker_main,
-                    args=(child_end, self._inner_factory),
-                    name=f"repro-exec-worker-{index}",
-                    daemon=True,
-                )
-                process.start()
-                child_end.close()
-                pool.append(_Worker(process=process, connection=parent_end))
-        except Exception:
-            for worker in pool:
-                worker.connection.close()
-                worker.process.terminate()
-            raise
-        self._pool = pool
-        return pool
+        """The slot table (endpoints spawn lazily, per slot, at dispatch)."""
+        if self._pool is None:
+            self._pool = [_Worker(index=index) for index in range(self.workers)]
+        return self._pool
+
+    def _ensure_endpoint(self, worker: _Worker) -> WorkerEndpoint:
+        """The slot's live endpoint, (re)spawning through the transport.
+
+        Raises :class:`~repro.quantum.transport.TransportError` when the
+        spawn itself fails — the caller treats that like any other wire
+        failure of the shard headed for this slot.
+        """
+        if worker.endpoint is not None and worker.endpoint.alive():
+            return worker.endpoint
+        if worker.endpoint is not None:
+            # The health check caught a worker that died *between* dispatches
+            # (no shard was in flight, so nothing needs rerouting) — respawn
+            # it here, but say so: silent worker churn would hide e.g. an
+            # OOM-killer picking workers off one by one.
+            warnings.warn(
+                f"worker {worker.index} died between dispatches "
+                f"(exit code {worker.endpoint.exitcode}); respawning it "
+                "(results are unaffected — the pool had no shard in flight)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._retire_endpoint(worker)
+        endpoint = self.transport.spawn(worker.index, self._inner_factory)
+        worker.endpoint = endpoint
+        worker.generation += 1
+        if worker.generation > 1:
+            self.worker_respawns += 1
+        return endpoint
+
+    def _retire_endpoint(self, worker: _Worker) -> None:
+        """Reap a distrusted endpoint and forget its warm-cache mirror.
+
+        Any stale reply in its pipe dies with it — the one way a rerouted
+        dispatch could ever desynchronise is reading a previous generation's
+        reply, so a failed endpoint is never read again.
+        """
+        if worker.endpoint is not None:
+            worker.endpoint.kill()
+            worker.endpoint = None
+        worker.shipped.clear()
+        worker.shipped_operators.clear()
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent).
 
         A later ``run_batch`` lazily respawns a fresh pool, so a closed
-        backend remains usable — including after a worker crash marked the
-        pool broken; the program-shipping bookkeeping restarts with it.
-        Thread-safe: a close racing an in-flight dispatch waits for the
-        dispatch to finish rather than reaping the pool under it.
+        backend remains usable.  Thread-safe: a close racing an in-flight
+        dispatch waits for the dispatch to finish rather than reaping the
+        pool under it.  Endpoint close escalates SIGTERM → SIGKILL, so no
+        worker — not even one ignoring signals — outlives the pool.
         """
         with self._lock:
             self._close_locked()
 
     def _close_locked(self) -> None:
-        self._broken = False
         pool, self._pool = self._pool, None
         if not pool:
             return
         for worker in pool:
-            try:
-                worker.connection.send(("close",))
-            except (BrokenPipeError, OSError):
-                pass
-        for worker in pool:
-            try:
-                worker.connection.close()
-            except OSError:
-                pass
-            worker.process.join(timeout=5.0)
-            if worker.process.is_alive():
-                worker.process.terminate()
-                worker.process.join(timeout=1.0)
+            if worker.endpoint is not None:
+                worker.endpoint.close()
+                worker.endpoint = None
 
     def __enter__(self) -> "ParallelBackend":
         return self
@@ -436,8 +444,9 @@ class ParallelBackend(ExecutionBackend):
         """Execute ``requests`` across the pool; results in request order.
 
         See :meth:`ExecutionBackend.run_batch` for the contract.  Worker-side
-        request failures raise :class:`ParallelExecutionError`; a dead worker
-        process triggers the documented warn-and-fall-back-in-process path.
+        request failures raise :class:`ParallelExecutionError`; endpoint
+        failures degrade only their own shard (respawn + reroute, in-process
+        as the last resort) per the module-level failure semantics.
         Dispatches from different threads serialize under the lifecycle lock
         (the wire protocol is strictly request/reply per worker), so a shared
         pool can serve multiple driver threads safely.
@@ -453,61 +462,106 @@ class ParallelBackend(ExecutionBackend):
         self.requests_run += len(requests)
         if not requests:
             return []
-        if self._broken:
-            return self._run_in_process(requests, need_states)
-        try:
-            pool = self._ensure_pool()
-        except Exception as error:
-            self._mark_broken(f"worker pool failed to start ({error!r})")
-            return self._run_in_process(requests, need_states)
-        jobs: list[tuple[_Worker, list[int], int]] = []
-        try:
-            # The send phase catches *any* exception (an unpicklable payload
-            # raises TypeError/PicklingError from connection.send, not an
-            # OSError): once a shard has been dispatched, bailing out without
-            # tearing the pool down would leave its un-read reply in the pipe
-            # and desynchronise every later dispatch.  _mark_broken reaps the
-            # pool, so the documented warn-and-fall-back semantics hold for
-            # this failure mode too.
-            operator_keys: dict[int, tuple] = {}
-            for worker_index, indices in enumerate(self._shards(requests)):
-                if not indices:
+        pool = self._ensure_pool()
+        results: list[BackendResult | None] = [None] * len(requests)
+        operator_keys: dict[int, tuple] = {}
+        #: First worker-side request error (deterministic; raised after every
+        #: in-flight reply is settled so no pipe holds an unread reply).
+        failure: str | None = None
+        #: Request indices whose shard exhausted the retry budget (or was
+        #: unpicklable) — the in-process last resort, executed at the end.
+        fallback_indices: list[int] = []
+        pending = [
+            _Shard(worker=worker_index, indices=indices)
+            for worker_index, indices in enumerate(self._shards(requests))
+            if indices
+        ]
+        while pending:
+            dispatched: list[tuple[_Shard, _Worker, int]] = []
+            failed: list[tuple[_Shard, str]] = []
+            for shard in pending:
+                worker = pool[shard.worker]
+                try:
+                    endpoint = self._ensure_endpoint(worker)
+                except TransportError as error:
+                    failed.append((shard, str(error)))
                     continue
-                worker = pool[worker_index]
-                encoded = [
-                    self._encode(requests[i], worker, operator_keys) for i in indices
-                ]
-                job_id = self._job_counter
-                self._job_counter += 1
-                worker.connection.send(("run", job_id, encoded, need_states))
-                jobs.append((worker, indices, job_id))
-                self.shards_dispatched += 1
-        except Exception as error:
-            if isinstance(error, (BrokenPipeError, EOFError, ConnectionError, OSError)):
-                reason = self._crash_diagnosis(error)
-            else:
-                reason = f"shard dispatch failed ({error!r})"
-            self._mark_broken(reason)
-            return self._run_in_process(requests, need_states)
-        try:
-            results: list[BackendResult | None] = [None] * len(requests)
-            # Every dispatched shard's reply is collected before any error is
-            # raised: leaving a pending reply in a pipe would desynchronise
-            # the next dispatch (and read like a dead worker).  The pool
-            # survives request-level errors intact.
-            failure: str | None = None
-            for worker, indices, job_id in jobs:
-                reply = worker.connection.recv()
-                kind, reply_job = reply[0], reply[1]
-                if reply_job != job_id:  # pragma: no cover - protocol guard
-                    raise BrokenPipeError(
-                        f"worker replied to job {reply_job}, expected {job_id}"
+                # Snapshot the shipped-id mirrors *after* any respawn:
+                # encoding mutates them optimistically, and a send that never
+                # lands must not leave the parent believing the worker holds
+                # programs it was never given.
+                shipped_before = set(worker.shipped)
+                operators_before = set(worker.shipped_operators)
+                try:
+                    encoded = [
+                        self._encode(requests[i], worker, operator_keys)
+                        for i in shard.indices
+                    ]
+                    job_id = self._job_counter
+                    self._job_counter += 1
+                    endpoint.send(("run", job_id, encoded, need_states))
+                except TransportError as error:
+                    # The endpoint is retired below, which clears the mirrors
+                    # wholesale — no rollback needed here.
+                    failed.append((shard, str(error)))
+                    continue
+                except Exception as error:
+                    # Deterministic payload problem (an unpicklable request):
+                    # pickling fails before any bytes hit the pipe, so the
+                    # worker stays healthy — but a fresh worker would fail
+                    # identically, so this shard skips retries entirely.
+                    worker.shipped = shipped_before
+                    worker.shipped_operators = operators_before
+                    self._warn_shard_fallback(
+                        shard, f"shard dispatch failed ({error!r})"
                     )
+                    fallback_indices.extend(shard.indices)
+                    continue
+                worker.dispatches += 1
+                self.shards_dispatched += 1
+                dispatched.append((shard, worker, job_id))
+            for shard, worker, job_id in dispatched:
+                started = time.perf_counter()
+                payload: list[BackendResult] = []
+                try:
+                    reply = worker.endpoint.recv(timeout_s=self.worker_timeout_s)
+                    kind = reply[0] if isinstance(reply, tuple) and reply else None
+                    if kind == "ok":
+                        _, reply_job, payload = reply
+                        if reply_job != job_id or len(payload) != len(shard.indices):
+                            raise TransportError(
+                                f"worker {shard.worker} replied to job "
+                                f"{reply_job!r} with {len(payload)} result(s), "
+                                f"expected job {job_id} with "
+                                f"{len(shard.indices)} — garbled or stale reply"
+                            )
+                    elif kind == "error":
+                        if reply[1] != job_id:
+                            raise TransportError(
+                                f"worker {shard.worker} replied to job "
+                                f"{reply[1]!r}, expected {job_id} — garbled or "
+                                "stale reply"
+                            )
+                    else:
+                        raise TransportError(
+                            f"worker {shard.worker} sent an unintelligible "
+                            f"reply of kind {kind!r}"
+                        )
+                except DeadlineExceeded as error:
+                    worker.latency_s += time.perf_counter() - started
+                    self.deadline_timeouts += 1
+                    failed.append((shard, str(error)))
+                    continue
+                except TransportError as error:
+                    worker.latency_s += time.perf_counter() - started
+                    failed.append((shard, str(error)))
+                    continue
+                worker.latency_s += time.perf_counter() - started
                 if kind == "error":
                     if failure is None:
                         failure = reply[2]
                     continue
-                for index, result in zip(indices, reply[2]):
+                for index, result in zip(shard.indices, payload):
                     if result.state is not None:
                         self.states_shipped += 1
                     # Tags and term bases never cross the boundary back:
@@ -522,15 +576,59 @@ class ParallelBackend(ExecutionBackend):
                         tag=request.tag,
                         term_basis=compiled_pauli_operator(request.operator).paulis,
                     )
-            if failure is not None:
-                raise ParallelExecutionError(
-                    "execution request failed in a worker process; "
-                    "worker traceback:\n" + failure
+            pending = []
+            for shard, reason in failed:
+                # The endpoint is no longer trusted (dead, hung, or holding a
+                # stale reply): reap it now so the slot respawns fresh on the
+                # next attempt — this batch's or a later one's.  Healthy
+                # workers' completed replies above are unaffected.
+                self._retire_endpoint(pool[shard.worker])
+                shard.attempts += 1
+                if shard.attempts > self.max_shard_retries:
+                    self._warn_shard_fallback(
+                        shard,
+                        f"retry budget exhausted after {shard.attempts} "
+                        f"attempt(s) ({reason})",
+                    )
+                    fallback_indices.extend(shard.indices)
+                    continue
+                self.shard_retries += 1
+                warnings.warn(
+                    f"{reason}; respawning worker {shard.worker} and rerouting "
+                    f"its {len(shard.indices)}-request shard (attempt "
+                    f"{shard.attempts + 1}/{self.max_shard_retries + 1}; "
+                    "results are unaffected — rerouted and original execution "
+                    "are bit-identical)",
+                    RuntimeWarning,
+                    stacklevel=4,
                 )
-            return results  # type: ignore[return-value]
-        except (BrokenPipeError, EOFError, ConnectionError, OSError) as error:
-            self._mark_broken(self._crash_diagnosis(error))
-            return self._run_in_process(requests, need_states)
+                if self.retry_backoff_s:
+                    time.sleep(self.retry_backoff_s * 2 ** (shard.attempts - 1))
+                pending.append(shard)
+        if fallback_indices:
+            self.fallback_batches += 1
+            order = sorted(fallback_indices)
+            in_process = self._inner.run_batch(
+                [requests[i] for i in order], need_states=need_states
+            )
+            for index, result in zip(order, in_process):
+                results[index] = result
+        if failure is not None:
+            raise ParallelExecutionError(
+                "execution request failed in a worker process; "
+                "worker traceback:\n" + failure
+            )
+        return results  # type: ignore[return-value]
+
+    def _warn_shard_fallback(self, shard: _Shard, reason: str) -> None:
+        self.fallback_shards += 1
+        warnings.warn(
+            f"{reason}; executing the {len(shard.indices)}-request shard of "
+            f"worker {shard.worker} in-process (results are unaffected — "
+            "parallel and in-process execution are bit-identical)",
+            RuntimeWarning,
+            stacklevel=4,
+        )
 
     def _encode(
         self, request: ExecutionRequest, worker: _Worker, operator_keys: dict[int, tuple]
@@ -556,7 +654,7 @@ class ParallelBackend(ExecutionBackend):
             operator_ref = (operator_id, request.operator)
         initial = None if request.initial_state is None else request.initial_state.data
         if request.program is None:
-            return (_CIRCUIT, request.circuit, operator_ref, initial, request.initial_bitstring)
+            return (CIRCUIT_KIND, request.circuit, operator_ref, initial, request.initial_bitstring)
         program_id = self._program_ids.setdefault(
             request.program.fingerprint, len(self._program_ids)
         )
@@ -568,69 +666,61 @@ class ParallelBackend(ExecutionBackend):
             self.programs_shipped += 1
             program = request.program
         return (
-            _PROGRAM,
+            PROGRAM_KIND,
             (program_id, program, request.parameters),
             operator_ref,
             initial,
             request.initial_bitstring,
         )
 
-    def _crash_diagnosis(self, error: Exception) -> str:
-        """Actionable description of a dead-worker event."""
-        exit_codes = [
-            worker.process.exitcode
-            for worker in (self._pool or [])
-            if not worker.process.is_alive()
-        ]
-        detail = f"worker exit codes {exit_codes}" if exit_codes else repr(error)
-        return (
-            f"a parallel execution worker died mid-batch ({detail}); "
-            "common causes are out-of-memory kills (lower execution_workers "
-            "or max_batch_size) and crashed native code"
-        )
-
-    def _mark_broken(self, reason: str) -> None:
-        warnings.warn(
-            f"{reason}; this and subsequent batches execute in-process "
-            "(results are unaffected — parallel and in-process execution are "
-            "bit-identical); close() and re-dispatch to respawn the pool",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        # Reap the dead pool first: close() clears the broken flag (it is
-        # the documented recovery path), so mark broken afterwards.
-        self.close()
-        self._broken = True
-
-    def _run_in_process(
-        self, requests: list[ExecutionRequest], need_states: bool
-    ) -> list[BackendResult]:
-        self.fallback_batches += 1
-        return self._inner.run_batch(requests, need_states=need_states)
-
     # -- observability ----------------------------------------------------------
 
-    def worker_cache_stats(self) -> dict[str, int]:
-        """Worker-pool program-cache warmup statistics for this backend.
+    def worker_cache_stats(self) -> dict:
+        """Worker-pool cache-warmth and fault-tolerance statistics.
 
         ``programs_shipped`` counts program pickles across the pool (at most
-        one per distinct structure per worker per pool lifetime);
+        one per distinct structure per worker per endpoint generation);
         ``program_reuses`` counts program-path requests served from a warm
-        worker cache.  Folded into controller result metadata under
-        ``metadata["program_cache"]["workers"]``.
+        worker cache.  ``shard_retries`` / ``worker_respawns`` /
+        ``deadline_timeouts`` / ``fallback_shards`` count the fault-handling
+        events of the shard-granular failure semantics, and ``per_worker``
+        breaks dispatches, cumulative reply latency, and respawns down by
+        pool slot.  Folded into controller result metadata under
+        ``metadata["program_cache"]["workers"]`` (and surfaced as
+        ``metadata["transport"]`` when any fault-handling event fired).
         """
+        pool = self._pool or []
         return {
             "workers": self.workers,
+            "transport": self.transport.name,
             "shards_dispatched": self.shards_dispatched,
             "programs_shipped": self.programs_shipped,
             "program_reuses": self.program_reuses,
             "states_shipped": self.states_shipped,
             "fallback_batches": self.fallback_batches,
+            "fallback_shards": self.fallback_shards,
+            "shard_retries": self.shard_retries,
+            "worker_respawns": self.worker_respawns,
+            "deadline_timeouts": self.deadline_timeouts,
+            "per_worker": [
+                {
+                    "worker": worker.index,
+                    "dispatches": worker.dispatches,
+                    "latency_s": worker.latency_s,
+                    "respawns": worker.respawns,
+                }
+                for worker in pool
+            ],
         }
 
     def __repr__(self) -> str:
-        state = "broken" if self._broken else ("live" if self._pool else "idle")
+        live = sum(
+            1
+            for worker in (self._pool or [])
+            if worker.endpoint is not None and worker.endpoint.alive()
+        )
+        state = f"live={live}" if self._pool is not None else "idle"
         return (
             f"ParallelBackend(inner={self._inner.name!r}, workers={self.workers}, "
-            f"pool={state})"
+            f"transport={self.transport.name!r}, pool={state})"
         )

@@ -1,0 +1,535 @@
+"""Worker transport: the wire protocol of multi-process execution, behind an
+interface.
+
+:class:`~repro.quantum.parallel.ParallelBackend` used to own its pipes and
+processes directly, which welded three separable concerns together: *how* a
+worker is reached (spawn a local process over a duplex pipe), *what* travels
+over the wire (the encoded-request / reply protocol), and *what happens when
+the wire fails* (retry, reroute, fall back).  This module extracts the first
+two behind two small interfaces so the third can be reasoned about — and
+tested — independently of any real process:
+
+* :class:`WorkerEndpoint` — one spawned worker: ``send`` a protocol message,
+  ``recv`` a reply with an optional deadline, ``alive`` health check,
+  ``kill`` for immediate reaping, ``close`` for graceful shutdown (with
+  SIGKILL escalation, so no zombie outlives the pool).
+* :class:`WorkerTransport` — an endpoint factory: ``spawn(index,
+  inner_factory)``.  :class:`LocalProcessTransport` is the default and
+  preserves the pre-extraction behavior bit-for-bit; a TCP/RPC transport to
+  remote machines would implement the same five methods.
+* :class:`FaultInjectingTransport` — a wrapper transport that injects faults
+  *deterministically by schedule* (crash before/after a send, hang on a
+  recv, garbled reply, slow reply, spawn failure), so the dispatch loop's
+  failure handling is exercised by exhaustive fault matrices instead of
+  hand-timed ``kill()`` races.
+
+Failure taxonomy
+----------------
+Endpoints translate every wire-level failure into :class:`TransportError`
+(with :class:`DeadlineExceeded` as the reaped-a-hung-worker subclass), which
+is the *retryable* category: the dispatcher may respawn the endpoint and
+reroute the shard, because the failure says nothing about the requests
+themselves.  Everything else — a pickling error from an unserializable
+payload, a worker-side ``("error", ...)`` reply — propagates untranslated:
+those are deterministic properties of the payload, and retrying them on a
+fresh worker would fail identically.
+
+Locking contract (enforced by reprolint REPRO003)
+-------------------------------------------------
+Transport implementations must never hold a lifecycle lock across a blocking
+``recv``: a hung worker would then deadlock ``close()`` / health checks from
+other threads, turning a degraded shard into a stuck process.  Deadlines are
+implemented with ``poll(timeout)`` *outside* any lock; serialization of
+whole dispatches belongs to the caller (:class:`ParallelBackend`'s lock),
+never to the endpoint.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from .backend import ExecutionBackend, ExecutionRequest
+from .statevector import Statevector
+
+__all__ = [
+    "DeadlineExceeded",
+    "Fault",
+    "FaultInjectingTransport",
+    "LocalProcessTransport",
+    "TransportError",
+    "WorkerEndpoint",
+    "WorkerTransport",
+]
+
+
+class TransportError(RuntimeError):
+    """A worker endpoint failed at the wire level (died, unreachable,
+    protocol violation).  Retryable: says nothing about the requests
+    themselves, so the dispatcher may respawn the endpoint and reroute."""
+
+
+class DeadlineExceeded(TransportError):
+    """No reply arrived within the configured deadline — the worker is hung
+    (or too slow to trust) and should be reaped and replaced."""
+
+
+# -- wire protocol ----------------------------------------------------------------
+#
+# Parent -> worker:  ("run", job_id, [encoded request, ...], need_states)
+#                    ("close",)
+# Worker -> parent:  ("ok", job_id, [BackendResult, ...])
+#                    ("error", job_id, formatted_traceback)
+#
+# Requests are encoded rather than pickled verbatim so the expensive,
+# reusable parts — the compiled CircuitProgram and the measured PauliOperator
+# (hundreds of terms for molecular workloads, identical across a cluster's
+# requests and rounds) — cross the boundary once per worker (later dispatches
+# carry only a small integer id), and so per-request extras that need not
+# cross (tags, memoised resolved circuits) stay behind.  The parent-side
+# encoder (and its per-worker shipped-id bookkeeping) lives in
+# :mod:`repro.quantum.parallel`; the decode side below runs in the worker.
+
+#: Encoded-request kind markers.
+PROGRAM_KIND = "p"
+CIRCUIT_KIND = "c"
+
+
+def decode_request(
+    encoded: tuple, programs: dict[int, object], operators: dict[int, object]
+) -> ExecutionRequest:
+    """Rebuild an :class:`ExecutionRequest` on the worker side, caching newly
+    shipped programs/operators (the worker's warm caches)."""
+    kind, payload, operator_ref, initial, bitstring = encoded
+    operator_id, operator = operator_ref
+    if operator is not None:
+        operators[operator_id] = operator
+    initial_state = None if initial is None else Statevector(initial)
+    if kind == PROGRAM_KIND:
+        program_id, program, parameters = payload
+        if program is not None:
+            programs[program_id] = program
+        return ExecutionRequest(
+            circuit=None,
+            operator=operators[operator_id],
+            initial_state=initial_state,
+            initial_bitstring=bitstring,
+            program=programs[program_id],
+            parameters=parameters,
+        )
+    return ExecutionRequest(
+        circuit=payload,
+        operator=operators[operator_id],
+        initial_state=initial_state,
+        initial_bitstring=bitstring,
+    )
+
+
+def worker_main(connection, inner_factory: Callable[[], ExecutionBackend]) -> None:
+    """Worker process loop: build the inner backend once, serve shards.
+
+    The backend instance and the decoded-program cache persist for the life
+    of the worker, so every dispatch after the first reuses the warm program
+    tapes, compiled Pauli engines, and any backend-internal caches (e.g. the
+    density-matrix backend's superoperator cache).
+    """
+    # Deferred: BackendResult/replace are only needed to strip replies, and
+    # importing here keeps the module import graph identical for both sides.
+    from dataclasses import replace
+
+    backend = inner_factory()
+    programs: dict[int, object] = {}
+    operators: dict[int, object] = {}
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] == "close":
+            break
+        _, job_id, encoded_requests, need_states = message
+        try:
+            requests = [
+                decode_request(item, programs, operators)
+                for item in encoded_requests
+            ]
+            results = backend.run_batch(requests, need_states=need_states)
+            # term_basis is derivable parent-side from each request's
+            # operator (the contract pins it to the operator's term order),
+            # so strip it from the reply — for a 100+-term operator it would
+            # otherwise re-pickle every PauliString per request per round,
+            # defeating the once-per-worker shipping of the request leg.
+            reply = ("ok", job_id, [replace(r, term_basis=()) for r in results])
+        except Exception:
+            reply = ("error", job_id, traceback.format_exc())
+        try:
+            connection.send(reply)
+        except (BrokenPipeError, OSError):  # parent went away; nothing to do
+            break
+    connection.close()
+
+
+# -- the interface ----------------------------------------------------------------
+
+
+class WorkerEndpoint:
+    """One spawned worker, reachable over some wire.
+
+    Implementations translate wire-level failures into
+    :class:`TransportError` / :class:`DeadlineExceeded` and let payload-level
+    exceptions (pickling errors) propagate untranslated — the dispatcher
+    keys retry-vs-fallback decisions off that distinction.
+    """
+
+    def send(self, message: tuple) -> None:
+        """Ship one protocol message; raises :class:`TransportError` when the
+        worker is unreachable."""
+        raise NotImplementedError
+
+    def recv(self, timeout_s: float | None = None) -> tuple:
+        """Receive the next reply, waiting at most ``timeout_s`` seconds
+        (``None`` blocks indefinitely — the pre-deadline behavior).  Raises
+        :class:`DeadlineExceeded` on timeout, :class:`TransportError` when
+        the worker died mid-reply."""
+        raise NotImplementedError
+
+    def alive(self) -> bool:
+        """Health check: can this endpoint still be dispatched to?"""
+        raise NotImplementedError
+
+    def kill(self) -> None:
+        """Immediately reap the worker (no graceful close message); used when
+        the wire state is no longer trusted — a hung, garbled, or crashed
+        endpoint may hold a stale reply that must never be read."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Graceful shutdown: ask the worker to exit, then escalate until the
+        process is provably gone (no zombie may outlive the pool)."""
+        raise NotImplementedError
+
+    @property
+    def exitcode(self) -> int | None:
+        """The worker's exit code once dead (``None`` while alive); used for
+        crash diagnostics only."""
+        return None
+
+
+class WorkerTransport:
+    """Endpoint factory: everything the dispatcher needs to (re)build a pool."""
+
+    #: Human-readable transport name for diagnostics.
+    name = "abstract"
+
+    def spawn(
+        self, index: int, inner_factory: Callable[[], ExecutionBackend]
+    ) -> WorkerEndpoint:
+        """Spawn worker ``index`` and return its endpoint.  Raises
+        :class:`TransportError` when the worker cannot be brought up (the
+        dispatcher treats that like any other retryable wire failure)."""
+        raise NotImplementedError
+
+
+# -- the default implementation: local processes over pipes ------------------------
+
+
+class LocalProcessEndpoint(WorkerEndpoint):
+    """A daemonic local process served over a duplex pipe (the PR 5 wire)."""
+
+    #: Grace periods of the close() escalation ladder (close message →
+    #: SIGTERM → SIGKILL); class attributes so tests can shorten them.
+    _GRACEFUL_JOIN_S = 5.0
+    _TERMINATE_JOIN_S = 1.0
+
+    def __init__(self, process, connection) -> None:
+        self._process = process
+        self._connection = connection
+        self._closed = False
+
+    def send(self, message: tuple) -> None:
+        try:
+            self._connection.send(message)
+        except (BrokenPipeError, EOFError, ConnectionError, OSError) as error:
+            raise TransportError(self._diagnose(error)) from error
+        # Anything else (a pickling TypeError from an unserializable payload)
+        # propagates untranslated: Connection.send pickles the whole message
+        # before writing a single byte, so the pipe is still clean and the
+        # worker still healthy — a deterministic payload problem, not a wire
+        # failure.
+
+    def recv(self, timeout_s: float | None = None) -> tuple:
+        try:
+            if not self._connection.poll(timeout_s):
+                raise DeadlineExceeded(
+                    f"worker pid {self._process.pid} sent no reply within "
+                    f"{timeout_s:.3g}s (hung or overloaded); reaping it and "
+                    "rerouting its shard"
+                )
+            return self._connection.recv()
+        except DeadlineExceeded:
+            raise
+        except (EOFError, BrokenPipeError, ConnectionError, OSError) as error:
+            raise TransportError(self._diagnose(error)) from error
+
+    def alive(self) -> bool:
+        return not self._closed and self._process.is_alive()
+
+    def kill(self) -> None:
+        self._closed = True
+        try:
+            self._connection.close()
+        except OSError:
+            pass
+        if self._process.is_alive():
+            self._process.kill()
+        self._process.join()
+
+    def close(self) -> None:
+        if self._closed:
+            self.kill()  # idempotent: join() again is a no-op on a dead process
+            return
+        self._closed = True
+        try:
+            self._connection.send(("close",))
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            self._connection.close()
+        except OSError:
+            pass
+        self._process.join(timeout=self._GRACEFUL_JOIN_S)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=self._TERMINATE_JOIN_S)
+        if self._process.is_alive():
+            # SIGTERM ignored or blocked (native code, a masked handler):
+            # escalate to SIGKILL and join unconditionally — a zombie that
+            # outlives the pool would leak a process per close/respawn cycle.
+            self._process.kill()
+        self._process.join()
+
+    @property
+    def exitcode(self) -> int | None:
+        return self._process.exitcode
+
+    def _diagnose(self, error: Exception) -> str:
+        if not self._process.is_alive():
+            return (
+                f"worker pid {self._process.pid} died "
+                f"(exit code {self._process.exitcode}); common causes are "
+                "out-of-memory kills (lower execution_workers or "
+                "max_batch_size) and crashed native code"
+            )
+        return f"worker pipe failed ({error!r})"
+
+
+class LocalProcessTransport(WorkerTransport):
+    """The default transport: one daemonic process per worker, duplex pipes.
+
+    Parameters:
+        start_method: ``multiprocessing`` start method (default: ``"fork"``
+            where available, else ``"spawn"``).
+    """
+
+    name = "local-process"
+
+    def __init__(self, start_method: str | None = None) -> None:
+        self._start_method = start_method
+
+    def spawn(
+        self, index: int, inner_factory: Callable[[], ExecutionBackend]
+    ) -> WorkerEndpoint:
+        method = self._start_method
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        try:
+            context = multiprocessing.get_context(method)
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=worker_main,
+                args=(child_end, inner_factory),
+                name=f"repro-exec-worker-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+        except Exception as error:
+            raise TransportError(f"worker {index} failed to spawn ({error!r})") from error
+        return LocalProcessEndpoint(process, parent_end)
+
+
+# -- deterministic fault injection -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault on one worker slot.
+
+    ``nth`` is the 1-based occurrence of ``op`` on that slot, counted across
+    endpoint generations (a respawned worker continues its slot's count), so
+    "crash worker 0's second send" is a stable coordinate no matter how the
+    dispatcher reacts.  ``every`` repeats the fault periodically from ``nth``
+    onward (``nth=1, every=2`` fires on occurrences 1, 3, 5, ...).
+
+    Kinds by op:
+
+    * ``op="spawn"`` — ``"crash"``: the spawn itself fails.
+    * ``op="send"`` — ``"crash_before_send"``: the worker dies before the
+      message lands (send raises); ``"crash_after_send"``: the worker
+      receives the shard but dies before replying (send succeeds, the next
+      recv fails).
+    * ``op="recv"`` — ``"hang"``: no reply ever arrives (recv blocks the
+      full deadline, then raises :class:`DeadlineExceeded`); ``"crash"``:
+      the worker dies mid-reply; ``"garbled"``: a structurally invalid reply
+      with a mismatched job id is delivered; ``"slow"``: the real reply
+      arrives after ``delay_s`` extra seconds.
+    """
+
+    worker: int
+    op: str
+    kind: str
+    nth: int = 1
+    every: int | None = None
+    delay_s: float = 0.0
+
+    _KINDS = {
+        "spawn": ("crash",),
+        "send": ("crash_before_send", "crash_after_send"),
+        "recv": ("hang", "crash", "garbled", "slow"),
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._KINDS:
+            raise ValueError(f"unknown fault op {self.op!r}; choose from {sorted(self._KINDS)}")
+        if self.kind not in self._KINDS[self.op]:
+            raise ValueError(
+                f"fault kind {self.kind!r} is invalid for op {self.op!r}; "
+                f"choose from {self._KINDS[self.op]}"
+            )
+        if self.nth < 1:
+            raise ValueError("nth is 1-based and must be >= 1")
+        if self.every is not None and self.every < 1:
+            raise ValueError("every must be >= 1 when set")
+
+    def fires_at(self, count: int) -> bool:
+        """Whether this fault fires on the ``count``-th occurrence of its op."""
+        if count == self.nth:
+            return True
+        if self.every is None:
+            return False
+        return count > self.nth and (count - self.nth) % self.every == 0
+
+
+class FaultInjectingTransport(WorkerTransport):
+    """Wrap a real transport and inject faults deterministically by schedule.
+
+    The wrapped transport does all real work — spawned workers are real and
+    healthy paths are bit-identical to the inner transport — while scheduled
+    operations are sabotaged at the exact (worker, op, occurrence)
+    coordinates of the :class:`Fault` list.  ``injected`` logs every fired
+    fault as ``(worker, op, kind, occurrence)`` so tests can assert the
+    schedule actually executed.
+    """
+
+    def __init__(self, inner: WorkerTransport, faults: Sequence[Fault]) -> None:
+        self._inner = inner
+        self._faults = list(faults)
+        self._counts: dict[tuple[int, str], int] = {}
+        self.injected: list[tuple[int, str, str, int]] = []
+        self.name = f"fault-injecting({inner.name})"
+
+    def _next(self, worker: int, op: str) -> Fault | None:
+        """Advance the (worker, op) occurrence counter; the firing fault, if any."""
+        count = self._counts.get((worker, op), 0) + 1
+        self._counts[(worker, op)] = count
+        for fault in self._faults:
+            if fault.worker == worker and fault.op == op and fault.fires_at(count):
+                self.injected.append((worker, op, fault.kind, count))
+                return fault
+        return None
+
+    def spawn(
+        self, index: int, inner_factory: Callable[[], ExecutionBackend]
+    ) -> WorkerEndpoint:
+        fault = self._next(index, "spawn")
+        if fault is not None:
+            raise TransportError(f"injected fault: worker {index} crashed during spawn")
+        return _FaultEndpoint(self, index, self._inner.spawn(index, inner_factory))
+
+
+class _FaultEndpoint(WorkerEndpoint):
+    """Endpoint wrapper applying the transport's send/recv fault schedule."""
+
+    def __init__(
+        self, transport: FaultInjectingTransport, index: int, inner: WorkerEndpoint
+    ) -> None:
+        self._transport = transport
+        self._index = index
+        self._inner = inner
+
+    def send(self, message: tuple) -> None:
+        fault = self._transport._next(self._index, "send")
+        if fault is not None and fault.kind == "crash_before_send":
+            # The worker dies with the message still unsent: the parent sees
+            # the send fail and nothing ever reaches the inner backend.
+            self._inner.kill()
+            raise TransportError(
+                f"injected fault: worker {self._index} crashed before send"
+            )
+        if fault is not None and fault.kind == "crash_after_send":
+            # The shard is swallowed: the worker dies after accepting the
+            # message but before executing anything, so the parent's send
+            # succeeds and its next recv finds a dead endpoint.  Killing the
+            # real process before forwarding keeps this deterministic — no
+            # race against a worker fast enough to reply first.
+            self._inner.kill()
+            return
+        self._inner.send(message)
+
+    def recv(self, timeout_s: float | None = None) -> tuple:
+        fault = self._transport._next(self._index, "recv")
+        if fault is None:
+            return self._inner.recv(timeout_s)
+        if fault.kind == "hang":
+            if timeout_s is None:
+                # Surface the would-be deadlock loudly instead of hanging the
+                # test process forever: a hang fault is only meaningful when
+                # a recv deadline (worker_timeout_s) is configured.
+                raise TransportError(
+                    f"injected fault: worker {self._index} hung on recv with no "
+                    "deadline configured — this dispatch would deadlock; set "
+                    "worker_timeout_s"
+                )
+            time.sleep(timeout_s)
+            raise DeadlineExceeded(
+                f"injected fault: worker {self._index} sent no reply within "
+                f"{timeout_s:.3g}s (hung)"
+            )
+        if fault.kind == "crash":
+            self._inner.kill()
+            raise TransportError(
+                f"injected fault: worker {self._index} crashed during recv"
+            )
+        if fault.kind == "garbled":
+            # A structurally valid tuple with an impossible job id: the
+            # dispatcher's reply validation must catch it and distrust the
+            # endpoint (its real reply, if any, is stale in the pipe).
+            return ("ok", -1, [])
+        time.sleep(fault.delay_s)  # "slow"
+        return self._inner.recv(timeout_s)
+
+    def alive(self) -> bool:
+        return self._inner.alive()
+
+    def kill(self) -> None:
+        self._inner.kill()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @property
+    def exitcode(self) -> int | None:
+        return self._inner.exitcode

@@ -83,6 +83,13 @@ class TreeVQAService:
             for compatibility.
         start_method: ``multiprocessing`` start method for the pool
             (forwarded to :class:`ParallelBackend`).
+        worker_timeout_s: Deadline in seconds for each pool shard reply
+            (forwarded to :class:`ParallelBackend`; requires ``workers``).
+            Bounds how long one hung worker can stall the service's single
+            dispatch thread — the worker is reaped, respawned, and its shard
+            rerouted within the deadline, with the respawn recorded in
+            ``stats()["backend_pool"]`` and every job's result metadata.
+            ``None`` (default) waits indefinitely.
         max_running_jobs: Concurrency cap — at most this many jobs advance
             concurrently; further submissions queue FIFO.
         max_inflight_shots: Shot-pressure cap — admission pauses while the
@@ -101,6 +108,7 @@ class TreeVQAService:
         workers: int | None = None,
         backend_factory=None,
         start_method: str | None = None,
+        worker_timeout_s: float | None = None,
         max_running_jobs: int | None = None,
         max_inflight_shots: int | None = None,
         program_cache_size: int | None = None,
@@ -112,6 +120,11 @@ class TreeVQAService:
             )
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1 when set (None executes in-process)")
+        if worker_timeout_s is not None and workers is None:
+            raise ValueError(
+                "worker_timeout_s requires workers (the deadline bounds pool "
+                "shard replies; in-process execution has none)"
+            )
         inner_factory = (
             backend_factory
             if backend_factory is not None
@@ -121,7 +134,10 @@ class TreeVQAService:
         self._check_backend_name = backend_factory is None
         if workers is not None:
             self._backend = ParallelBackend(
-                inner_factory, workers=workers, start_method=start_method
+                inner_factory,
+                workers=workers,
+                start_method=start_method,
+                worker_timeout_s=worker_timeout_s,
             )
         else:
             self._backend = inner_factory()
@@ -190,6 +206,12 @@ class TreeVQAService:
     # -- submission ---------------------------------------------------------------
 
     def _validate_config(self, config: TreeVQAConfig) -> None:
+        if config.worker_timeout_s is not None:
+            raise ServiceError(
+                "job configs must leave worker_timeout_s unset: the reply "
+                "deadline is a property of the service's shared pool (set it "
+                "via TreeVQAService(worker_timeout_s=...))"
+            )
         if config.execution_workers is not None:
             raise ServiceError(
                 "job configs must leave execution_workers unset: the service "

@@ -220,6 +220,57 @@ class TestWorkerSafety:
             """
         ) == []
 
+    TRANSPORT = "repro/quantum/transport.py"
+
+    def test_recv_under_lock_fires_in_transport_modules(self):
+        assert rules_in(
+            """
+            class Endpoint:
+                def recv_reply(self):
+                    with self._lock:
+                        return self._connection.recv()
+            """,
+            self.TRANSPORT,
+        ) == ["REPRO003"]
+
+    def test_bare_recv_call_under_lock_fires(self):
+        assert rules_in(
+            """
+            def pump(lock, recv):
+                with lock:
+                    return recv()
+            """,
+            self.TRANSPORT,
+        ) == ["REPRO003"]
+
+    def test_recv_outside_lock_is_clean_in_transport_modules(self):
+        assert rules_in(
+            """
+            class Endpoint:
+                def recv_reply(self, timeout_s):
+                    if not self._connection.poll(timeout_s):
+                        raise TimeoutError
+                    return self._connection.recv()
+
+                def close(self):
+                    with self._lock:
+                        self._closed = True
+            """,
+            self.TRANSPORT,
+        ) == []
+
+    def test_recv_under_lock_outside_transport_modules_is_not_checked(self):
+        # The invariant targets transport implementations; the dispatcher's
+        # deliberate hold-the-lock-per-dispatch design is out of scope.
+        assert rules_in(
+            """
+            class Endpoint:
+                def recv_reply(self):
+                    with self._lock:
+                        return self._connection.recv()
+            """
+        ) == []
+
 
 class TestExponentialAllocation:
     WIDE = "repro/core/fake.py"

@@ -140,11 +140,14 @@ class TestSchedulerParity:
         with RoundScheduler(backend, ExactEstimator(seed=0)) as scheduler:
             clusters = _clusters(tasks, ExactEstimator(seed=0))
             records = _run_rounds(scheduler, clusters, rounds=1)
-            backend._pool[0].process.kill()
-            with pytest.warns(RuntimeWarning, match="worker died|in-process"):
+            backend._pool[0].endpoint._process.kill()
+            # The dead slot respawns (warning) and later rounds stay fully
+            # parallel — no in-process fallback, identical records.
+            with pytest.warns(RuntimeWarning, match="respawning"):
                 records += _run_rounds(scheduler, clusters, rounds=2)
         _assert_records_identical(records, reference)
-        assert backend.fallback_batches > 0
+        assert backend.worker_respawns >= 1
+        assert backend.fallback_batches == 0
 
 
 def _controller_run(tasks, ansatz, *, workers=None, rounds=5, **config_kwargs):

@@ -6,7 +6,9 @@ merged results are **bit-identical** to the wrapped backend's own in-process
 case), for every inner backend (statevector, Clifford-routed,
 density-matrix), and for any mix of program and bound-circuit requests —
 plus the lifecycle and failure semantics (lazy spawn, close/respawn,
-worker-side errors re-raised, dead workers warn and fall back in-process).
+worker-side errors re-raised, dead workers respawned with their shards
+rerouted).  The exhaustive fault matrix lives in
+``tests/quantum/test_transport_faults.py``.
 """
 
 from __future__ import annotations
@@ -250,45 +252,42 @@ class TestLifecycleAndFailure:
             _assert_results_identical(results, reference)
             assert backend.fallback_batches == 0
 
-    def test_dead_worker_warns_and_falls_back_in_process(self):
+    def test_dead_worker_respawns_and_stays_parallel(self):
         requests = _program_requests(batch=6, seed=9)
         reference = StatevectorBackend().run_batch(requests)
         backend = ParallelBackend(StatevectorBackend, workers=2)
         try:
             backend.run_batch(requests)
-            backend._pool[0].process.kill()
+            backend._pool[0].endpoint._process.kill()
             deadline = time.monotonic() + 5.0
-            while backend._pool[0].process.is_alive() and time.monotonic() < deadline:
+            while backend._pool[0].endpoint._process.is_alive() and time.monotonic() < deadline:
                 time.sleep(0.01)
-            with pytest.warns(RuntimeWarning, match="worker died|in-process"):
+            # The health check catches the corpse before dispatch: the slot
+            # respawns (with a warning — worker churn must not be silent) and
+            # the batch stays fully parallel, no in-process fallback.
+            with pytest.warns(RuntimeWarning, match="respawning"):
                 results = backend.run_batch(requests)
             _assert_results_identical(results, reference)
-            assert backend.fallback_batches == 1
-            # Subsequent batches stay in-process, still bit-identical, and
-            # do not warn again.
+            assert backend.fallback_batches == 0
+            assert backend.worker_respawns == 1
+            assert backend._pool[0].respawns == 1
+            # Subsequent batches run clean on the healed pool.
             with warnings.catch_warnings():
                 warnings.simplefilter("error")
                 again = backend.run_batch(requests)
             _assert_results_identical(again, reference)
-            assert backend.fallback_batches == 2
-            # close() is the documented recovery path: a fresh pool respawns
-            # on the next dispatch and execution is parallel again.
-            backend.close()
-            with warnings.catch_warnings():
-                warnings.simplefilter("error")
-                recovered = backend.run_batch(requests)
-            _assert_results_identical(recovered, reference)
-            assert backend.fallback_batches == 2  # no further in-process runs
-            assert backend._pool is not None
+            assert backend.fallback_batches == 0
+            assert backend.worker_respawns == 1
+            assert all(w.endpoint.alive() for w in backend._pool)
         finally:
             backend.close()
 
-    def test_unpicklable_payload_warns_and_falls_back_in_process(self):
+    def test_unpicklable_payload_falls_back_for_its_shard_only(self):
         good = _program_requests(batch=7, seed=11)
         ansatz = HardwareEfficientAnsatz(3, num_layers=1)
         circuit = ansatz.bound_circuit(np.zeros(ansatz.num_parameters))
         # A payload that cannot cross the process boundary: the pickle error
-        # raises from connection.send mid-dispatch, after another worker
+        # raises from the endpoint send mid-dispatch, after another worker
         # already received its shard.
         circuit.not_picklable = lambda: None
         bad = ExecutionRequest(circuit, _operator(3, 5, 11), tag="bad")
@@ -299,17 +298,19 @@ class TestLifecycleAndFailure:
             with pytest.warns(RuntimeWarning, match="shard dispatch failed"):
                 results = backend.run_batch(requests)
             _assert_results_identical(results, reference)
+            # Only the unpicklable request's shard ran in-process; the other
+            # worker's replies were kept and the pool survives untouched —
+            # no respawn (the workers never saw the bad payload) and the very
+            # next batch runs clean and parallel without any close().
             assert backend.fallback_batches == 1
-            # The half-dispatched pool was reaped (its pending reply must not
-            # desynchronise anything); close() + re-dispatch recovers a
-            # parallel pool for picklable work.
-            backend.close()
+            assert backend.fallback_shards == 1
+            assert backend.worker_respawns == 0
             good_reference = StatevectorBackend().run_batch(good)
             with warnings.catch_warnings():
                 warnings.simplefilter("error")
                 recovered = backend.run_batch(good)
             _assert_results_identical(recovered, good_reference)
             assert backend.fallback_batches == 1
-            assert backend._pool is not None
+            assert all(w.endpoint.alive() for w in backend._pool)
         finally:
             backend.close()

@@ -1,0 +1,453 @@
+"""Deterministic chaos tests for the worker transport and shard rerouting.
+
+Every test injects faults through
+:class:`~repro.quantum.transport.FaultInjectingTransport` at exact
+(worker, op, occurrence) coordinates — no timing races, no flaky kills — and
+asserts the one contract that matters: **merged results are bit-identical to
+a sequential in-process run no matter which workers crash, hang, garble, or
+stall, at every worker count**.  The fault matrix covers every fault point of
+the dispatch loop (spawn, first send, Nth send, mid-recv, last recv); on top
+of it sit the self-healing, retry-budget, deadline, and zombie-reaping
+regressions, and a Hypothesis sweep over random fault schedules × batch
+shapes.
+
+The suite carries the ``chaos`` marker (CI runs it as its own fast-tier step
+with a per-test timeout, so a reintroduced deadlock fails loudly instead of
+hanging the job).
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ansatz import HardwareEfficientAnsatz
+from repro.quantum import (
+    ExecutionRequest,
+    Fault,
+    FaultInjectingTransport,
+    LocalProcessTransport,
+    ParallelBackend,
+    ParallelExecutionError,
+    PauliOperator,
+    StatevectorBackend,
+    compile_circuit_program,
+)
+from repro.quantum.transport import LocalProcessEndpoint
+
+pytestmark = [pytest.mark.chaos, pytest.mark.timeout(120)]
+
+WORKER_COUNTS = (1, 2, 4)
+
+#: Generous reply deadline: hang faults sleep exactly this long, everything
+#: else replies in milliseconds, so tests stay fast *and* never reap a
+#: healthy-but-slow worker on a loaded CI runner.
+TIMEOUT_S = 5.0
+
+
+def _operator(num_qubits: int, num_terms: int, seed: int) -> PauliOperator:
+    rng = np.random.default_rng(seed)
+    labels = set()
+    while len(labels) < num_terms:
+        labels.add("".join(rng.choice(list("IXYZ"), size=num_qubits)))
+    return PauliOperator(num_qubits, dict(zip(sorted(labels), rng.normal(size=num_terms))))
+
+
+def _requests(batch=8, seed=0, num_qubits=3, layers=2):
+    rng = np.random.default_rng(seed)
+    ansatz = HardwareEfficientAnsatz(num_qubits, num_layers=layers)
+    program = compile_circuit_program(ansatz.circuit)
+    operator = _operator(num_qubits, 6, seed)
+    return [
+        ExecutionRequest(
+            None,
+            operator,
+            initial_bitstring="0" * num_qubits,
+            tag=("req", index),
+            program=program,
+            parameters=rng.normal(0.0, 0.7, size=ansatz.num_parameters),
+        )
+        for index in range(batch)
+    ]
+
+
+def _mixed_requests(seed=1):
+    """Two program structures plus bound-circuit requests in one batch."""
+    rng = np.random.default_rng(seed)
+    shallow = HardwareEfficientAnsatz(3, num_layers=1)
+    deep = HardwareEfficientAnsatz(3, num_layers=3)
+    operator = _operator(3, 5, seed)
+    requests = []
+    for index, ansatz in enumerate((shallow, deep, shallow, deep, shallow, deep)):
+        point = rng.normal(size=ansatz.num_parameters)
+        if index % 3 == 2:
+            requests.append(
+                ExecutionRequest(ansatz.bound_circuit(point), operator, tag=index)
+            )
+        else:
+            requests.append(
+                ExecutionRequest(
+                    None,
+                    operator,
+                    tag=index,
+                    program=compile_circuit_program(ansatz.circuit),
+                    parameters=point,
+                )
+            )
+    return requests
+
+
+def _assert_results_identical(ours, reference):
+    assert len(ours) == len(reference)
+    for result, expected in zip(ours, reference):
+        np.testing.assert_array_equal(result.term_vector, expected.term_vector)
+        assert result.term_basis == expected.term_basis
+        assert result.tag == expected.tag
+
+
+def _chaos_backend(workers, faults, **kwargs):
+    transport = FaultInjectingTransport(LocalProcessTransport(), faults)
+    backend = ParallelBackend(
+        StatevectorBackend,
+        workers=workers,
+        transport=transport,
+        worker_timeout_s=kwargs.pop("worker_timeout_s", TIMEOUT_S),
+        retry_backoff_s=kwargs.pop("retry_backoff_s", 0.0),
+        **kwargs,
+    )
+    return backend, transport
+
+
+def _pool_is_fully_live(backend):
+    pool = backend._pool
+    return (
+        pool is not None
+        and len(pool) == backend.workers
+        and all(w.endpoint is not None and w.endpoint.alive() for w in pool)
+    )
+
+
+#: The fault matrix: every dispatch-loop fault point, as (name, fault
+#: builder) with the builder mapping a worker count to the Fault.  "Nth send"
+#: uses the second send occurrence on the last slot — with two batches run,
+#: that is the slot's second dispatch, exercising a crash on a warmed-up
+#: worker whose programs were already shipped.
+FAULT_POINTS = [
+    ("spawn", lambda w: Fault(worker=0, op="spawn", kind="crash")),
+    ("first-send", lambda w: Fault(worker=0, op="send", kind="crash_before_send")),
+    ("nth-send", lambda w: Fault(worker=w - 1, op="send", kind="crash_after_send", nth=2)),
+    ("mid-recv", lambda w: Fault(worker=w // 2, op="recv", kind="crash")),
+    ("last-recv", lambda w: Fault(worker=w - 1, op="recv", kind="crash")),
+]
+
+
+class TestChaosMatrix:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("point", [p[0] for p in FAULT_POINTS])
+    def test_crash_at_every_fault_point_stays_bit_identical(self, workers, point):
+        fault = dict(FAULT_POINTS)[point](workers)
+        requests = _requests(batch=2 * workers + 3, seed=7)
+        reference = StatevectorBackend().run_batch(requests)
+        backend, transport = _chaos_backend(workers, [fault])
+        try:
+            with warnings.catch_warnings():
+                # Every injected fault warns (respawn/reroute); none may
+                # escalate to an error or break the results.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                first = backend.run_batch(requests)
+                second = backend.run_batch(requests)
+            _assert_results_identical(first, reference)
+            _assert_results_identical(second, reference)
+            # The schedule actually executed.
+            assert transport.injected, f"fault {fault} never fired"
+            # Shard-level rerouting, not whole-batch fallback: the retry
+            # budget (2) covers every single-crash schedule, so the
+            # in-process last resort never fires.
+            assert backend.fallback_batches == 0
+            assert backend.fallback_shards == 0
+            assert backend.shard_retries >= 1
+            # Self-healing: the pool ends fully live, next dispatch clean.
+            assert _pool_is_fully_live(backend)
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                third = backend.run_batch(requests)
+            _assert_results_identical(third, reference)
+        finally:
+            backend.close()
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_hang_reaped_within_deadline(self, workers):
+        requests = _requests(batch=workers + 2, seed=3)
+        reference = StatevectorBackend().run_batch(requests)
+        fault = Fault(worker=0, op="recv", kind="hang")
+        backend, transport = _chaos_backend(workers, [fault], worker_timeout_s=0.5)
+        try:
+            started = time.monotonic()
+            with pytest.warns(RuntimeWarning, match="rerouting"):
+                results = backend.run_batch(requests)
+            elapsed = time.monotonic() - started
+            _assert_results_identical(results, reference)
+            assert backend.deadline_timeouts == 1
+            assert backend.shard_retries == 1
+            assert backend.fallback_batches == 0
+            # The hung worker was reaped within (roughly) one deadline: the
+            # whole batch — including the respawn and rerouted shard — ends
+            # well before a second deadline could have elapsed, instead of
+            # deadlocking forever as the pre-transport blocking recv did.
+            assert elapsed < 0.5 + TIMEOUT_S
+            assert _pool_is_fully_live(backend)
+        finally:
+            backend.close()
+
+    @pytest.mark.parametrize("workers", (2, 4))
+    def test_garbled_reply_distrusts_endpoint_and_reroutes(self, workers):
+        requests = _requests(batch=workers + 3, seed=5)
+        reference = StatevectorBackend().run_batch(requests)
+        fault = Fault(worker=workers - 1, op="recv", kind="garbled")
+        backend, transport = _chaos_backend(workers, [fault])
+        try:
+            with pytest.warns(RuntimeWarning, match="garbled"):
+                results = backend.run_batch(requests)
+            _assert_results_identical(results, reference)
+            # The endpoint's real reply was left stale in its pipe: the slot
+            # must have been respawned, never read again.
+            assert backend.worker_respawns == 1
+            assert backend.fallback_batches == 0
+            # The healed pool keeps producing clean, identical batches (a
+            # stale reply leaking into a later dispatch would break here).
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                again = backend.run_batch(requests)
+            _assert_results_identical(again, reference)
+        finally:
+            backend.close()
+
+    def test_slow_reply_within_deadline_is_not_a_fault(self):
+        requests = _requests(batch=6, seed=8)
+        reference = StatevectorBackend().run_batch(requests)
+        fault = Fault(worker=0, op="recv", kind="slow", delay_s=0.2)
+        backend, transport = _chaos_backend(2, [fault], worker_timeout_s=TIMEOUT_S)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")
+                results = backend.run_batch(requests)
+            _assert_results_identical(results, reference)
+            assert transport.injected
+            assert backend.shard_retries == 0
+            assert backend.worker_respawns == 0
+        finally:
+            backend.close()
+
+
+class TestRetryBudget:
+    def test_fallback_only_after_budget_exhausted(self):
+        requests = _requests(batch=7, seed=11)
+        reference = StatevectorBackend().run_batch(requests)
+        # Worker 0 crashes on *every* recv: attempts 1..3 all fail, the
+        # budget (2 retries) exhausts, and only then does its shard run
+        # in-process.  Worker 1's shard is untouched throughout.
+        fault = Fault(worker=0, op="recv", kind="crash", nth=1, every=1)
+        backend, transport = _chaos_backend(2, [fault], max_shard_retries=2)
+        try:
+            with pytest.warns(RuntimeWarning, match="retry budget exhausted"):
+                results = backend.run_batch(requests)
+            _assert_results_identical(results, reference)
+            assert backend.shard_retries == 2
+            assert backend.fallback_batches == 1
+            assert backend.fallback_shards == 1
+            # Three recv faults fired on slot 0 (initial attempt + 2
+            # retries; the third failure stops respawning).
+            assert len([f for f in transport.injected if f[1] == "recv"]) == 3
+        finally:
+            backend.close()
+
+    def test_zero_budget_goes_straight_to_fallback(self):
+        requests = _requests(batch=5, seed=13)
+        reference = StatevectorBackend().run_batch(requests)
+        fault = Fault(worker=0, op="recv", kind="crash")
+        backend, transport = _chaos_backend(2, [fault], max_shard_retries=0)
+        try:
+            with pytest.warns(RuntimeWarning, match="retry budget exhausted"):
+                results = backend.run_batch(requests)
+            _assert_results_identical(results, reference)
+            assert backend.shard_retries == 0
+            assert backend.fallback_batches == 1
+        finally:
+            backend.close()
+
+    def test_worker_side_errors_are_never_retried(self):
+        operator = _operator(3, 4, seed=0)
+        ansatz = HardwareEfficientAnsatz(3, num_layers=1)
+        from repro.quantum import Statevector
+
+        bad = ExecutionRequest(
+            None,
+            operator,
+            initial_state=Statevector.zero_state(4),  # width mismatch
+            program=compile_circuit_program(ansatz.circuit),
+            parameters=np.zeros(ansatz.num_parameters),
+        )
+        backend, transport = _chaos_backend(2, [])
+        try:
+            with pytest.raises(ParallelExecutionError):
+                backend.run_batch([bad] + _requests(batch=3, seed=2))
+            # Deterministic request errors must not burn retries/respawns.
+            assert backend.shard_retries == 0
+            assert backend.worker_respawns == 0
+            assert backend.fallback_batches == 0
+        finally:
+            backend.close()
+
+
+class TestFaultSchedule:
+    def test_fault_validation(self):
+        with pytest.raises(ValueError, match="unknown fault op"):
+            Fault(worker=0, op="frobnicate", kind="crash")
+        with pytest.raises(ValueError, match="invalid for op"):
+            Fault(worker=0, op="send", kind="hang")
+        with pytest.raises(ValueError, match="nth"):
+            Fault(worker=0, op="recv", kind="crash", nth=0)
+        with pytest.raises(ValueError, match="every"):
+            Fault(worker=0, op="recv", kind="crash", every=0)
+
+    def test_fires_at_periodic_schedule(self):
+        fault = Fault(worker=0, op="recv", kind="crash", nth=2, every=3)
+        fired = [count for count in range(1, 12) if fault.fires_at(count)]
+        assert fired == [2, 5, 8, 11]
+
+    def test_hang_without_deadline_raises_instead_of_deadlocking(self):
+        requests = _requests(batch=3, seed=4)
+        reference = StatevectorBackend().run_batch(requests)
+        fault = Fault(worker=0, op="recv", kind="hang")
+        backend, transport = _chaos_backend(1, [fault], worker_timeout_s=None)
+        try:
+            # The injected hang surfaces as a loud TransportError (a test
+            # hanging forever teaches nothing); the dispatcher treats it as
+            # a wire failure and heals as usual.
+            with pytest.warns(RuntimeWarning, match="deadlock|rerouting"):
+                results = backend.run_batch(requests)
+            _assert_results_identical(results, reference)
+        finally:
+            backend.close()
+
+
+class TestZombieReaping:
+    def test_close_escalates_to_sigkill_for_sigterm_ignoring_worker(self, monkeypatch):
+        monkeypatch.setattr(LocalProcessEndpoint, "_GRACEFUL_JOIN_S", 0.2)
+        monkeypatch.setattr(LocalProcessEndpoint, "_TERMINATE_JOIN_S", 0.2)
+        endpoint = LocalProcessTransport().spawn(0, _sigterm_ignoring_stuck_worker)
+        process = endpoint._process
+        # Give the worker a moment to install its SIGTERM ignore.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline and not process.is_alive():
+            time.sleep(0.01)  # pragma: no cover - spawn is effectively instant
+        time.sleep(0.3)
+        assert process.is_alive()
+        started = time.monotonic()
+        endpoint.close()
+        elapsed = time.monotonic() - started
+        # terminate() was ignored; kill() must have reaped it regardless —
+        # before the fix this left a zombie alive past close().
+        assert not process.is_alive()
+        assert process.exitcode is not None
+        assert elapsed < 5.0
+
+    def test_backend_close_reaps_sigterm_ignoring_pool(self, monkeypatch):
+        monkeypatch.setattr(LocalProcessEndpoint, "_GRACEFUL_JOIN_S", 0.2)
+        monkeypatch.setattr(LocalProcessEndpoint, "_TERMINATE_JOIN_S", 0.2)
+        backend = ParallelBackend(_SigtermIgnoringBackend, workers=2)
+        results = backend.run_batch(_requests(batch=4, seed=6))
+        assert len(results) == 4
+        processes = [w.endpoint._process for w in backend._pool]
+        assert all(p.is_alive() for p in processes)
+        backend.close()
+        assert all(not p.is_alive() for p in processes)
+        assert backend._pool is None
+
+
+# -- module-level worker payloads (picklable under the fork start method) ----------
+
+
+def _sigterm_ignoring_stuck_worker():
+    """An inner factory that ignores SIGTERM and never returns: the worker
+    neither serves the close message nor dies from terminate()."""
+    import signal
+
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    while True:
+        time.sleep(0.05)
+
+
+class _SigtermIgnoringBackend(StatevectorBackend):
+    """A functional statevector backend whose worker process shrugs off
+    SIGTERM — close() must escalate to SIGKILL to reap it."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        import signal
+
+        try:
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        except ValueError:  # pragma: no cover - parent-side template build
+            pass  # not in the main thread (the parent's template instance)
+
+
+# -- property-based sweep ----------------------------------------------------------
+
+
+@st.composite
+def _faults(draw):
+    op = draw(st.sampled_from(["spawn", "send", "recv"]))
+    kind = draw(st.sampled_from(list(Fault._KINDS[op])))
+    if kind == "slow":
+        delay = draw(st.floats(0.0, 0.05))
+    else:
+        delay = 0.0
+    return Fault(
+        worker=draw(st.integers(0, 3)),
+        op=op,
+        kind=kind,
+        nth=draw(st.integers(1, 3)),
+        every=draw(st.one_of(st.none(), st.integers(1, 2))),
+        delay_s=delay,
+    )
+
+
+class TestFaultScheduleProperties:
+    @given(
+        workers=st.sampled_from(WORKER_COUNTS),
+        faults=st.lists(_faults(), max_size=4),
+        seed=st.integers(0, 2**16),
+        mixed=st.booleans(),
+        batch=st.integers(1, 10),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_schedules_stay_bit_identical_and_bounded(
+        self, workers, faults, seed, mixed, batch
+    ):
+        requests = _mixed_requests(seed=seed) if mixed else _requests(batch=batch, seed=seed)
+        reference = StatevectorBackend().run_batch(requests)
+        backend, transport = _chaos_backend(workers, faults, worker_timeout_s=0.5)
+        try:
+            started = time.monotonic()
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                results = backend.run_batch(requests)
+                again = backend.run_batch(requests)
+            elapsed = time.monotonic() - started
+            _assert_results_identical(results, reference)
+            _assert_results_identical(again, reference)
+            # Every reply wait is bounded by the 0.5 s deadline, and the
+            # retry budget bounds attempts — so even a schedule of repeating
+            # hang faults cannot stall the dispatch beyond (attempts x
+            # deadline) per batch, far under this envelope.  A regression
+            # back to unbounded blocking recv fails here (and the chaos
+            # marker's CI timeout backstops an outright deadlock).
+            assert elapsed < 60.0
+        finally:
+            backend.close()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+import warnings
 
 import pytest
 
@@ -345,33 +346,90 @@ class TestSharedResourceLifecycle:
 
 
 class TestWorkerDeathDuringService:
-    def test_pool_worker_death_falls_back_and_stays_bit_identical(self):
+    def test_pool_worker_death_respawns_and_stays_bit_identical(self):
         reference = solo_fingerprint(4)
 
         async def scenario():
-            loop = asyncio.get_running_loop()
             async with TreeVQAService(workers=2) as service:
                 warmup = await service.submit(
                     make_tasks(), make_ansatz(), make_config(3, max_rounds=1)
                 )
                 await warmup.result()
                 # Kill one pool worker between dispatches; the next round's
-                # batch detects the death, warns, and falls back in-process.
-                victim = service.backend._pool[0].process
+                # batch detects the death, warns, respawns the slot, and
+                # stays fully parallel — no in-process fallback.
+                victim = service.backend._pool[0].endpoint._process
                 victim.kill()
                 deadline = time.monotonic() + 5.0
                 while victim.is_alive() and time.monotonic() < deadline:
                     await asyncio.sleep(0.01)
-                with pytest.warns(RuntimeWarning, match="worker died|in-process"):
+                with pytest.warns(RuntimeWarning, match="respawning"):
                     job = await service.submit(
                         make_tasks(), make_ansatz(), make_config(4)
                     )
                     result = await job.result()
-                return fingerprint(result), service.backend.fallback_batches
+                return (
+                    fingerprint(result),
+                    result.metadata.get("transport"),
+                    service.backend.fallback_batches,
+                    service.stats()["backend_pool"],
+                )
 
-        job_fingerprint, fallback_batches = asyncio.run(scenario())
+        job_fingerprint, transport_meta, fallback_batches, pool_stats = asyncio.run(
+            scenario()
+        )
         assert job_fingerprint == reference
-        assert fallback_batches >= 1
+        assert fallback_batches == 0
+        # The respawn is recorded in both the job's result metadata and the
+        # service-level pool stats.
+        assert transport_meta is not None and transport_meta["worker_respawns"] >= 1
+        assert pool_stats["worker_respawns"] >= 1
+
+    def test_worker_killed_mid_round_with_two_streaming_jobs(self):
+        reference_a = solo_fingerprint(4)
+        reference_b = solo_fingerprint(5)
+
+        async def scenario():
+            async with TreeVQAService(workers=2, worker_timeout_s=60.0) as service:
+                # The reroute/respawn warnings fire on the service's executor
+                # thread at an arbitrary point of either job's rounds; record
+                # rather than assert-match them (the counters below are the
+                # deterministic signal).
+                with warnings.catch_warnings():
+                    warnings.simplefilter("always")
+                    job_a = await service.submit(
+                        make_tasks(), make_ansatz(), make_config(4)
+                    )
+                    job_b = await service.submit(
+                        make_tasks(), make_ansatz(), make_config(5)
+                    )
+                    # Let the jobs start streaming, then kill a pool worker
+                    # mid-run while both are in flight.
+                    async for _ in job_a.updates:
+                        break
+                    assert not job_a.done and not job_b.done
+                    victim = service.backend._pool[1].endpoint._process
+                    victim.kill()
+                    result_a = await job_a.result()
+                    result_b = await job_b.result()
+                return (
+                    fingerprint(result_a),
+                    fingerprint(result_b),
+                    result_a.metadata.get("transport"),
+                    result_b.metadata.get("transport"),
+                    service.stats()["backend_pool"],
+                )
+
+        fp_a, fp_b, meta_a, meta_b, pool_stats = asyncio.run(scenario())
+        # Both jobs finish and match their solo runs bit-for-bit despite the
+        # mid-run worker kill.
+        assert fp_a == reference_a
+        assert fp_b == reference_b
+        # The pool healed (respawn recorded service-wide), and every job
+        # constructed before the kill carries it in its transport metadata.
+        assert pool_stats["worker_respawns"] >= 1
+        assert meta_a is not None and meta_a["worker_respawns"] >= 1
+        assert meta_b is not None and meta_b["worker_respawns"] >= 1
 
 
 class TestSubmissionValidation:
@@ -387,6 +445,12 @@ class TestSubmissionValidation:
     def test_rejects_execution_workers(self):
         message = self._submit_error(make_config(3, execution_workers=2))
         assert "execution_workers" in message and "TreeVQAService(workers=" in message
+
+    def test_rejects_worker_timeout(self):
+        message = self._submit_error(
+            make_config(3, execution_workers=2, worker_timeout_s=5.0)
+        )
+        assert "worker_timeout_s" in message and "shared pool" in message
 
     def test_rejects_cache_sizes(self):
         message = self._submit_error(make_config(3, program_cache_size=512))
